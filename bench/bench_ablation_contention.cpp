@@ -1,0 +1,71 @@
+// Ablation: contention as a ceiling shift.  The paper's LCLS story rests
+// on one mechanism — other tenants' traffic lowers the effective shared
+// bandwidth, which lowers the system ceiling and the dot with it.  We
+// sweep background flows on the external channel and check that the
+// simulated makespan tracks the model's ceiling prediction.
+
+#include "common.hpp"
+#include "sim/runner.hpp"
+#include "util/units.hpp"
+#include "workflows/lcls.hpp"
+
+using namespace wfr;
+
+int main() {
+  bench::banner("ABLATION-CONTENTION",
+                "background external traffic lowers the ceiling");
+
+  const workflows::LclsScenario base = workflows::lcls_cori_good_day();
+  const analytical::LclsParams params;
+  const int nodes = analytical::lcls_nodes_per_task(params, 32);
+  const dag::WorkflowGraph graph = analytical::lcls_graph(params, nodes);
+
+  bench::Report report;
+  std::printf("background flows -> effective share, makespan, model "
+              "prediction:\n");
+  std::printf("  %-8s %-14s %-14s %-14s\n", "flows", "share", "simulated",
+              "predicted");
+
+  const double clean =
+      sim::run_workflow(graph, base.system.to_machine()).makespan_seconds();
+  for (int flows : {0, 5, 10, 20}) {
+    sim::RunOptions opts;
+    if (flows > 0) {
+      sim::BackgroundLoad load;
+      load.channel = sim::BackgroundLoad::Channel::kExternal;
+      load.flows = flows;
+      opts.background.push_back(load);
+    }
+    const double makespan =
+        sim::run_workflow(graph, base.system.to_machine(), opts)
+            .makespan_seconds();
+    // Prediction: 5 analysis streams + `flows` background streams split
+    // the link; per-stream rate scales by 5/(5+flows); the load phase
+    // dominates the makespan.
+    const double share = 5.0 / (5.0 + flows);
+    const double load_clean = 1000.0;  // 1 TB at 1 GB/s per stream
+    const double predicted = clean + load_clean * (1.0 / share - 1.0);
+    std::printf("  %-8d %-14s %-14s %-14s\n", flows,
+                util::format("%.0f%%", 100.0 * share).c_str(),
+                util::format_seconds(makespan).c_str(),
+                util::format_seconds(predicted).c_str());
+    report.add(util::format("makespan with %d background flows", flows),
+               predicted, makespan, "s", 0.03);
+  }
+  std::printf("\n");
+
+  // The paper's specific case: 4x background traffic = a 5x-lower
+  // per-stream rate, i.e. the bad day.
+  sim::RunOptions bad_day;
+  sim::BackgroundLoad load;
+  load.channel = sim::BackgroundLoad::Channel::kExternal;
+  load.flows = 20;  // share 5/25 = 1/5 -> 0.2 GB/s per stream
+  bad_day.background.push_back(load);
+  const double contended =
+      sim::run_workflow(graph, base.system.to_machine(), bad_day)
+          .makespan_seconds();
+  report.add("20 background flows reproduce the bad day", 85.0 * 60.0,
+             contended, "s", 0.03);
+  report.print();
+  return report.all_ok() ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Ablation: fair-share vs infinite-bandwidth filesystem.  CosmoFlow's
+// instances all stream the same dataset; under fair sharing their load
+// phases stretch with the instance count, while an (unphysical)
+// per-instance private filesystem would keep them constant.  This isolates
+// the design choice that makes the filesystem ceiling bind near the wall.
+
+#include "analytical/cosmoflow_model.hpp"
+#include "common.hpp"
+#include "sim/runner.hpp"
+#include "util/units.hpp"
+#include "workflows/cosmoflow.hpp"
+
+using namespace wfr;
+
+int main() {
+  bench::banner("ABLATION-FAIRSHARE",
+                "shared vs private filesystem bandwidth for CosmoFlow");
+
+  const analytical::CosmoFlowParams params;
+  bench::Report report;
+
+  std::printf("  %-10s %-16s %-16s %-10s\n", "instances", "shared fs",
+              "private fs", "stretch");
+  double shared_12 = 0.0, private_12 = 0.0;
+  for (int instances : {1, 4, 8, 12}) {
+    const dag::WorkflowGraph g =
+        analytical::cosmoflow_graph(params, instances);
+    sim::MachineConfig shared = sim::perlmutter_gpu();
+    shared.total_nodes = params.usable_nodes;
+    const double t_shared =
+        sim::run_workflow(g, shared).makespan_seconds();
+
+    sim::MachineConfig private_fs = shared;
+    private_fs.fs_gbs *= instances;  // ablation: no contention
+    const double t_private =
+        sim::run_workflow(g, private_fs).makespan_seconds();
+
+    std::printf("  %-10d %-16s %-16s %.4fx\n", instances,
+                util::format_seconds(t_shared).c_str(),
+                util::format_seconds(t_private).c_str(),
+                t_shared / t_private);
+    if (instances == 12) {
+      shared_12 = t_shared;
+      private_12 = t_private;
+    }
+    if (instances == 1)
+      report.add("1 instance: sharing changes nothing", 1.0,
+                 t_shared / t_private, "x", 1e-9);
+  }
+  std::printf("\n");
+
+  // At the wall, the shared load phase is 12x the private one: the
+  // difference equals 11 extra dataset loads through the same pipes.
+  const double load_private = params.dataset_bytes / 5.6e12;
+  report.add("extra time at 12 instances = 11 shared loads",
+             11.0 * load_private, shared_12 - private_12, "s", 0.05);
+  report.add_shape("fair-share needed for the fs ceiling to bind", "yes",
+                   shared_12 > private_12 ? "yes" : "no");
+  report.print();
+  return report.all_ok() ? 0 : 1;
+}

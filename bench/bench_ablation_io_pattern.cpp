@@ -1,0 +1,75 @@
+// Ablation: I/O pattern vs I/O volume (the Fig. 10 insight).  GPTune's
+// two control flows move nearly the same metadata volume (45 vs 40 MB)
+// yet spend 30 s vs 0.02 s on I/O.  We ablate the per-operation latency
+// term of the control-flow cost model: with latency removed (volume-only
+// accounting at filesystem bandwidth), the two modes become
+// indistinguishable — i.e. a volume-only model cannot explain the paper's
+// measurement.
+
+#include "autotune/control_flow.hpp"
+#include "common.hpp"
+#include "util/units.hpp"
+
+using namespace wfr;
+
+namespace {
+
+autotune::CampaignResult run(autotune::ControlFlowMode mode,
+                             bool latency_term) {
+  autotune::SuperluSurface surface(4960);
+  autotune::CampaignConfig cfg;
+  cfg.mode = mode;
+  cfg.tuner.total_samples = 40;
+  cfg.tuner.seed = 1;
+  if (!latency_term) {
+    cfg.use_custom_costs = true;
+    cfg.custom_costs = mode == autotune::ControlFlowMode::kRci
+                           ? autotune::rci_costs()
+                           : autotune::spawn_costs();
+    cfg.custom_costs.io_op_latency_seconds = 0.0;  // volume-only I/O
+  }
+  return autotune::run_campaign(surface, cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ABLATION-IO-PATTERN",
+                "per-operation latency vs volume-only I/O accounting");
+
+  const autotune::CampaignResult rci_full =
+      run(autotune::ControlFlowMode::kRci, true);
+  const autotune::CampaignResult spawn_full =
+      run(autotune::ControlFlowMode::kSpawn, true);
+  const autotune::CampaignResult rci_volume =
+      run(autotune::ControlFlowMode::kRci, false);
+  const autotune::CampaignResult spawn_volume =
+      run(autotune::ControlFlowMode::kSpawn, false);
+
+  bench::Report report;
+  report.add("full model: RCI I/O", 30.0, rci_full.io_seconds, "s", 0.03);
+  report.add("full model: Spawn I/O", 0.02, spawn_full.io_seconds, "s",
+             0.03);
+  report.add("full model: I/O ratio", 1500.0,
+             rci_full.io_seconds / spawn_full.io_seconds, "x", 0.05);
+  // Volume-only: both I/O times collapse to microseconds and the ratio
+  // collapses to the volume ratio (~1.1x).
+  report.add("volume-only: RCI I/O", 45e6 / 4.8e12, rci_volume.io_seconds,
+             "s", 0.01);
+  report.add("volume-only: I/O ratio", 45.0 / 40.0,
+             rci_volume.io_seconds / spawn_volume.io_seconds, "x", 0.01);
+  report.add_shape(
+      "volume-only model explains the paper's 30 s vs 0.02 s", "no",
+      rci_volume.io_seconds / spawn_volume.io_seconds > 100.0 ? "yes"
+                                                              : "no");
+  report.add_shape("latency term is the load-bearing design choice", "yes",
+                   rci_full.io_seconds / rci_volume.io_seconds > 1000.0
+                       ? "yes"
+                       : "no");
+  report.print();
+
+  std::printf("conclusion: the paper's 'I/O pattern and concurrency matter\n"
+              "more than volume' requires modeling per-operation latency;\n"
+              "bandwidth-only accounting erases the RCI/Spawn difference.\n");
+  return report.all_ok() ? 0 : 1;
+}

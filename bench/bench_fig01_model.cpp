@@ -1,0 +1,69 @@
+// Figure 1: the example Workflow Roofline frame on the Perlmutter GPU
+// partition.  Assumptions (from the figure caption):
+//   * 1 TB loaded via the filesystem at 5.6 TB/s (upper horizontal),
+//   * 1 TB per compute node over the NICs at 100 GB/s (the paper draws
+//     this horizontal; physically it is NIC-injection-limited and we model
+//     it as a node diagonal — both are emitted for comparison),
+//   * 4 GB PCIe and 100 GFLOPs per node (diagonals),
+//   * 64-node tasks -> system parallelism wall at 28.
+
+#include "common.hpp"
+#include "core/model.hpp"
+#include "plot/roofline_plot.hpp"
+#include "util/units.hpp"
+
+using namespace wfr;
+
+int main() {
+  bench::banner("FIG1", "example Workflow Roofline frame on PM-GPU");
+
+  const core::SystemSpec system = core::SystemSpec::perlmutter_gpu();
+
+  core::WorkflowCharacterization c;
+  c.name = "example";
+  c.total_tasks = 28;
+  c.parallel_tasks = 28;
+  c.nodes_per_task = 64;
+  c.fs_bytes_per_task = 1e12;                      // loading 1 TB
+  c.network_bytes_per_task = 1e12 * 64.0;          // 1 TB per node
+  c.pcie_bytes_per_node = 4e9;                     // 4 GB
+  c.flops_per_node = 100e9;                        // 100 GFLOPs
+
+  core::RooflineModel model = core::build_model(system, c);
+  // The paper's horizontal network rendering: one node's 1 TB at one
+  // NIC's 100 GB/s as a flat system ceiling.
+  model.add_ceiling(core::Ceiling::horizontal(
+      core::Channel::kCustom, "Network bytes (paper style): 1 TB @ 100 GB/s",
+      100e9 / 1e12));
+
+  bench::Report report;
+  report.add("parallelism wall [tasks]", 28, model.parallelism_wall(),
+             "tasks", 0.0);
+  double fs_tps = 0.0, net_s = 0.0, pcie_s = 0.0, compute_s = 0.0;
+  for (const core::Ceiling& ceiling : model.ceilings()) {
+    switch (ceiling.channel) {
+      case core::Channel::kFilesystem: fs_tps = ceiling.tps_limit; break;
+      case core::Channel::kNetwork: net_s = ceiling.seconds_per_task; break;
+      case core::Channel::kPcie: pcie_s = ceiling.seconds_per_task; break;
+      case core::Channel::kCompute: compute_s = ceiling.seconds_per_task; break;
+      default: break;
+    }
+  }
+  report.add("filesystem ceiling: 1 TB / 5.6 TB/s", 1.0 / (1e12 / 5.6e12),
+             fs_tps, "tasks/s", 0.01);
+  report.add("network time: 1 TB/node / 100 GB/s", 10.0, net_s, "s", 0.01);
+  report.add("PCIe time: 4 GB / 100 GB/s", 0.04, pcie_s, "s", 0.01);
+  report.add("compute time: 100 GFLOP / 38.8 TFLOP/s", 100e9 / 38.8e12,
+             compute_s, "s", 0.01);
+  report.add_shape("upper direction", "shorter makespan",
+                   "shorter makespan");
+  report.add_shape("upper-right direction", "higher throughput",
+                   "higher throughput");
+  report.print();
+
+  const std::string path = bench::figure_path("fig01_example.svg");
+  plot::write_roofline_svg(model, path,
+                           {.title = "Fig. 1 — Workflow Roofline example"});
+  bench::wrote(path);
+  return report.all_ok() ? 0 : 1;
+}

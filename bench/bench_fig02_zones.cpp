@@ -1,0 +1,118 @@
+// Figure 2: interpretation for time- and throughput-sensitive workflows.
+//   (a) the target makespan and throughput lines cut the attainable area
+//       into four zones;
+//   (b) a dot in the yellow zone (good makespan, poor throughput) has two
+//       directions: shorter makespan (up) or more parallel tasks
+//       (up-right);
+//   (c) doubling intra-task parallelism halves the wall and doubles the
+//       node ceiling — infeasible directions become visible.
+
+#include "common.hpp"
+#include "core/advisor.hpp"
+#include "core/model.hpp"
+#include "plot/roofline_plot.hpp"
+#include "util/units.hpp"
+
+using namespace wfr;
+
+namespace {
+
+core::RooflineModel make_model() {
+  core::SystemSpec system;
+  system.name = "fig2-system";
+  system.total_nodes = 1024;
+  system.node.peak_flops = 10.0 * util::kTFLOPS;
+  system.node.nic_gbs = 25.0 * util::kGBs;
+  system.fs_gbs = 1.0 * util::kTBs;
+  system.external_gbs = 50.0 * util::kGBs;
+
+  core::WorkflowCharacterization c;
+  c.name = "fig2-workflow";
+  c.total_tasks = 16;
+  c.parallel_tasks = 16;
+  c.nodes_per_task = 16;   // wall at 64
+  c.flops_per_node = 600.0 * util::kTFLOP;  // 60 s/task node ceiling
+  c.fs_bytes_per_task = 100 * util::kGB;    // 10 tasks/s ceiling
+  c.target_makespan_seconds = 120.0;        // target: 16 tasks in 2 min
+  return core::build_model(system, c);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("FIG2", "four target zones and optimization directions");
+
+  core::RooflineModel model = make_model();
+  bench::Report report;
+
+  // (a) One synthetic dot per zone; the classification must match.
+  struct Probe {
+    const char* expected;
+    double parallel_tasks;
+    double tps;
+  };
+  const double target_tps = model.target_throughput_tps();  // 16/120
+  const Probe probes[] = {
+      // Above both lines at its own P.
+      {"good makespan, good throughput", 16, target_tps * 1.5},
+      // Left of the crossing: above the makespan diagonal, below the
+      // throughput line.
+      {"good makespan, poor throughput", 4, target_tps * 0.6},
+      // Right of the crossing: below the diagonal, above the line.
+      {"poor makespan, good throughput", 64, target_tps * 1.5},
+      {"poor makespan, poor throughput", 16, target_tps * 0.3},
+  };
+  for (const Probe& probe : probes) {
+    core::Dot dot;
+    dot.label = probe.expected;
+    dot.parallel_tasks = probe.parallel_tasks;
+    dot.tps = probe.tps;
+    report.add_shape(util::format("zone of dot (P=%g, %.3g tasks/s)",
+                                  probe.parallel_tasks, probe.tps),
+                     probe.expected, core::zone_name(model.zone_of(dot)));
+    model.add_dot(dot);
+  }
+
+  // (b) The yellow-zone dot gets both directions from the advisor.
+  core::Dot yellow;
+  yellow.label = "empirical";
+  yellow.parallel_tasks = 4;
+  yellow.tps = target_tps * 0.6;
+  const core::Advice advice = core::advise(model, yellow);
+  bool direction_up = false, direction_up_right = false;
+  for (const std::string& s : advice.suggestions) {
+    direction_up = direction_up ||
+                   s.find("shortening the makespan") != std::string::npos ||
+                   s.find("node efficiency") != std::string::npos;
+    direction_up_right =
+        direction_up_right || s.find("parallel") != std::string::npos;
+  }
+  report.add_shape("direction 1 (shorter makespan, up)", "suggested",
+                   direction_up ? "suggested" : "missing");
+  report.add_shape("direction 2 (more parallel tasks, up-right)",
+                   "suggested", direction_up_right ? "suggested" : "missing");
+
+  // (c) The 2x intra-task parallelism shift.
+  const core::WorkflowCharacterization scaled =
+      core::scale_intra_task_parallelism(model.workflow(), 2.0);
+  const core::RooflineModel shifted =
+      core::build_model(model.system(), scaled);
+  report.add("wall after 2x intra-task parallelism [tasks]",
+             model.parallelism_wall() / 2.0, shifted.parallelism_wall(),
+             "tasks", 0.0);
+  report.add("node ceiling rise [x]", 2.0,
+             model.binding_ceiling(1.0).seconds_per_task /
+                 shifted.binding_ceiling(1.0).seconds_per_task,
+             "x", 0.01);
+  report.print();
+
+  const std::string path = bench::figure_path("fig02_zones.svg");
+  plot::write_roofline_svg(model, path,
+                           {.title = "Fig. 2a — target zones"});
+  bench::wrote(path);
+  const std::string shifted_path = bench::figure_path("fig02c_shifted.svg");
+  plot::write_roofline_svg(shifted, shifted_path,
+                           {.title = "Fig. 2c — 2x intra-task parallelism"});
+  bench::wrote(shifted_path);
+  return report.all_ok() ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Figure 3: interpretation for workflows without explicit targets — the
+// attainable area splits into a node-bound (blue) and a system-bound
+// (orange) region.  A dot under the node diagonals is node-bound and has
+// two directions (node efficiency up, task parallelism up-right); a dot
+// pinned under a system horizontal is system-bound.
+
+#include "common.hpp"
+#include "core/advisor.hpp"
+#include "core/model.hpp"
+#include "plot/roofline_plot.hpp"
+#include "util/units.hpp"
+
+using namespace wfr;
+
+int main() {
+  bench::banner("FIG3", "node-bound vs system-bound interpretation");
+
+  core::SystemSpec system;
+  system.name = "fig3-system";
+  system.total_nodes = 512;
+  system.node.peak_flops = 10.0 * util::kTFLOPS;
+  system.fs_gbs = 500.0 * util::kGBs;
+
+  core::WorkflowCharacterization c;
+  c.name = "fig3-workflow";
+  c.total_tasks = 8;
+  c.parallel_tasks = 8;
+  c.nodes_per_task = 8;                      // wall at 64
+  c.flops_per_node = 300.0 * util::kTFLOP;   // node diagonal: 30 s/task
+  c.fs_bytes_per_task = 250 * util::kGB;     // system ceiling: 2 tasks/s
+
+  core::RooflineModel model = core::build_model(system, c);
+  bench::Report report;
+
+  // (a) A dot at small P under the diagonal: node-bound, two directions.
+  core::Dot node_dot;
+  node_dot.label = "node-bound dot";
+  node_dot.parallel_tasks = 4;
+  node_dot.tps = 0.5 * model.attainable_tps(4.0);
+  report.add_shape("fig 3a dot classification", "node-bound",
+                   core::bound_class_name(model.classify(node_dot)));
+  const core::Advice node_advice = core::advise(model, node_dot);
+  report.add_shape(
+      "fig 3a binding ceiling", "compute",
+      core::channel_name(model.binding_ceiling(4.0).channel));
+  report.note("fig 3a headroom to ceiling",
+              util::format("%.1fx up, %.1fx up-right to the wall",
+                           node_advice.headroom,
+                           node_advice.parallelism_headroom));
+
+  // (b) A dot at large P pinned under the horizontal: system-bound.
+  core::Dot sys_dot;
+  sys_dot.label = "system-bound dot";
+  sys_dot.parallel_tasks = 64;
+  sys_dot.tps = 0.9 * model.attainable_tps(64.0);
+  report.add_shape("fig 3b dot classification", "system-bound",
+                   core::bound_class_name(model.classify(sys_dot)));
+  report.add_shape(
+      "fig 3b binding ceiling", "filesystem",
+      core::channel_name(model.binding_ceiling(64.0).channel));
+
+  // The crossover between the node diagonal and the system horizontal.
+  double crossover = 0.0;
+  for (int p = 1; p <= model.parallelism_wall(); ++p) {
+    if (model.binding_ceiling(p).channel == core::Channel::kFilesystem) {
+      crossover = p;
+      break;
+    }
+  }
+  // Diagonal reaches 2 tasks/s at P = 2 * 30 = 60 (tasks_per_slot = 1).
+  report.add("node/system crossover P", 60.0, crossover, "tasks", 0.05);
+  report.print();
+
+  model.add_dot(node_dot);
+  model.add_dot(sys_dot);
+  const std::string path = bench::figure_path("fig03_bounds.svg");
+  plot::write_roofline_svg(model, path,
+                           {.title = "Fig. 3 — node vs system bound"});
+  bench::wrote(path);
+  return report.all_ok() ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Figure 4: the LCLS workflow skeleton — five parallel analysis tasks
+// (A-E) at level 0, each loading 1 TB from external storage with thousands
+// of MPI ranks, feeding one merge task (F); critical path length two.
+
+#include "analytical/lcls_model.hpp"
+#include "common.hpp"
+#include "plot/ascii.hpp"
+#include "util/units.hpp"
+
+using namespace wfr;
+
+int main() {
+  bench::banner("FIG4", "LCLS workflow skeleton");
+
+  const analytical::LclsParams params;
+  const dag::WorkflowGraph g = analytical::lcls_graph(params, 32);
+
+  bench::Report report;
+  report.add("total tasks", 6, static_cast<double>(g.task_count()), "", 0.0);
+  report.add("parallel tasks at level 0", 5, g.level_widths()[0], "", 0.0);
+  report.add("critical path length [tasks]", 2,
+             g.critical_path().length_seconds, "", 0.0);
+  report.add("levels", 2, g.level_count(), "", 0.0);
+  report.add("external data per analysis task", 1e12,
+             g.task(g.find_task("analysis_0")).demand.external_in_bytes, "B",
+             0.0);
+  report.add("output per analysis task", 1e9,
+             g.task(g.find_task("analysis_0")).demand.fs_write_bytes, "B",
+             0.0);
+  report.add("MPI ranks per analysis task", 1024,
+             static_cast<double>(params.processes_per_task), "", 0.0);
+  const dag::TaskId merge = g.find_task("merge");
+  report.add("merge fan-in", 5,
+             static_cast<double>(g.predecessors(merge).size()), "", 0.0);
+  report.add_shape("merge waits for all analyses", "yes",
+                   g.level_widths()[1] == 1 ? "yes" : "no");
+  report.print();
+
+  std::printf("skeleton (level: tasks):\n");
+  const std::vector<int> levels = g.levels();
+  for (int level = 0; level < g.level_count(); ++level) {
+    std::string names;
+    for (dag::TaskId id = 0; id < g.task_count(); ++id) {
+      if (levels[id] == level) {
+        if (!names.empty()) names += ", ";
+        names += g.task(id).name;
+      }
+    }
+    std::printf("  level %d: %s\n", level, names.c_str());
+  }
+  return report.all_ok() ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Figure 5: LCLS on Cori Haswell.
+//   (a) Workflow Roofline with the good-day (5 GB/s aggregate external)
+//       and bad-day (1 GB/s, 5x contention) dots, both riding the system
+//       external ceiling; wall at 74; the 10-minute 2020 target is
+//       unattainable even on good days.
+//   (b) Time breakdown: loading data dominates.
+
+#include "common.hpp"
+#include "plot/bar_plot.hpp"
+#include "plot/roofline_plot.hpp"
+#include "util/units.hpp"
+#include "workflows/lcls.hpp"
+
+using namespace wfr;
+
+int main() {
+  bench::banner("FIG5", "LCLS on Cori-HSW: good days vs bad days");
+
+  const workflows::LclsStudyResult good =
+      workflows::run_lcls(workflows::lcls_cori_good_day());
+  const workflows::LclsStudyResult bad =
+      workflows::run_lcls(workflows::lcls_cori_bad_day());
+
+  bench::Report report;
+  report.add("good-day makespan", 17.0 * 60.0,
+             good.trace.makespan_seconds(), "s");
+  report.add("bad-day makespan", 85.0 * 60.0, bad.trace.makespan_seconds(),
+             "s");
+  report.add("contention slowdown", 5.0,
+             bad.trace.makespan_seconds() / good.trace.makespan_seconds(),
+             "x");
+  report.add("system parallelism wall", 74, good.model.parallelism_wall(),
+             "tasks", 0.0);
+  report.add("target throughput (6/600)", 6.0 / 600.0,
+             good.model.target_throughput_tps(), "tasks/s", 0.001);
+  report.add_shape(
+      "good-day binding ceiling", "external",
+      core::channel_name(good.model.binding_ceiling(5.0).channel));
+  report.add_shape(
+      "bad-day binding ceiling", "external",
+      core::channel_name(bad.model.binding_ceiling(5.0).channel));
+  report.add_shape("dots overlap their external boundary", "yes",
+                   (good.model.efficiency(good.model.dots()[0]) > 0.85 &&
+                    bad.model.efficiency(bad.model.dots()[0]) > 0.85)
+                       ? "yes"
+                       : "no");
+  report.add_shape("target attainable on good days", "no",
+                   good.model.attainable_tps(74.0) <
+                           good.model.target_throughput_tps()
+                       ? "no"
+                       : "yes");
+  report.add("loading share of bad-day time", 0.97,
+             bad.breakdown.component("Loading data").seconds /
+                 bad.breakdown.total_seconds(),
+             "", 0.05);
+  report.print();
+
+  // Compose the two-dot figure: the good-day model plus the bad-day
+  // ceiling and dot.
+  core::RooflineModel figure = good.model;
+  figure.add_ceiling(core::Ceiling::horizontal(
+      core::Channel::kExternal,
+      "System External 5 TB @ 1 GB/s (5x contention)",
+      bad.model.binding_ceiling(5.0).tps_limit));
+  core::Dot bad_dot = bad.model.dots()[0];
+  figure.add_dot(bad_dot);
+
+  const std::string roofline = bench::figure_path("fig05a_lcls_hsw.svg");
+  plot::write_roofline_svg(figure, roofline,
+                           {.title = "Fig. 5a — LCLS on Cori-HSW"});
+  bench::wrote(roofline);
+
+  const std::string bars = bench::figure_path("fig05b_lcls_breakdown.svg");
+  plot::write_breakdown_svg(
+      {good.breakdown, bad.breakdown}, bars,
+      {.title = "Fig. 5b — LCLS time breakdown"});
+  bench::wrote(bars);
+  return report.all_ok() ? 0 : 1;
+}

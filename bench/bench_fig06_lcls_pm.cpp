@@ -1,0 +1,66 @@
+// Figure 6: LCLS on PM-CPU via a data transfer node.
+//   * 25 GB/s external: all 5 TB ideally in ~3.4 minutes; the external
+//     ceiling sits slightly above the 2024 target-throughput line — very
+//     limited makespan headroom.
+//   * a 5x contention drop to 5 GB/s makes the targets unattainable.
+//   * the system-internal (filesystem) ceiling is far on top: not the
+//     bottleneck.
+
+#include "common.hpp"
+#include "plot/roofline_plot.hpp"
+#include "util/units.hpp"
+#include "workflows/lcls.hpp"
+
+using namespace wfr;
+
+int main() {
+  bench::banner("FIG6", "LCLS on PM-CPU via DTN");
+
+  const workflows::LclsStudyResult dtn =
+      workflows::run_lcls(workflows::lcls_pm_dtn());
+  const workflows::LclsStudyResult contended =
+      workflows::run_lcls(workflows::lcls_pm_dtn_contended());
+
+  bench::Report report;
+  report.add("ideal 5 TB load time", 3.4 * 60.0,
+             dtn.breakdown.component("Loading data").seconds, "s", 0.03);
+  report.add("system parallelism wall", 384, dtn.model.parallelism_wall(),
+             "tasks", 0.0);
+  report.add("target throughput (6/300)", 0.02,
+             dtn.model.target_throughput_tps(), "tasks/s", 0.001);
+  const double external_tps = dtn.model.binding_ceiling(5.0).tps_limit;
+  report.add_shape("external ceiling slightly above target", "yes",
+                   (external_tps > dtn.model.target_throughput_tps() &&
+                    external_tps < 2.0 * dtn.model.target_throughput_tps())
+                       ? "yes"
+                       : "no");
+  // Filesystem internal bandwidth far on top.
+  double fs_tps = 0.0;
+  for (const core::Ceiling& c : dtn.model.ceilings())
+    if (c.channel == core::Channel::kFilesystem) fs_tps = c.tps_limit;
+  report.add_shape("system internal not the bottleneck", "yes",
+                   fs_tps > 10.0 * external_tps ? "yes" : "no");
+  report.add_shape(
+      "contended (5 GB/s) can meet targets", "no",
+      contended.model.attainable_tps(384.0) <
+              contended.model.target_throughput_tps()
+          ? "no"
+          : "yes");
+  report.add("contended slowdown", 5.0,
+             contended.trace.makespan_seconds() /
+                 dtn.trace.makespan_seconds(),
+             "x", 0.15);
+  report.print();
+
+  core::RooflineModel figure = dtn.model;
+  figure.add_ceiling(core::Ceiling::horizontal(
+      core::Channel::kExternal, "System External 5 TB @ 5 GB/s (contended)",
+      contended.model.binding_ceiling(5.0).tps_limit));
+  figure.add_dot(contended.model.dots()[0]);
+
+  const std::string path = bench::figure_path("fig06_lcls_pm.svg");
+  plot::write_roofline_svg(figure, path,
+                           {.title = "Fig. 6 — LCLS on PM-CPU"});
+  bench::wrote(path);
+  return report.all_ok() ? 0 : 1;
+}

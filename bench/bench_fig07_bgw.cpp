@@ -1,0 +1,100 @@
+// Figure 7: BerkeleyGW (Si998) on Perlmutter-GPU.
+//   (a) 64 nodes/task: node-compute bound at ~42% of node peak; wall 28.
+//   (b) 1024 nodes/task: wall moves to 1; network ceiling rises; ~30% of
+//       node peak.
+//   (c) task view: Sigma dominates the makespan; Epsilon is farther from
+//       its node ceiling (the tuning candidate).
+//   (d) Gantt chart: the critical path shape is scale-invariant.
+
+#include "common.hpp"
+#include "plot/gantt_plot.hpp"
+#include "plot/roofline_plot.hpp"
+#include "util/units.hpp"
+#include "workflows/bgw.hpp"
+
+using namespace wfr;
+
+int main() {
+  bench::banner("FIG7", "BerkeleyGW at 64 and 1024 nodes per task");
+
+  const workflows::BgwStudyResult small = workflows::run_bgw(64);
+  const workflows::BgwStudyResult large = workflows::run_bgw(1024);
+
+  bench::Report report;
+  // (a)
+  report.add("makespan @64 nodes", 4184.86, small.trace.makespan_seconds(),
+             "s", 0.01);
+  report.add("node ceiling @64 (paper ~1800 s)", 1768.0,
+             small.model.binding_ceiling(1.0).seconds_per_task, "s", 0.03);
+  report.add("fraction of node peak @64", 0.42,
+             small.model.efficiency(small.model.dots()[0]), "", 0.03);
+  report.add("wall @64", 28, small.model.parallelism_wall(), "tasks", 0.0);
+  report.add_shape(
+      "binding ceiling @64", "compute",
+      core::channel_name(small.model.binding_ceiling(1.0).channel));
+  // (b)
+  report.add("makespan @1024 nodes", 404.74, large.trace.makespan_seconds(),
+             "s", 0.01);
+  report.add("fraction of node peak @1024 (paper ~30%)", 0.30,
+             large.model.efficiency(large.model.dots()[0]), "", 0.12);
+  report.add("wall @1024", 1, large.model.parallelism_wall(), "tasks", 0.0);
+  report.add("network ceiling rise 64->1024", 16.0,
+             [&] {
+               double t64 = 0.0, t1024 = 0.0;
+               for (const core::Ceiling& c : small.model.ceilings())
+                 if (c.channel == core::Channel::kNetwork)
+                   t64 = c.seconds_per_task;
+               for (const core::Ceiling& c : large.model.ceilings())
+                 if (c.channel == core::Channel::kNetwork)
+                   t1024 = c.seconds_per_task;
+               return t64 / t1024;
+             }(),
+             "x", 0.01);
+  // (c)
+  const core::TaskView view = workflows::bgw_combined_task_view();
+  report.add_shape("task view: dominant task", "sigma @ 64 nodes",
+                   view.dominant().label);
+  // Within each scale, Epsilon is farther from its node ceiling than
+  // Sigma — the paper's tune-Epsilon-first observation.
+  report.add_shape("task view: least efficient @64", "epsilon @ 64 nodes",
+                   small.task_view.least_efficient().label);
+  report.add_shape("task view: least efficient @1024",
+                   "epsilon @ 1024 nodes",
+                   large.task_view.least_efficient().label);
+  // (d)
+  report.add_shape("critical path @64", "epsilon -> sigma",
+                   small.graph.task(small.critical_path.tasks[0]).name +
+                       " -> " +
+                       small.graph.task(small.critical_path.tasks[1]).name);
+  report.add_shape("critical path @1024 (same shape)", "epsilon -> sigma",
+                   large.graph.task(large.critical_path.tasks[0]).name +
+                       " -> " +
+                       large.graph.task(large.critical_path.tasks[1]).name);
+  report.print();
+
+  std::printf("%s\n", view.report().c_str());
+
+  const std::string fig7a = bench::figure_path("fig07a_bgw_64.svg");
+  plot::write_roofline_svg(small.model, fig7a,
+                           {.title = "Fig. 7a — BGW, 64 nodes/task"});
+  bench::wrote(fig7a);
+  const std::string fig7b = bench::figure_path("fig07b_bgw_1024.svg");
+  plot::write_roofline_svg(large.model, fig7b,
+                           {.title = "Fig. 7b — BGW, 1024 nodes/task"});
+  bench::wrote(fig7b);
+  const std::string fig7c = bench::figure_path("fig07c_bgw_taskview.svg");
+  plot::write_task_view_svg(
+      view, fig7c, {.title = "Fig. 7c — BGW task view", .parallelism_wall = 28});
+  bench::wrote(fig7c);
+  for (const workflows::BgwStudyResult* r : {&small, &large}) {
+    const std::string path = bench::figure_path(
+        util::format("fig07d_bgw_gantt_%d.svg", r->nodes_per_task));
+    plot::GanttPlotOptions opts;
+    opts.title = util::format("Fig. 7d — BGW Gantt, %d nodes/task",
+                              r->nodes_per_task);
+    opts.critical_path = r->critical_path.tasks;
+    plot::write_gantt_svg(r->trace, path, opts);
+    bench::wrote(path);
+  }
+  return report.all_ok() ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Figure 8: CosmoFlow throughput benchmark on PM-GPU.
+//   * PCIe epoch ceiling 0.8 s (10 TB decompressed / 128 nodes @ 100 GB/s),
+//   * HBM epoch ceiling 4.2 s (2^19 samples x 6.4 GB @ 4x1555 GB/s x 128),
+//   * 12-instance parallelism wall (1536 usable nodes / 128),
+//   * throughput linear in the instance count; HBM ultimately binds.
+
+#include "common.hpp"
+#include "math/fit.hpp"
+#include "plot/roofline_plot.hpp"
+#include "util/units.hpp"
+#include "workflows/cosmoflow.hpp"
+
+using namespace wfr;
+
+int main() {
+  bench::banner("FIG8", "CosmoFlow throughput on PM-GPU");
+
+  const workflows::CosmoStudyResult study = workflows::run_cosmoflow();
+
+  bench::Report report;
+  report.add("PCIe bytes per node per epoch", 80e9,
+             analytical::cosmoflow_pcie_bytes_per_node(study.params), "B",
+             0.03);
+  report.add("PCIe epoch ceiling", 0.8, study.pcie_epoch_seconds, "s", 0.03);
+  report.add("HBM epoch ceiling", 4.2, study.hbm_epoch_seconds, "s", 0.01);
+  report.add("parallelism wall [instances]", 12,
+             study.max_instances, "", 0.0);
+
+  std::vector<double> xs, ys;
+  for (const workflows::CosmoPoint& p : study.sweep) {
+    xs.push_back(p.instances);
+    ys.push_back(p.epochs_per_second);
+  }
+  const math::LinearFit fit = math::fit_power_law(xs, ys);
+  report.add("throughput scaling exponent (linear = 1)", 1.0, fit.slope, "",
+             0.05);
+  report.add_shape(
+      "binding ceiling near the wall", "hbm (fs co-binding)",
+      [&] {
+        const core::Channel ch = study.model.binding_ceiling(12.0).channel;
+        const core::Channel below = study.model.binding_ceiling(6.0).channel;
+        if (below == core::Channel::kHbm &&
+            (ch == core::Channel::kHbm || ch == core::Channel::kFilesystem))
+          return std::string("hbm (fs co-binding)");
+        return std::string(core::channel_name(ch));
+      }());
+  report.add("throughput at 12 instances", 12.0 * 25.0 / (105.4 + 4.3),
+             study.sweep.back().epochs_per_second, "epochs/s", 0.05);
+  report.print();
+
+  std::printf("instance sweep (one dot per point in Fig. 8):\n");
+  std::printf("  %-10s %-14s %s\n", "instances", "makespan", "epochs/s");
+  for (const workflows::CosmoPoint& p : study.sweep)
+    std::printf("  %-10d %-14s %.3f\n", p.instances,
+                util::format_seconds(p.makespan_seconds).c_str(),
+                p.epochs_per_second);
+  std::printf("\n");
+
+  const std::string path = bench::figure_path("fig08_cosmoflow.svg");
+  plot::write_roofline_svg(study.model, path,
+                           {.title = "Fig. 8 — CosmoFlow on PM-GPU"});
+  bench::wrote(path);
+  return report.all_ok() ? 0 : 1;
+}

@@ -1,0 +1,151 @@
+// Library microbenchmarks (google-benchmark): costs of the core
+// operations a user pays — model construction and evaluation, simulator
+// event processing, scheduling, GP surrogate fits, and figure rendering.
+
+#include <benchmark/benchmark.h>
+
+#include "analytical/bgw_model.hpp"
+#include "autotune/gp.hpp"
+#include "core/model.hpp"
+#include "dag/schedule.hpp"
+#include "math/rng.hpp"
+#include "plot/roofline_plot.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace wfr;
+
+core::WorkflowCharacterization bgw64() {
+  return analytical::bgw_characterization(analytical::BgwParams{}, 64);
+}
+
+void BM_BuildModel(benchmark::State& state) {
+  const core::SystemSpec system = core::SystemSpec::perlmutter_gpu();
+  const core::WorkflowCharacterization c = bgw64();
+  for (auto _ : state) {
+    core::RooflineModel model = core::build_model(system, c);
+    benchmark::DoNotOptimize(model.parallelism_wall());
+  }
+}
+BENCHMARK(BM_BuildModel);
+
+void BM_AttainableThroughput(benchmark::State& state) {
+  const core::RooflineModel model =
+      core::build_model(core::SystemSpec::perlmutter_gpu(), bgw64());
+  double p = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.attainable_tps(p));
+    p = p >= 28.0 ? 1.0 : p + 1.0;
+  }
+}
+BENCHMARK(BM_AttainableThroughput);
+
+void BM_SimulatorFairShareFlows(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    const sim::ResourceId fs = simulator.add_resource("fs", 1e12);
+    for (int i = 0; i < flows; ++i)
+      simulator.start_flow(fs, 1e9 * (i + 1), [] {});
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.now());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_SimulatorFairShareFlows)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RunLclsShapedWorkflow(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  dag::TaskSpec analysis;
+  analysis.name = "a";
+  analysis.nodes = 4;
+  analysis.demand.external_in_bytes = 1e12;
+  analysis.demand.flops_per_node = 1e13;
+  dag::TaskSpec merge;
+  merge.name = "m";
+  merge.demand.fs_read_bytes = 1e9;
+  const dag::WorkflowGraph g =
+      dag::make_fork_join("w", analysis, width, merge);
+  const sim::MachineConfig machine = sim::perlmutter_cpu();
+  for (auto _ : state) {
+    const trace::WorkflowTrace t = sim::run_workflow(g, machine);
+    benchmark::DoNotOptimize(t.makespan_seconds());
+  }
+  state.SetItemsProcessed(state.iterations() * (width + 1));
+}
+BENCHMARK(BM_RunLclsShapedWorkflow)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_ListScheduler(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  dag::WorkflowGraph g("chainy");
+  math::Rng rng(1);
+  std::vector<double> durations;
+  for (int i = 0; i < tasks; ++i) {
+    dag::TaskSpec t;
+    t.name = "t" + std::to_string(i);
+    t.nodes = static_cast<int>(rng.uniform_int(1, 8));
+    const dag::TaskId id = g.add_task(t);
+    if (i > 0 && rng.bernoulli(0.5))
+      g.add_dependency(static_cast<dag::TaskId>(rng.uniform_int(0, i - 1)),
+                       id);
+    durations.push_back(rng.uniform(1.0, 100.0));
+  }
+  for (auto _ : state) {
+    const dag::Schedule s =
+        dag::schedule_workflow(g, durations, {.pool_nodes = 32});
+    benchmark::DoNotOptimize(s.makespan_seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_ListScheduler)->Arg(64)->Arg(512);
+
+void BM_GpFitPredict(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  math::Rng rng(3);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < n; ++i) {
+    xs.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    ys.push_back(rng.uniform());
+  }
+  const std::vector<double> probe{0.5, 0.5, 0.5};
+  for (auto _ : state) {
+    autotune::GaussianProcess gp;
+    gp.fit(xs, ys);
+    benchmark::DoNotOptimize(gp.predict(probe).mean);
+  }
+}
+BENCHMARK(BM_GpFitPredict)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_RenderRooflineSvg(benchmark::State& state) {
+  const core::RooflineModel model =
+      core::build_model(core::SystemSpec::perlmutter_gpu(), bgw64());
+  for (auto _ : state) {
+    const std::string svg = plot::render_roofline(model);
+    benchmark::DoNotOptimize(svg.size());
+  }
+}
+BENCHMARK(BM_RenderRooflineSvg);
+
+void BM_JsonParseWorkflow(benchmark::State& state) {
+  std::string text = R"({"name":"w","tasks":[)";
+  for (int i = 0; i < 64; ++i) {
+    if (i) text += ',';
+    text += R"({"name":"t)" + std::to_string(i) +
+            R"(","nodes":4,"demand":{"fs_read":"1 GB","flops_per_node":"1 TFLOP"}})";
+  }
+  text += "]}";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Json::parse(text).dump().size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParseWorkflow);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table I: node- and system-performance characterization methods per
+// workflow — which metrics are measured, reported from prior work,
+// analytically modeled, or not applicable.
+
+#include "analytical/provenance.hpp"
+#include "common.hpp"
+
+using namespace wfr;
+
+int main() {
+  bench::banner("TAB1", "characterization-method matrix");
+
+  bench::Report report;
+  using analytical::Method;
+  auto name = [](Method m) { return std::string(method_name(m)); };
+
+  const auto& wall = analytical::table_one_row("Wall clock time");
+  report.add_shape("Wall clock / LCLS", "reported", name(wall.lcls));
+  report.add_shape("Wall clock / BGW", "Measured", name(wall.bgw));
+  const auto& flops = analytical::table_one_row("Node FLOPs");
+  report.add_shape("Node FLOPs / BGW", "reported", name(flops.bgw));
+  report.add_shape("Node FLOPs / LCLS", "NA", name(flops.lcls));
+  const auto& bytes = analytical::table_one_row("CPU/GPU Bytes");
+  report.add_shape("CPU/GPU Bytes / LCLS", "Analytical model",
+                   name(bytes.lcls));
+  report.add_shape("CPU/GPU Bytes / CosmoFlow", "Measured",
+                   name(bytes.cosmoflow));
+  const auto& pcie = analytical::table_one_row("Node PCIe Bytes");
+  report.add_shape("PCIe Bytes / CosmoFlow", "Analytical model",
+                   name(pcie.cosmoflow));
+  const auto& net = analytical::table_one_row("System Network Bytes");
+  report.add_shape("Network Bytes / BGW", "reported", name(net.bgw));
+  const auto& fs = analytical::table_one_row("File System Bytes");
+  report.add_shape("FS Bytes / GPTune", "Measured", name(fs.gptune));
+  report.print();
+
+  std::printf("%s", analytical::render_table_one().c_str());
+  return report.all_ok() ? 0 : 1;
+}

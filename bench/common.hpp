@@ -1,0 +1,84 @@
+#pragma once
+// Shared reporting helpers for the figure-reproduction benchmark binaries.
+// Every binary prints a "paper vs reproduced" table for its figure and
+// writes the corresponding SVG(s) under ./figures/.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace wfr::bench {
+
+/// Prints the figure banner.
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("=== %s: %s ===\n", id.c_str(), title.c_str());
+}
+
+/// Collects paper-vs-reproduced rows and renders them with a deviation
+/// column.  "Shape" rows (qualitative outcomes) take strings instead.
+class Report {
+ public:
+  Report() : table_({"series", "paper", "reproduced", "deviation", ""}) {
+    table_.set_align(1, util::Align::kRight);
+    table_.set_align(2, util::Align::kRight);
+    table_.set_align(3, util::Align::kRight);
+  }
+
+  /// Numeric comparison; `tolerance` is the relative deviation that still
+  /// counts as reproducing the paper's value.
+  void add(const std::string& label, double paper, double reproduced,
+           const std::string& unit, double tolerance = 0.10) {
+    const double dev =
+        paper != 0.0 ? (reproduced - paper) / paper : reproduced;
+    const bool ok = std::fabs(dev) <= tolerance;
+    all_ok_ = all_ok_ && ok;
+    table_.add_row({label, util::format("%.4g %s", paper, unit.c_str()),
+                    util::format("%.4g %s", reproduced, unit.c_str()),
+                    util::format("%+.1f%%", 100.0 * dev),
+                    ok ? "ok" : "DEVIATES"});
+  }
+
+  /// Qualitative comparison (e.g. "binding ceiling" = "external").
+  void add_shape(const std::string& label, const std::string& paper,
+                 const std::string& reproduced) {
+    const bool ok = paper == reproduced;
+    all_ok_ = all_ok_ && ok;
+    table_.add_row({label, paper, reproduced, "", ok ? "ok" : "DEVIATES"});
+  }
+
+  /// Informational row, no check.
+  void note(const std::string& label, const std::string& value) {
+    table_.add_row({label, "", value, "", ""});
+  }
+
+  bool all_ok() const { return all_ok_; }
+
+  /// Prints the table plus a verdict line.
+  void print() const {
+    std::printf("%s", table_.str().c_str());
+    std::printf("shape %s\n\n",
+                all_ok_ ? "HOLDS" : "DEVIATES (see rows above)");
+  }
+
+ private:
+  util::TextTable table_;
+  bool all_ok_ = true;
+};
+
+/// Ensures ./figures exists and returns the path for `name`.
+inline std::string figure_path(const std::string& name) {
+  std::filesystem::create_directories("figures");
+  return (std::filesystem::path("figures") / name).string();
+}
+
+/// Announces a written figure.
+inline void wrote(const std::string& path) {
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace wfr::bench

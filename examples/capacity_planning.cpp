@@ -1,0 +1,62 @@
+// Capacity planning with the Fig. 2c what-if: trade intra-task parallelism
+// against task parallelism for a BGW-like workload.  Doubling nodes per
+// task halves the parallelism wall and (under perfect scaling) doubles the
+// node ceiling — making makespan targets easier and throughput targets
+// harder.  Imperfect scaling erodes the makespan win.
+
+#include <iostream>
+
+#include "analytical/bgw_model.hpp"
+#include "core/advisor.hpp"
+#include "core/model.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace wfr;
+
+int main() {
+  const core::SystemSpec system = core::SystemSpec::perlmutter_gpu();
+  // Start from BGW at 64 nodes/task, planning a campaign of 56 runs.
+  core::WorkflowCharacterization base =
+      analytical::bgw_characterization(analytical::BgwParams{}, 64);
+  base.total_tasks = 56;
+  base.parallel_tasks = 28;  // fill the machine with 64-node tasks
+  base.makespan_seconds = -1.0;
+
+  std::cout << "Intra-task parallelism sweep for a 56-run BGW campaign on "
+            << system.name << "\n\n";
+
+  for (double efficiency : {1.0, 0.8}) {
+    std::cout << util::format("strong-scaling efficiency %.0f%%:\n",
+                              100.0 * efficiency);
+    util::TextTable table({"nodes/task", "wall", "node ceiling (1 task)",
+                           "best throughput", "campaign makespan"});
+    table.set_align(1, util::Align::kRight);
+    for (double factor : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+      const core::WorkflowCharacterization scaled =
+          core::scale_intra_task_parallelism(base, factor, efficiency);
+      const core::RooflineModel model = core::build_model(system, scaled);
+      const int wall = model.parallelism_wall();
+      const double slot_seconds =
+          model.binding_ceiling(1.0).seconds_per_task;
+      const double best_tps = model.attainable_tps(wall);
+      // Campaign makespan at the ceiling: waves of `wall` slots, each
+      // processing tasks_per_slot tasks.
+      const double campaign_makespan =
+          static_cast<double>(scaled.total_tasks) / best_tps;
+      table.add_row({util::format("%d", scaled.nodes_per_task),
+                     util::format("%d", wall),
+                     util::format_seconds(slot_seconds),
+                     util::format("%.3g tasks/s", best_tps),
+                     util::format_seconds(campaign_makespan)});
+    }
+    std::cout << table.str() << "\n";
+  }
+
+  std::cout
+      << "Reading: more nodes per task -> shorter per-result latency but a\n"
+         "lower wall; with imperfect scaling the latency win shrinks while\n"
+         "the throughput loss stays - the paper's Fig. 2c caveat.\n";
+  return 0;
+}

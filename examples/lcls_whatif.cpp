@@ -1,0 +1,65 @@
+// LCLS what-if: sweep the external (detector -> HPC) bandwidth and find
+// where the 2020 ten-minute target becomes attainable — the quantitative
+// version of the paper's QOS recommendation ("going for a faster computing
+// unit is a bad idea; work on network and storage QOS instead").
+//
+// Also demonstrates the inverse experiment: making the compute 10x faster
+// changes nothing while the workflow rides the external ceiling.
+
+#include <iostream>
+
+#include "core/advisor.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workflows/lcls.hpp"
+
+using namespace wfr;
+
+int main() {
+  const analytical::LclsParams params;
+
+  std::cout << "LCLS on Cori-HSW: external-bandwidth sweep (target: 6 tasks "
+               "in 10 min)\n\n";
+  util::TextTable table({"external bw", "makespan", "throughput",
+                         "attainable at wall", "meets target?"});
+  table.set_align(1, util::Align::kRight);
+  table.set_align(2, util::Align::kRight);
+  table.set_align(3, util::Align::kRight);
+
+  for (double gbs : {0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 25.0}) {
+    workflows::LclsScenario scenario = workflows::lcls_cori_good_day();
+    scenario.label = util::format_rate(gbs * util::kGBs);
+    scenario.system.external_gbs = gbs * util::kGBs;
+    const workflows::LclsStudyResult r = workflows::run_lcls(scenario, params);
+    const double attainable =
+        r.model.attainable_tps(r.model.parallelism_wall());
+    const bool meets = attainable >= r.model.target_throughput_tps() &&
+                       r.model.zone_of(r.model.dots()[0]) ==
+                           core::Zone::kGoodMakespanGoodThroughput;
+    table.add_row({scenario.label,
+                   util::format_seconds(r.trace.makespan_seconds()),
+                   util::format("%.2e tasks/s", r.model.dots()[0].tps),
+                   util::format("%.2e tasks/s", attainable),
+                   meets ? "yes" : "no"});
+  }
+  std::cout << table.str() << "\n";
+
+  // The counter-experiment: 10x the compute at the observed bandwidth.
+  std::cout << "Counter-experiment: 10x faster compute on a good day\n";
+  workflows::LclsScenario fast = workflows::lcls_cori_good_day();
+  fast.label = "good day, 10x compute";
+  fast.system.node.peak_flops *= 10.0;
+  const workflows::LclsStudyResult base =
+      workflows::run_lcls(workflows::lcls_cori_good_day(), params);
+  const workflows::LclsStudyResult boosted = workflows::run_lcls(fast, params);
+  std::cout << util::format(
+      "  baseline makespan:      %s\n  10x-compute makespan:  %s\n",
+      util::format_seconds(base.trace.makespan_seconds()).c_str(),
+      util::format_seconds(boosted.trace.makespan_seconds()).c_str());
+  std::cout << "  -> the external ceiling still binds; compute speed is "
+               "irrelevant here.\n\n";
+
+  std::cout << core::advise(base.model).to_string();
+  return 0;
+}

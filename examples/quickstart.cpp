@@ -1,0 +1,75 @@
+// Quickstart: describe a system and a workflow, execute the workflow on
+// the discrete-event simulator, and read the Workflow Roofline verdict.
+//
+// The workflow is a small fork-join data-analysis pipeline: four parallel
+// analysis tasks ingest detector data from outside the machine, then a
+// reducer merges their outputs.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/advisor.hpp"
+#include "core/characterization.hpp"
+#include "core/model.hpp"
+#include "core/system_spec.hpp"
+#include "dag/graph.hpp"
+#include "plot/ascii.hpp"
+#include "plot/roofline_plot.hpp"
+#include "sim/runner.hpp"
+#include "trace/summary.hpp"
+#include "util/units.hpp"
+
+using namespace wfr;
+
+int main() {
+  // 1. The system: 512 nodes, modest GPU nodes, a shared filesystem, and
+  //    a 10 GB/s external ingest link.
+  core::SystemSpec system;
+  system.name = "demo-cluster";
+  system.total_nodes = 512;
+  system.node.peak_flops = 20.0 * util::kTFLOPS;
+  system.node.dram_gbs = 200.0 * util::kGBs;
+  system.node.nic_gbs = 25.0 * util::kGBs;
+  system.fs_gbs = 1.0 * util::kTBs;
+  system.external_gbs = 10.0 * util::kGBs;
+
+  // 2. The workflow: 4 parallel 16-node analysis tasks + a merge.
+  dag::TaskSpec analysis;
+  analysis.name = "analysis";
+  analysis.kind = "analysis";
+  analysis.nodes = 16;
+  analysis.demand.external_in_bytes = 500 * util::kGB;
+  analysis.demand.flops_per_node = 100.0 * util::kTFLOP;
+  analysis.demand.dram_bytes_per_node = 40 * util::kGB;
+  analysis.demand.fs_write_bytes = 2 * util::kGB;
+
+  dag::TaskSpec merge;
+  merge.name = "merge";
+  merge.kind = "reduce";
+  merge.nodes = 1;
+  merge.demand.fs_read_bytes = 8 * util::kGB;
+  merge.demand.flops_per_node = 5.0 * util::kTFLOP;
+
+  dag::WorkflowGraph workflow =
+      dag::make_fork_join("demo-analysis", analysis, 4, merge);
+
+  // 3. Execute on the simulator (shared channels contend fairly).
+  const trace::WorkflowTrace trace =
+      sim::run_workflow(workflow, system.to_machine());
+  std::cout << trace::describe_trace(trace) << "\n";
+
+  // 4. Characterize and build the Workflow Roofline.
+  core::WorkflowCharacterization c =
+      core::characterize_trace(workflow, trace);
+  c.target_makespan_seconds = 4.0 * util::kMinute;
+  core::RooflineModel model = core::build_model(system, c);
+
+  std::cout << model.report() << "\n";
+  std::cout << core::advise(model).to_string() << "\n";
+  std::cout << plot::ascii_roofline(model) << "\n";
+
+  plot::write_roofline_svg(model, "quickstart_roofline.svg");
+  std::cout << "wrote quickstart_roofline.svg\n";
+  return 0;
+}

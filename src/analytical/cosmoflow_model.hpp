@@ -1,0 +1,62 @@
+#pragma once
+// CosmoFlow throughput-benchmark characterization (paper Section IV-C-3
+// and the artifact appendix).  Multiple training instances run
+// concurrently, 128 GPU nodes each; the unit of throughput is one epoch.
+//
+// The analytical PCIe/HBM models follow the paper exactly:
+//   * the 2 TB dataset decompresses to 10 TB and crosses PCIe once per
+//     epoch: 10 TB / 128 nodes = ~80 GB/node -> 0.8 s at 100 GB/s;
+//   * 2^19 samples x 6.4 GB of HBM traffic per sample per epoch:
+//     -> 4.2 s at 4 x 1555 GB/s x 128 nodes.
+
+#include "core/characterization.hpp"
+#include "dag/graph.hpp"
+
+namespace wfr::analytical {
+
+struct CosmoFlowParams {
+  double dataset_bytes = 2e12;           // compressed training set (per copy)
+  double decompressed_bytes = 10e12;     // after on-CPU decompression
+  double samples = 524288.0;             // 2^19
+  double hbm_bytes_per_sample = 6.4e9;   // per epoch
+  int nodes_per_instance = 128;
+  int epochs_per_instance = 25;          // campaign average
+  /// GPU nodes usable by the benchmark (1792 total minus 256 large-memory
+  /// nodes): yields the 12-instance parallelism wall.
+  int usable_nodes = 1536;
+
+  void validate() const;
+};
+
+/// Per-node PCIe volume per epoch (the paper's ~80 GB).
+double cosmoflow_pcie_bytes_per_node(const CosmoFlowParams& params);
+
+/// Per-node HBM volume per epoch.
+double cosmoflow_hbm_bytes_per_node(const CosmoFlowParams& params);
+
+/// Epoch time bounds on a machine with the given per-node rates: the
+/// PCIe-ceiling epoch time (0.8 s on PM-GPU) and HBM-ceiling epoch time
+/// (4.2 s).
+double cosmoflow_pcie_epoch_seconds(const CosmoFlowParams& params,
+                                    double pcie_gbs_per_node);
+double cosmoflow_hbm_epoch_seconds(const CosmoFlowParams& params,
+                                   double hbm_gbs_per_node);
+
+/// The instance-count wall: usable_nodes / nodes_per_instance (12).
+int cosmoflow_max_instances(const CosmoFlowParams& params);
+
+/// Builds a workflow of `instances` concurrent training instances.  Each
+/// instance is one task that loads the dataset from the shared filesystem
+/// and then runs epochs_per_instance epochs of HBM/PCIe-bound work.
+dag::WorkflowGraph cosmoflow_graph(const CosmoFlowParams& params,
+                                   int instances);
+
+/// Characterization for `instances` concurrent instances.  Tasks are
+/// epochs: total_tasks = instances x epochs; parallel_tasks = instances.
+/// fs_bytes_per_task uses the paper's per-instance normalization (the full
+/// 2 TB dataset), which places the filesystem ceiling where Fig. 8 draws
+/// it — co-binding with HBM near the 12-instance wall.
+core::WorkflowCharacterization cosmoflow_characterization(
+    const CosmoFlowParams& params, int instances);
+
+}  // namespace wfr::analytical

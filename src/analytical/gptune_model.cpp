@@ -1,0 +1,55 @@
+#include "analytical/gptune_model.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::analytical {
+
+void GptuneParams::validate() const {
+  util::require(samples >= 1, "GPTune needs >= 1 sample");
+  util::require(matrix_dim >= 16, "matrix_dim must be >= 16");
+  util::require(cpu_bytes_per_socket > 0.0, "CPU bytes must be > 0");
+  util::require(rci_fs_bytes >= 0.0 && spawn_fs_bytes >= 0.0,
+                "metadata volumes must be >= 0");
+}
+
+double gptune_metadata_bytes(const GptuneParams& params, bool rci_mode) {
+  params.validate();
+  // Sparse CSR storage: values (8 B) + column indices (4 B) per nonzero,
+  // with the testcase's ~13.3% fill, plus row pointers.  For dim 4960 this
+  // is ~39.4 MB, matching the appendix volumes.
+  const double n = static_cast<double>(params.matrix_dim);
+  const double nnz = 0.1334 * n * n;
+  const double matrix_bytes = nnz * 12.0 + (n + 1.0) * 8.0;
+  // RCI additionally round-trips per-sample logs and history files.
+  const double per_sample_log = rci_mode ? 139e3 : 14e3;
+  return matrix_bytes + per_sample_log * static_cast<double>(params.samples);
+}
+
+core::WorkflowCharacterization gptune_characterization(
+    const GptuneParams& params, const autotune::CampaignResult& campaign,
+    double irreducible_seconds) {
+  params.validate();
+  util::require(irreducible_seconds > 0.0,
+                "irreducible campaign time must be > 0");
+  util::require(!campaign.history.empty(), "campaign has no samples");
+
+  core::WorkflowCharacterization c;
+  c.name = util::format(
+      "gptune-%s", autotune::control_flow_name(campaign.mode));
+  c.total_tasks = static_cast<int>(campaign.history.samples.size());
+  c.parallel_tasks = 1;  // all application runs are serialized
+  c.nodes_per_task = 1;
+  c.dram_bytes_per_node = params.cpu_bytes_per_socket;
+  // The overhead diagonal is the irreducible per-slot time: srun launch,
+  // metadata I/O, and the tuned application itself.  The projected dot
+  // (python overhead removed) rides this ceiling.
+  c.overhead_seconds_per_task = irreducible_seconds;
+  c.fs_bytes_per_task =
+      campaign.fs_bytes / static_cast<double>(c.total_tasks);
+  c.makespan_seconds = campaign.total_seconds;
+  c.validate();
+  return c;
+}
+
+}  // namespace wfr::analytical

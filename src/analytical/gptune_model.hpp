@@ -1,0 +1,38 @@
+#pragma once
+// GPTune characterization (paper Section IV-C-4 and the artifact
+// appendix).  The campaign tunes SuperLU_DIST (4960 x 4960) for 40
+// serialized samples on one PM-CPU node; the system-wide bytes are the
+// input matrix plus metadata, and CPU bytes are the reported 3344 MB per
+// socket.
+
+#include "autotune/control_flow.hpp"
+#include "core/characterization.hpp"
+
+namespace wfr::analytical {
+
+struct GptuneParams {
+  int samples = 40;
+  int matrix_dim = 4960;
+  double cpu_bytes_per_socket = 3344e6;  // reported by GPTune/SuperLU_DIST
+  double rci_fs_bytes = 45e6;            // metadata via the filesystem
+  double spawn_fs_bytes = 40e6;
+
+  void validate() const;
+};
+
+/// Metadata volume estimate from the matrix dimension: the sparse input
+/// matrix (CSR, ~0.16% fill like the paper's testcase) plus per-sample
+/// logs.  Reproduces the appendix's 40-45 MB for dim 4960.
+double gptune_metadata_bytes(const GptuneParams& params, bool rci_mode);
+
+/// Characterization of one campaign run under the given control-flow
+/// mode.  `campaign` supplies the measured totals (from
+/// autotune::run_campaign); `irreducible_seconds` is the per-campaign time
+/// that remains after removing python overhead (srun + I/O + application)
+/// and becomes the control-flow "overhead" diagonal that the projected
+/// dot rides.
+core::WorkflowCharacterization gptune_characterization(
+    const GptuneParams& params, const autotune::CampaignResult& campaign,
+    double irreducible_seconds);
+
+}  // namespace wfr::analytical

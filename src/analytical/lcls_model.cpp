@@ -1,0 +1,60 @@
+#include "analytical/lcls_model.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::analytical {
+
+void LclsParams::validate() const {
+  util::require(analysis_tasks >= 1, "LCLS needs >= 1 analysis task");
+  util::require(external_bytes_per_task > 0.0,
+                "LCLS analysis loads external data");
+  util::require(processes_per_task >= 1, "LCLS needs >= 1 process per task");
+  util::require(target_makespan_2020_seconds > 0.0 &&
+                    target_makespan_2024_seconds > 0.0,
+                "LCLS targets must be positive");
+}
+
+int lcls_nodes_per_task(const LclsParams& params, int cores_per_node) {
+  params.validate();
+  util::require(cores_per_node >= 1, "cores_per_node must be >= 1");
+  return (params.processes_per_task + cores_per_node - 1) / cores_per_node;
+}
+
+dag::WorkflowGraph lcls_graph(const LclsParams& params, int nodes_per_task) {
+  params.validate();
+  util::require(nodes_per_task >= 1, "nodes_per_task must be >= 1");
+
+  dag::TaskSpec analysis;
+  analysis.name = "analysis";
+  analysis.kind = "analysis";
+  analysis.nodes = nodes_per_task;
+  analysis.demand.external_in_bytes = params.external_bytes_per_task;
+  analysis.demand.dram_bytes_per_node = params.cpu_bytes_per_node;
+  analysis.demand.flops_per_node = params.analysis_flops_per_node;
+  analysis.demand.fs_write_bytes = params.output_bytes_per_task;
+
+  dag::TaskSpec merge;
+  merge.name = "merge";
+  merge.kind = "merge";
+  merge.nodes = 1;
+  merge.demand.fs_read_bytes =
+      params.output_bytes_per_task * params.analysis_tasks;
+  merge.demand.flops_per_node = params.merge_flops_per_node;
+  merge.demand.fs_write_bytes = params.output_bytes_per_task;
+
+  return dag::make_fork_join("lcls", analysis, params.analysis_tasks, merge);
+}
+
+core::WorkflowCharacterization lcls_characterization(const LclsParams& params,
+                                                     int nodes_per_task,
+                                                     bool target_2024) {
+  const dag::WorkflowGraph graph = lcls_graph(params, nodes_per_task);
+  core::WorkflowCharacterization c = core::characterize_graph(graph);
+  c.target_makespan_seconds = target_2024
+                                  ? params.target_makespan_2024_seconds
+                                  : params.target_makespan_2020_seconds;
+  return c;
+}
+
+}  // namespace wfr::analytical

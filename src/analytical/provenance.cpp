@@ -1,0 +1,49 @@
+#include "analytical/provenance.hpp"
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace wfr::analytical {
+
+const char* method_name(Method method) {
+  switch (method) {
+    case Method::kMeasured: return "Measured";
+    case Method::kReported: return "reported";
+    case Method::kAnalytical: return "Analytical model";
+    case Method::kNA: return "NA";
+  }
+  return "?";
+}
+
+std::vector<ProvenanceRow> table_one() {
+  using M = Method;
+  return {
+      {"Wall clock time", M::kReported, M::kMeasured, M::kMeasured,
+       M::kMeasured},
+      {"Node FLOPs", M::kNA, M::kReported, M::kNA, M::kNA},
+      {"CPU/GPU Bytes", M::kAnalytical, M::kReported, M::kMeasured,
+       M::kMeasured},
+      {"Node PCIe Bytes", M::kNA, M::kNA, M::kAnalytical, M::kNA},
+      {"System Network Bytes", M::kNA, M::kReported, M::kNA, M::kNA},
+      {"File System Bytes", M::kAnalytical, M::kReported, M::kAnalytical,
+       M::kMeasured},
+  };
+}
+
+const ProvenanceRow& table_one_row(const std::string& metric) {
+  static const std::vector<ProvenanceRow> rows = table_one();
+  for (const ProvenanceRow& r : rows)
+    if (r.metric == metric) return r;
+  throw util::NotFound("no Table I row for metric '" + metric + "'");
+}
+
+std::string render_table_one() {
+  util::TextTable t({"", "LCLS", "BerkeleyGW", "CosmoFlow", "GPTune"});
+  for (const ProvenanceRow& r : table_one()) {
+    t.add_row({r.metric, method_name(r.lcls), method_name(r.bgw),
+               method_name(r.cosmoflow), method_name(r.gptune)});
+  }
+  return t.str();
+}
+
+}  // namespace wfr::analytical

@@ -1,0 +1,34 @@
+#pragma once
+// The paper's Table I: how each node- and system-performance metric was
+// obtained for each case-study workflow (measured, reported from prior
+// work, an analytical model, or not applicable).
+
+#include <string>
+#include <vector>
+
+namespace wfr::analytical {
+
+/// Provenance of one characterization metric.
+enum class Method { kMeasured, kReported, kAnalytical, kNA };
+
+const char* method_name(Method method);
+
+/// One row of Table I: a metric and its provenance per workflow.
+struct ProvenanceRow {
+  std::string metric;
+  Method lcls = Method::kNA;
+  Method bgw = Method::kNA;
+  Method cosmoflow = Method::kNA;
+  Method gptune = Method::kNA;
+};
+
+/// The six rows of the paper's Table I, in order.
+std::vector<ProvenanceRow> table_one();
+
+/// Looks up a row by metric name; throws NotFound when absent.
+const ProvenanceRow& table_one_row(const std::string& metric);
+
+/// Renders Table I as aligned text.
+std::string render_table_one();
+
+}  // namespace wfr::analytical

@@ -1,0 +1,51 @@
+#include "autotune/acquisition.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wfr::autotune {
+
+namespace {
+double standard_normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+
+double standard_normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+}  // namespace
+
+double expected_improvement(double mean, double variance, double best) {
+  util::require(variance >= 0.0, "EI needs variance >= 0");
+  const double improvement = best - mean;
+  if (variance <= 1e-18) return std::max(improvement, 0.0);
+  const double sigma = std::sqrt(variance);
+  const double z = improvement / sigma;
+  return improvement * standard_normal_cdf(z) + sigma * standard_normal_pdf(z);
+}
+
+std::vector<double> propose_next(const GaussianProcess& gp, std::size_t dim,
+                                 double best_observed, math::Rng& rng,
+                                 int candidate_count) {
+  util::require(gp.is_fitted(), "propose_next needs a fitted GP");
+  util::require(dim >= 1, "propose_next needs dim >= 1");
+  util::require(candidate_count >= 1, "propose_next needs candidates");
+
+  std::vector<double> best_candidate(dim, 0.5);
+  double best_ei = -1.0;
+  std::vector<double> candidate(dim);
+  for (int i = 0; i < candidate_count; ++i) {
+    for (double& c : candidate) c = rng.uniform();
+    const GpPrediction pred = gp.predict(candidate);
+    const double ei = expected_improvement(pred.mean, pred.variance,
+                                           best_observed);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_candidate = candidate;
+    }
+  }
+  return best_candidate;
+}
+
+}  // namespace wfr::autotune

@@ -1,0 +1,25 @@
+#pragma once
+// Acquisition for Bayesian optimization: expected improvement (EI) over a
+// GP posterior, with random-candidate maximization.  Minimization
+// convention throughout (we tune runtimes).
+
+#include <span>
+#include <vector>
+
+#include "autotune/gp.hpp"
+#include "math/rng.hpp"
+
+namespace wfr::autotune {
+
+/// Expected improvement of sampling a point with posterior (mean, variance)
+/// when the best observed value so far is `best` (minimization: improvement
+/// is best - y).  Zero variance yields max(best - mean, 0).
+double expected_improvement(double mean, double variance, double best);
+
+/// Proposes the next point to evaluate: draws `candidate_count` uniform
+/// points in [0,1]^dim and returns the EI-argmax.  Requires a fitted GP.
+std::vector<double> propose_next(const GaussianProcess& gp, std::size_t dim,
+                                 double best_observed, math::Rng& rng,
+                                 int candidate_count = 256);
+
+}  // namespace wfr::autotune

@@ -1,0 +1,53 @@
+#pragma once
+// The Bayesian-optimization loop of the mini-GPTune: random warm-up
+// samples, then GP + expected-improvement proposals, all serialized (the
+// paper: "the application runs are serialized in GPTune due to the data
+// dependencies").
+
+#include <functional>
+#include <vector>
+
+#include "autotune/gp.hpp"
+#include "math/rng.hpp"
+
+namespace wfr::autotune {
+
+/// One evaluated sample.
+struct Sample {
+  std::vector<double> params;  // normalized, in [0,1]^dim
+  double value = 0.0;          // measured runtime (seconds)
+};
+
+/// The full tuning history.
+struct History {
+  std::vector<Sample> samples;
+
+  bool empty() const { return samples.empty(); }
+  /// Best (minimum) value observed so far; throws when empty.
+  const Sample& best() const;
+  /// best-so-far trajectory (one entry per sample).
+  std::vector<double> best_trajectory() const;
+};
+
+struct TunerConfig {
+  int total_samples = 40;  // the paper's GPTune campaign tunes 40 samples
+  int warmup_samples = 8;  // random before the GP takes over
+  int ei_candidates = 256;
+  std::uint64_t seed = 0;
+  GpParams gp;
+  /// When true, the GP length scale is re-selected each refit from a
+  /// small grid by marginal likelihood (type-II ML).  Off by default to
+  /// keep the paper-calibrated campaigns byte-stable.
+  bool adapt_length_scale = false;
+
+  void validate() const;
+};
+
+/// A black-box objective: normalized params -> runtime seconds.
+using Objective = std::function<double(std::span<const double>)>;
+
+/// Runs the BO loop and returns the history (size total_samples).
+History tune(const Objective& objective, std::size_t dim,
+             const TunerConfig& config);
+
+}  // namespace wfr::autotune

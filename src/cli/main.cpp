@@ -1,0 +1,282 @@
+// wfr — the Workflow Roofline command-line tool.
+//
+// Subcommands:
+//   wfr analyze  --system <spec.json|preset> --workflow <wf.json>
+//                [--target <seconds>] [--svg <out.svg>] [--ascii]
+//                [--node-roofline <out.svg>]
+//       Characterize a workflow description, run it through the
+//       simulator, print the model report and optimization advice, and
+//       optionally render the roofline.  --node-roofline drills down into
+//       the traditional node Roofline when the workflow is node-bound.
+//   wfr model    --system <spec.json|preset> --characterization <c.json>
+//                [--svg <out.svg>] [--ascii]
+//       Build a roofline directly from a characterization file (no
+//       execution) — the "analyze without traces" path.
+//   wfr simulate --system <spec.json|preset> --workflow <wf.json>
+//                [--gantt <out.svg>] [--json <trace.json>]
+//       Execute the workflow on the simulator and print the trace.
+//   wfr compare  --system <spec.json|preset> --before <c.json>
+//                --after <c.json>
+//       Compare two characterizations of the same workflow (before/after
+//       an optimization): speedup, dot direction, bound shift, headroom.
+//   wfr archetype --kind <ensemble|pipeline|fork-join|map-reduce|
+//                         sim-insitu|random> [--size <n>] [--scale <x>]
+//                 [--nodes <n>] [--seed <n>]
+//       Generate a workflow description for a NERSC-10-style archetype
+//       and print it as JSON (pipe to a file to feed analyze/simulate).
+//   wfr presets
+//       List the built-in system presets.
+//
+// System presets: perlmutter-gpu, perlmutter-cpu, cori-haswell.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "archetypes/generators.hpp"
+#include "core/advisor.hpp"
+#include "core/characterization.hpp"
+#include "core/compare.hpp"
+#include "core/model.hpp"
+#include "core/pipeline.hpp"
+#include "core/system_spec.hpp"
+#include "dag/wdl.hpp"
+#include "plot/ascii.hpp"
+#include "plot/gantt_plot.hpp"
+#include "plot/roofline_plot.hpp"
+#include "roofline/drilldown.hpp"
+#include "sim/runner.hpp"
+#include "trace/summary.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace wfr;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::Error("cannot read '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+core::SystemSpec load_system(const std::string& arg) {
+  if (arg == "perlmutter-gpu") return core::SystemSpec::perlmutter_gpu();
+  if (arg == "perlmutter-cpu") return core::SystemSpec::perlmutter_cpu();
+  if (arg == "cori-haswell") return core::SystemSpec::cori_haswell();
+  return core::SystemSpec::from_json(util::Json::parse(read_file(arg)));
+}
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name) > 0; }
+  std::string get(const std::string& name) const {
+    auto it = options.find(name);
+    if (it == options.end())
+      throw util::InvalidArgument("missing required option --" + name);
+    return it->second;
+  }
+  std::optional<std::string> get_optional(const std::string& name) const {
+    auto it = options.find(name);
+    if (it == options.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 2) return args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (!util::starts_with(token, "--"))
+      throw util::InvalidArgument("unexpected argument '" + token + "'");
+    token = token.substr(2);
+    if (i + 1 < argc && !util::starts_with(argv[i + 1], "--")) {
+      args.options[token] = argv[++i];
+    } else {
+      args.options[token] = "";
+    }
+  }
+  return args;
+}
+
+void print_usage() {
+  std::cout <<
+      "wfr — Workflow Roofline analysis\n"
+      "\n"
+      "usage:\n"
+      "  wfr analyze  --system <spec|preset> --workflow <wf.json>\n"
+      "               [--target <seconds>] [--svg <out.svg>] [--ascii]\n"
+      "  wfr model    --system <spec|preset> --characterization <c.json>\n"
+      "               [--svg <out.svg>] [--ascii]\n"
+      "  wfr simulate --system <spec|preset> --workflow <wf.json>\n"
+      "               [--gantt <out.svg>] [--json <trace.json>]\n"
+      "  wfr compare  --system <spec|preset> --before <c.json>\n"
+      "               --after <c.json>\n"
+      "  wfr archetype --kind <ensemble|pipeline|fork-join|map-reduce|\n"
+      "                       sim-insitu|random> [--size <n>] [--scale <x>]\n"
+      "                [--nodes <n>] [--seed <n>]\n"
+      "  wfr presets\n"
+      "\n"
+      "presets: perlmutter-gpu, perlmutter-cpu, cori-haswell\n";
+}
+
+void emit_model_outputs(const core::RooflineModel& model, const Args& args) {
+  std::cout << model.report();
+  if (!model.dots().empty()) std::cout << "\n" << core::advise(model).to_string();
+  if (args.flag("ascii")) std::cout << "\n" << plot::ascii_roofline(model);
+  if (auto svg = args.get_optional("svg")) {
+    plot::write_roofline_svg(model, *svg);
+    std::cout << "wrote " << *svg << "\n";
+  }
+}
+
+int cmd_analyze(const Args& args) {
+  const core::SystemSpec system = load_system(args.get("system"));
+  const dag::WorkflowGraph graph =
+      dag::load_workflow(read_file(args.get("workflow")));
+
+  const trace::WorkflowTrace trace =
+      sim::run_workflow(graph, system.to_machine());
+  core::WorkflowCharacterization c = core::characterize_trace(graph, trace);
+  if (auto target = args.get_optional("target"))
+    c.target_makespan_seconds = util::parse_seconds(*target);
+
+  core::RooflineModel model = core::build_model(system, c);
+  std::cout << trace::describe_trace(trace) << "\n";
+  std::cout << core::pipeline_report(graph, trace).to_string() << "\n";
+  emit_model_outputs(model, args);
+
+  if (auto node_svg = args.get_optional("node-roofline")) {
+    const roofline::DrillDown drill =
+        roofline::drill_down(model, graph, trace);
+    std::cout << "\n" << drill.reason << "\n";
+    if (drill.applicable) {
+      std::cout << drill.node_roofline.report();
+      drill.node_roofline.write_svg(*node_svg);
+      std::cout << "wrote " << *node_svg << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_model(const Args& args) {
+  const core::SystemSpec system = load_system(args.get("system"));
+  const core::WorkflowCharacterization c =
+      core::WorkflowCharacterization::from_json(
+          util::Json::parse(read_file(args.get("characterization"))));
+  core::RooflineModel model = core::build_model(system, c);
+  emit_model_outputs(model, args);
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const core::SystemSpec system = load_system(args.get("system"));
+  const dag::WorkflowGraph graph =
+      dag::load_workflow(read_file(args.get("workflow")));
+  const trace::WorkflowTrace trace =
+      sim::run_workflow(graph, system.to_machine());
+  std::cout << trace::describe_trace(trace);
+  std::cout << "\n" << plot::ascii_gantt(trace);
+  if (auto gantt = args.get_optional("gantt")) {
+    plot::write_gantt_svg(trace, *gantt);
+    std::cout << "wrote " << *gantt << "\n";
+  }
+  if (auto json = args.get_optional("json")) {
+    std::ofstream out(*json, std::ios::binary);
+    if (!out) throw util::Error("cannot write '" + *json + "'");
+    out << trace.to_json().pretty() << "\n";
+    std::cout << "wrote " << *json << "\n";
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  const core::SystemSpec system = load_system(args.get("system"));
+  auto load = [&](const std::string& option) {
+    return core::build_model(
+        system, core::WorkflowCharacterization::from_json(
+                    util::Json::parse(read_file(args.get(option)))));
+  };
+  const core::RooflineModel before = load("before");
+  const core::RooflineModel after = load("after");
+  std::cout << core::compare_models(before, after).to_string();
+  return 0;
+}
+
+int cmd_archetype(const Args& args) {
+  const std::string kind = args.get("kind");
+  const int size = static_cast<int>(
+      args.get_optional("size") ? std::stol(*args.get_optional("size")) : 8);
+  archetypes::ArchetypeParams params;
+  if (auto scale = args.get_optional("scale"))
+    params.scale = std::stod(*scale);
+  if (auto nodes = args.get_optional("nodes"))
+    params.nodes_per_task = static_cast<int>(std::stol(*nodes));
+
+  dag::WorkflowGraph graph;
+  if (kind == "ensemble") {
+    graph = archetypes::ensemble(size, params);
+  } else if (kind == "pipeline") {
+    graph = archetypes::pipeline(size, params);
+  } else if (kind == "fork-join") {
+    graph = archetypes::fork_join(size, params);
+  } else if (kind == "map-reduce") {
+    graph = archetypes::map_reduce(size, /*iterations=*/3, params);
+  } else if (kind == "sim-insitu") {
+    graph = archetypes::simulation_insitu(size, params);
+  } else if (kind == "random") {
+    archetypes::RandomDagParams rnd;
+    rnd.tasks = size;
+    rnd.base = params;
+    if (auto seed = args.get_optional("seed"))
+      rnd.seed = static_cast<std::uint64_t>(std::stoull(*seed));
+    graph = archetypes::random_dag(rnd);
+  } else {
+    throw util::InvalidArgument("unknown archetype kind '" + kind + "'");
+  }
+  std::cout << dag::save_workflow_text(graph) << "\n";
+  return 0;
+}
+
+int cmd_presets() {
+  for (const core::SystemSpec& s :
+       {core::SystemSpec::perlmutter_gpu(), core::SystemSpec::perlmutter_cpu(),
+        core::SystemSpec::cori_haswell()}) {
+    std::cout << util::format(
+        "%-16s %5d nodes  %s/node  fs %s  external %s\n", s.name.c_str(),
+        s.total_nodes, util::format_flops_rate(s.node.peak_flops).c_str(),
+        util::format_rate(s.fs_gbs).c_str(),
+        util::format_rate(s.external_gbs).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "analyze") return cmd_analyze(args);
+    if (args.command == "model") return cmd_model(args);
+    if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "compare") return cmd_compare(args);
+    if (args.command == "archetype") return cmd_archetype(args);
+    if (args.command == "presets") return cmd_presets();
+    print_usage();
+    return args.command.empty() ? 1 : (args.command == "help" ? 0 : 1);
+  } catch (const std::exception& e) {
+    std::cerr << "wfr: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,57 @@
+#pragma once
+// Optimization guidance (paper Section III-C): interprets a workflow dot
+// against its model and produces the optimization directions the paper
+// derives by eye — plus the Fig. 2c intra-task-parallelism what-if
+// transform with its feasibility caveats.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace wfr::core {
+
+/// Structured optimization advice for one dot.
+struct Advice {
+  BoundClass bound = BoundClass::kNodeBound;
+  std::optional<Zone> zone;  // present when the model has targets
+  /// Fraction of attainable throughput achieved, in (0, 1].
+  double efficiency = 0.0;
+  /// Headroom factor to the binding ceiling (1/efficiency).
+  double headroom = 0.0;
+  /// Possible throughput gain from raising parallelism to the wall.
+  double parallelism_headroom = 0.0;
+  /// One-line summary.
+  std::string headline;
+  /// Concrete directions, most promising first.
+  std::vector<std::string> suggestions;
+
+  std::string to_string() const;
+};
+
+/// Analyzes `dot` against `model`.
+Advice advise(const RooflineModel& model, const Dot& dot);
+
+/// Analyzes the model's first measured dot; throws when there is none.
+Advice advise(const RooflineModel& model);
+
+/// The Fig. 2c what-if: multiply each task's intra-task parallelism
+/// (nodes per task) by `factor`, assuming strong-scaling efficiency
+/// `scaling_efficiency` in (0, 1].  Effects:
+///   * nodes_per_task scales by factor (must stay >= 1 integer);
+///   * per-node volumes scale by 1 / (factor * efficiency) — node
+///     ceilings rise when factor > 1;
+///   * parallel_tasks scales by 1/factor (floored, min 1) — the wall
+///     moves left — and total_tasks rescales to keep the tasks-per-slot
+///     ratio (each slot still traverses the same task chain);
+///   * any measured makespan is discarded (this is a projection).
+///
+/// Under perfect scaling the attainable throughput at the wall is
+/// invariant while the per-result latency shrinks by `factor`; with
+/// efficiency < 1 the latency win erodes — the paper's Fig. 2c caveat.
+WorkflowCharacterization scale_intra_task_parallelism(
+    const WorkflowCharacterization& workflow, double factor,
+    double scaling_efficiency = 1.0);
+
+}  // namespace wfr::core

@@ -1,0 +1,84 @@
+#include "core/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::core {
+
+std::string Comparison::to_string() const {
+  std::string out = util::format(
+      "compare '%s' -> '%s': %.2fx throughput (%.2fx makespan), dot moved "
+      "%s\n",
+      before_label.c_str(), after_label.c_str(), throughput_speedup,
+      makespan_speedup, direction.c_str());
+  out += util::format(
+      "  bound: %s -> %s%s\n", bound_class_name(before_bound),
+      bound_class_name(after_bound),
+      bound_changed ? " (bottleneck shifted)" : "");
+  out += util::format(
+      "  efficiency: %.0f%% -> %.0f%% of attainable (%.0f%% of the "
+      "headroom claimed)\n",
+      100.0 * before_efficiency, 100.0 * after_efficiency,
+      100.0 * headroom_claimed);
+  if (before_zone && after_zone) {
+    out += util::format("  zone: %s -> %s\n", zone_name(*before_zone),
+                        zone_name(*after_zone));
+  }
+  return out;
+}
+
+Comparison compare_models(const RooflineModel& before,
+                          const RooflineModel& after) {
+  util::require(!before.dots().empty() && !after.dots().empty(),
+                "compare_models needs a dot in each model");
+  const Dot& a = before.dots().front();
+  const Dot& b = after.dots().front();
+
+  Comparison c;
+  c.before_label = before.workflow().name;
+  c.after_label = after.workflow().name;
+
+  c.throughput_speedup = b.tps / a.tps;
+  // Makespan = total tasks / tps for each workflow's own task count.
+  const double makespan_a =
+      static_cast<double>(before.workflow().total_tasks) / a.tps;
+  const double makespan_b =
+      static_cast<double>(after.workflow().total_tasks) / b.tps;
+  c.makespan_speedup = makespan_a / makespan_b;
+  c.parallelism_delta = b.parallel_tasks - a.parallel_tasks;
+
+  c.before_bound = before.classify(a);
+  c.after_bound = after.classify(b);
+  c.bound_changed = c.before_bound != c.after_bound;
+
+  c.before_efficiency = before.efficiency(a);
+  c.after_efficiency = after.efficiency(b);
+  const double headroom_before = 1.0 - c.before_efficiency;
+  c.headroom_claimed =
+      headroom_before > 1e-12
+          ? std::clamp((c.after_efficiency - c.before_efficiency) /
+                           headroom_before,
+                       0.0, 1.0)
+          : 0.0;
+
+  if (before.has_targets()) c.before_zone = before.zone_of(a);
+  if (after.has_targets()) c.after_zone = after.zone_of(b);
+
+  const bool up = b.tps > a.tps * (1.0 + 1e-9);
+  const bool down = b.tps < a.tps * (1.0 - 1e-9);
+  const bool right = b.parallel_tasks > a.parallel_tasks + 1e-9;
+  const bool left = b.parallel_tasks < a.parallel_tasks - 1e-9;
+  if (up) {
+    c.direction = right ? "up-right" : (left ? "up-left" : "up");
+  } else if (down) {
+    c.direction = right ? "down-right" : (left ? "down-left" : "down");
+  } else {
+    c.direction = right ? "right" : (left ? "left" : "none");
+  }
+  return c;
+}
+
+}  // namespace wfr::core

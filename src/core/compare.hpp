@@ -1,0 +1,54 @@
+#pragma once
+// Before/after comparison of workflow executions — the quantitative form
+// of the paper's optimization narrative ("the Spawn dot is above the RCI
+// dot", "the dot moves to the upper right").  Given two models of the
+// same workflow (e.g. before and after an optimization, or on two
+// systems), reports how the dot moved, whether the bound class changed,
+// and how much of the remaining headroom was claimed.
+
+#include <optional>
+#include <string>
+
+#include "core/model.hpp"
+
+namespace wfr::core {
+
+struct Comparison {
+  std::string before_label;
+  std::string after_label;
+
+  double throughput_speedup = 1.0;  // after tps / before tps
+  double makespan_speedup = 1.0;    // before makespan / after makespan
+  /// Change in parallel tasks (after - before).
+  double parallelism_delta = 0.0;
+
+  BoundClass before_bound = BoundClass::kNodeBound;
+  BoundClass after_bound = BoundClass::kNodeBound;
+  bool bound_changed = false;
+
+  double before_efficiency = 0.0;  // fraction of attainable
+  double after_efficiency = 0.0;
+  /// Fraction of the before-run's headroom-to-ceiling that the
+  /// optimization claimed, in [0, 1] (clamped); 1 means the after-run
+  /// reached the ceiling.
+  double headroom_claimed = 0.0;
+
+  /// Zone movement when both models carry targets.
+  std::optional<Zone> before_zone;
+  std::optional<Zone> after_zone;
+
+  /// Direction of the dot movement in the roofline plane:
+  /// "up" (same P, higher tps), "up-right", "up-left", "down", "none".
+  std::string direction;
+
+  /// Multi-line human-readable summary.
+  std::string to_string() const;
+};
+
+/// Compares the first dot of each model.  The models may differ in
+/// system and characterization (that is the point), but each needs at
+/// least one dot.  Throws InvalidArgument otherwise.
+Comparison compare_models(const RooflineModel& before,
+                          const RooflineModel& after);
+
+}  // namespace wfr::core

@@ -1,0 +1,376 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace wfr::core {
+
+const char* channel_name(Channel channel) {
+  switch (channel) {
+    case Channel::kCompute: return "compute";
+    case Channel::kDram: return "dram";
+    case Channel::kHbm: return "hbm";
+    case Channel::kPcie: return "pcie";
+    case Channel::kNetwork: return "network";
+    case Channel::kOverhead: return "overhead";
+    case Channel::kFilesystem: return "filesystem";
+    case Channel::kExternal: return "external";
+    case Channel::kParallelism: return "parallelism";
+    case Channel::kCustom: return "custom";
+  }
+  return "?";
+}
+
+bool is_node_channel(Channel channel) {
+  switch (channel) {
+    case Channel::kCompute:
+    case Channel::kDram:
+    case Channel::kHbm:
+    case Channel::kPcie:
+    case Channel::kNetwork:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double Ceiling::tps_at(double parallel_tasks) const {
+  switch (kind) {
+    case CeilingKind::kDiagonal:
+      return seconds_per_task > 0.0
+                 ? parallel_tasks * tasks_per_instance / seconds_per_task
+                 : std::numeric_limits<double>::infinity();
+    case CeilingKind::kHorizontal:
+      return tps_limit;
+    case CeilingKind::kWall:
+      return std::numeric_limits<double>::infinity();
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+Ceiling Ceiling::diagonal(Channel channel, std::string label,
+                          double seconds_per_task, double tasks_per_instance) {
+  util::require(seconds_per_task >= 0.0,
+                "diagonal ceiling needs seconds_per_task >= 0");
+  util::require(tasks_per_instance > 0.0,
+                "diagonal ceiling needs tasks_per_instance > 0");
+  Ceiling c;
+  c.kind = CeilingKind::kDiagonal;
+  c.channel = channel;
+  c.label = std::move(label);
+  c.seconds_per_task = seconds_per_task;
+  c.tasks_per_instance = tasks_per_instance;
+  return c;
+}
+
+Ceiling Ceiling::horizontal(Channel channel, std::string label,
+                            double tps_limit) {
+  util::require(tps_limit > 0.0, "horizontal ceiling needs tps_limit > 0");
+  Ceiling c;
+  c.kind = CeilingKind::kHorizontal;
+  c.channel = channel;
+  c.label = std::move(label);
+  c.tps_limit = tps_limit;
+  return c;
+}
+
+Ceiling Ceiling::wall(std::string label, int max_parallel_tasks) {
+  util::require(max_parallel_tasks >= 1, "wall needs max_parallel_tasks >= 1");
+  Ceiling c;
+  c.kind = CeilingKind::kWall;
+  c.channel = Channel::kParallelism;
+  c.label = std::move(label);
+  c.max_parallel_tasks = max_parallel_tasks;
+  return c;
+}
+
+const char* bound_class_name(BoundClass bound) {
+  switch (bound) {
+    case BoundClass::kNodeBound: return "node-bound";
+    case BoundClass::kSystemBound: return "system-bound";
+    case BoundClass::kParallelismBound: return "parallelism-bound";
+    case BoundClass::kControlFlowBound: return "control-flow-bound";
+  }
+  return "?";
+}
+
+const char* zone_name(Zone zone) {
+  switch (zone) {
+    case Zone::kGoodMakespanGoodThroughput:
+      return "good makespan, good throughput";
+    case Zone::kGoodMakespanPoorThroughput:
+      return "good makespan, poor throughput";
+    case Zone::kPoorMakespanGoodThroughput:
+      return "poor makespan, good throughput";
+    case Zone::kPoorMakespanPoorThroughput:
+      return "poor makespan, poor throughput";
+  }
+  return "?";
+}
+
+RooflineModel::RooflineModel(SystemSpec system,
+                             WorkflowCharacterization workflow)
+    : system_(std::move(system)), workflow_(std::move(workflow)) {
+  system_.validate();
+  workflow_.validate();
+}
+
+void RooflineModel::add_ceiling(Ceiling ceiling) {
+  ceilings_.push_back(std::move(ceiling));
+}
+
+int RooflineModel::parallelism_wall() const {
+  int wall = std::numeric_limits<int>::max();
+  for (const Ceiling& c : ceilings_)
+    if (c.kind == CeilingKind::kWall)
+      wall = std::min(wall, c.max_parallel_tasks);
+  util::require(wall != std::numeric_limits<int>::max(),
+                "model has no parallelism wall");
+  return wall;
+}
+
+double RooflineModel::attainable_tps(double parallel_tasks) const {
+  return binding_ceiling(parallel_tasks).tps_at(parallel_tasks);
+}
+
+const Ceiling& RooflineModel::binding_ceiling(double parallel_tasks) const {
+  util::require(parallel_tasks >= 1.0, "parallel_tasks must be >= 1");
+  // Tolerate floating-point round-off when callers sample up to the wall.
+  util::require(parallel_tasks <=
+                    static_cast<double>(parallelism_wall()) * (1.0 + 1e-9),
+                util::format("%g parallel tasks exceeds the parallelism wall "
+                             "of %d",
+                             parallel_tasks, parallelism_wall()));
+  const Ceiling* best = nullptr;
+  double best_tps = std::numeric_limits<double>::infinity();
+  for (const Ceiling& c : ceilings_) {
+    if (c.kind == CeilingKind::kWall) continue;
+    const double tps = c.tps_at(parallel_tasks);
+    if (tps < best_tps) {
+      best_tps = tps;
+      best = &c;
+    }
+  }
+  util::require(best != nullptr,
+                "model has no throughput ceilings (only walls)");
+  return *best;
+}
+
+double RooflineModel::efficiency(const Dot& dot) const {
+  const double attainable = attainable_tps(dot.parallel_tasks);
+  util::require(std::isfinite(attainable) && attainable > 0.0,
+                "attainable throughput is unbounded; efficiency undefined");
+  return dot.tps / attainable;
+}
+
+BoundClass RooflineModel::classify(const Dot& dot) const {
+  // A dot parked at the wall, close to a *diagonal* ceiling, is
+  // parallelism-bound: more parallel tasks would raise the attainable
+  // throughput, but the wall forbids it.  Under a horizontal (shared
+  // system) ceiling extra parallelism would not help, so the dot stays
+  // system-bound.
+  const int wall = parallelism_wall();
+  const Ceiling& binding = binding_ceiling(dot.parallel_tasks);
+  if (dot.parallel_tasks >= static_cast<double>(wall) &&
+      binding.kind == CeilingKind::kDiagonal && efficiency(dot) >= 0.5) {
+    return BoundClass::kParallelismBound;
+  }
+  if (binding.channel == Channel::kOverhead)
+    return BoundClass::kControlFlowBound;
+  if (is_node_channel(binding.channel)) return BoundClass::kNodeBound;
+  return BoundClass::kSystemBound;
+}
+
+void RooflineModel::add_measured_dot(const std::string& label) {
+  util::require(workflow_.has_measurement(),
+                "workflow has no measured makespan to plot");
+  Dot d;
+  d.label = label;
+  d.parallel_tasks = workflow_.parallel_tasks;
+  d.tps = workflow_.throughput_tps();
+  d.style = "measured";
+  dots_.push_back(std::move(d));
+}
+
+void RooflineModel::add_dot(Dot dot) {
+  util::require(dot.parallel_tasks >= 1.0, "dot needs parallel_tasks >= 1");
+  util::require(dot.tps > 0.0, "dot needs tps > 0");
+  dots_.push_back(std::move(dot));
+}
+
+void RooflineModel::set_dot_label(std::size_t index, std::string label) {
+  util::require(index < dots_.size(), "dot index out of range");
+  dots_[index].label = std::move(label);
+}
+
+double RooflineModel::target_throughput_tps() const {
+  return workflow_.target_throughput_tps();
+}
+
+double RooflineModel::target_makespan_tps(double parallel_tasks) const {
+  util::require(workflow_.has_target(), "workflow has no target makespan");
+  // Iso-makespan diagonal: at P parallel tasks the workflow processes
+  // total_tasks * P / parallel_tasks tasks per makespan.
+  const double tasks_at_p = static_cast<double>(workflow_.total_tasks) *
+                            parallel_tasks /
+                            static_cast<double>(workflow_.parallel_tasks);
+  return tasks_at_p / workflow_.target_makespan_seconds;
+}
+
+Zone RooflineModel::zone_of(const Dot& dot) const {
+  const bool good_throughput = dot.tps >= target_throughput_tps();
+  const bool good_makespan = dot.tps >= target_makespan_tps(dot.parallel_tasks);
+  if (good_makespan && good_throughput)
+    return Zone::kGoodMakespanGoodThroughput;
+  if (good_makespan) return Zone::kGoodMakespanPoorThroughput;
+  if (good_throughput) return Zone::kPoorMakespanGoodThroughput;
+  return Zone::kPoorMakespanPoorThroughput;
+}
+
+std::string RooflineModel::report() const {
+  std::string out = util::format(
+      "Workflow Roofline: '%s' on '%s'\n", workflow_.name.c_str(),
+      system_.name.c_str());
+  out += util::format("  parallel tasks: %d (wall at %d)\n",
+                      workflow_.parallel_tasks, parallelism_wall());
+  for (const Ceiling& c : ceilings_) {
+    switch (c.kind) {
+      case CeilingKind::kDiagonal:
+        out += util::format("  diagonal   %-11s %-42s %s/task\n",
+                            channel_name(c.channel), c.label.c_str(),
+                            util::format_seconds(c.seconds_per_task).c_str());
+        break;
+      case CeilingKind::kHorizontal:
+        out += util::format("  horizontal %-11s %-42s %.3g tasks/s\n",
+                            channel_name(c.channel), c.label.c_str(),
+                            c.tps_limit);
+        break;
+      case CeilingKind::kWall:
+        out += util::format("  wall       %-11s %-42s P <= %d\n",
+                            channel_name(c.channel), c.label.c_str(),
+                            c.max_parallel_tasks);
+        break;
+    }
+  }
+  for (const Dot& d : dots_) {
+    out += util::format(
+        "  dot '%s': P=%g, %.3g tasks/s, %.0f%% of attainable, %s\n",
+        d.label.c_str(), d.parallel_tasks, d.tps, 100.0 * efficiency(d),
+        bound_class_name(classify(d)));
+    if (has_targets())
+      out += util::format("      zone: %s\n", zone_name(zone_of(d)));
+  }
+  return out;
+}
+
+RooflineModel build_model(const SystemSpec& system,
+                          const WorkflowCharacterization& workflow) {
+  RooflineModel model(system, workflow);
+  const WorkflowCharacterization& w = model.workflow();
+  const SystemSpec& s = model.system();
+
+  auto need = [&](double volume, double rate, const char* what) {
+    util::require(rate > 0.0,
+                  util::format("workflow '%s' demands %s but system '%s' "
+                               "lacks that channel",
+                               w.name.c_str(), what, s.name.c_str()));
+    return volume / rate;
+  };
+  // Diagonal ceilings bound critical-path traversals (one per parallel
+  // slot); each traversal completes total/parallel tasks.
+  const double tasks_per_slot = static_cast<double>(w.total_tasks) /
+                                static_cast<double>(w.parallel_tasks);
+
+  if (w.flops_per_node > 0.0) {
+    const double sec = need(w.flops_per_node, s.node.peak_flops, "flops");
+    model.add_ceiling(Ceiling::diagonal(
+        Channel::kCompute,
+        util::format("Compute %s @ %s",
+                     util::format_flops(w.flops_per_node).c_str(),
+                     util::format_flops_rate(s.node.peak_flops).c_str()),
+        sec, tasks_per_slot));
+  }
+  if (w.dram_bytes_per_node > 0.0) {
+    const double sec = need(w.dram_bytes_per_node, s.node.dram_gbs, "DRAM");
+    model.add_ceiling(Ceiling::diagonal(
+        Channel::kDram,
+        util::format("CPU Bytes %s @ %s",
+                     util::format_bytes(w.dram_bytes_per_node).c_str(),
+                     util::format_rate(s.node.dram_gbs).c_str()),
+        sec, tasks_per_slot));
+  }
+  if (w.hbm_bytes_per_node > 0.0) {
+    const double sec = need(w.hbm_bytes_per_node, s.node.hbm_gbs, "HBM");
+    model.add_ceiling(Ceiling::diagonal(
+        Channel::kHbm,
+        util::format("HBM Bytes %s @ %s",
+                     util::format_bytes(w.hbm_bytes_per_node).c_str(),
+                     util::format_rate(s.node.hbm_gbs).c_str()),
+        sec, tasks_per_slot));
+  }
+  if (w.pcie_bytes_per_node > 0.0) {
+    const double sec = need(w.pcie_bytes_per_node, s.node.pcie_gbs, "PCIe");
+    model.add_ceiling(Ceiling::diagonal(
+        Channel::kPcie,
+        util::format("PCIe Bytes %s @ %s",
+                     util::format_bytes(w.pcie_bytes_per_node).c_str(),
+                     util::format_rate(s.node.pcie_gbs).c_str()),
+        sec, tasks_per_slot));
+  }
+  if (w.network_bytes_per_task > 0.0) {
+    const double aggregate_nic =
+        s.node.nic_gbs * static_cast<double>(w.nodes_per_task);
+    const double sec =
+        need(w.network_bytes_per_task, aggregate_nic, "network");
+    model.add_ceiling(Ceiling::diagonal(
+        Channel::kNetwork,
+        util::format("Network %s @ %d x %s",
+                     util::format_bytes(w.network_bytes_per_task).c_str(),
+                     w.nodes_per_task,
+                     util::format_rate(s.node.nic_gbs).c_str()),
+        sec, tasks_per_slot));
+  }
+  if (w.overhead_seconds_per_task > 0.0) {
+    model.add_ceiling(Ceiling::diagonal(
+        Channel::kOverhead,
+        util::format("Control-flow overhead %s/task",
+                     util::format_seconds(w.overhead_seconds_per_task).c_str()),
+        w.overhead_seconds_per_task, tasks_per_slot));
+  }
+  if (w.fs_bytes_per_task > 0.0) {
+    const double sec = need(w.fs_bytes_per_task, s.fs_gbs, "filesystem");
+    model.add_ceiling(Ceiling::horizontal(
+        Channel::kFilesystem,
+        util::format("File System %s @ %s",
+                     util::format_bytes(w.fs_bytes_per_task).c_str(),
+                     util::format_rate(s.fs_gbs).c_str()),
+        1.0 / sec));
+  }
+  if (w.external_bytes_per_task > 0.0) {
+    const double sec =
+        need(w.external_bytes_per_task, s.external_gbs, "external");
+    model.add_ceiling(Ceiling::horizontal(
+        Channel::kExternal,
+        util::format("System External %s @ %s",
+                     util::format_bytes(w.external_bytes_per_task).c_str(),
+                     util::format_rate(s.external_gbs).c_str()),
+        1.0 / sec));
+  }
+
+  const int wall = s.parallelism_wall(w.nodes_per_task);
+  util::require(wall >= 1,
+                util::format("tasks of %d nodes do not fit on '%s' (%d nodes)",
+                             w.nodes_per_task, s.name.c_str(), s.total_nodes));
+  model.add_ceiling(Ceiling::wall(
+      util::format("System parallelism @ %d tasks", wall), wall));
+
+  if (w.has_measurement()) model.add_measured_dot();
+  return model;
+}
+
+}  // namespace wfr::core

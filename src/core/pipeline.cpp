@@ -1,0 +1,80 @@
+#include "core/pipeline.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace wfr::core {
+
+std::string PipelineReport::to_string() const {
+  std::string out = util::format(
+      "pipeline view: %d tasks, critical path %d tasks / %s, makespan %s\n",
+      total_tasks, critical_path_tasks,
+      util::format_seconds(critical_path_seconds).c_str(),
+      util::format_seconds(makespan_seconds).c_str());
+  out += util::format(
+      "  critical-path ratio %.0f%%, concurrency avg %.2f / peak %d "
+      "(balance %.0f%%)\n",
+      100.0 * critical_path_ratio, average_concurrency, peak_concurrency,
+      100.0 * pipeline_balance);
+  out += "  verdict: " + verdict + "\n";
+  return out;
+}
+
+PipelineReport pipeline_report(const dag::WorkflowGraph& graph,
+                               const trace::WorkflowTrace& trace) {
+  util::require(trace.records().size() == graph.task_count(),
+                "trace does not cover every task in the graph");
+  util::require(!trace.empty(), "cannot report on an empty trace");
+
+  PipelineReport report;
+  report.total_tasks = static_cast<int>(graph.task_count());
+
+  std::vector<double> durations(graph.task_count(), 0.0);
+  double total_task_seconds = 0.0;
+  for (const trace::TaskRecord& r : trace.records()) {
+    util::require(r.task < graph.task_count(),
+                  "trace record references an unknown task id");
+    durations[r.task] = r.duration();
+    total_task_seconds += r.duration();
+  }
+
+  const dag::CriticalPath cp = graph.critical_path(durations);
+  report.critical_path_tasks = static_cast<int>(cp.tasks.size());
+  report.critical_path_seconds = cp.length_seconds;
+  report.makespan_seconds = trace.makespan_seconds();
+  util::require(report.makespan_seconds > 0.0,
+                "trace has a zero makespan");
+  report.critical_path_ratio =
+      std::min(report.critical_path_seconds / report.makespan_seconds, 1.0);
+  report.average_concurrency = total_task_seconds / report.makespan_seconds;
+  report.peak_concurrency = trace.peak_concurrency();
+  report.pipeline_balance =
+      report.peak_concurrency > 0
+          ? report.average_concurrency /
+                static_cast<double>(report.peak_concurrency)
+          : 0.0;
+
+  if (report.critical_path_ratio < 0.95) {
+    // Tasks off the critical path extended the makespan: the pipeline
+    // strategy (ordering, node limits) is costing time the DAG does not
+    // require.
+    report.verdict = util::format(
+        "pipeline-stalled: %.0f%% of the makespan lies beyond the critical "
+        "path — revisit task ordering or resource limits",
+        100.0 * (1.0 - report.critical_path_ratio));
+  } else if (report.average_concurrency > 1.2) {
+    report.verdict =
+        "well-pipelined: off-critical-path work overlaps the chain; the "
+        "chain itself sets the makespan";
+  } else {
+    report.verdict =
+        "critical-path-limited: the task chain itself sets the makespan; "
+        "shorten the chain or its slowest tasks";
+  }
+  return report;
+}
+
+}  // namespace wfr::core

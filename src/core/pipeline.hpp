@@ -1,0 +1,45 @@
+#pragma once
+// The pipeline view — the paper's Section V names its first limitation:
+// "the total number of tasks, or critical path length, is hidden in the
+// y-axis (throughput); learning whether the poor pipeline strategy limits
+// the workflow's performance is not intuitive."  This report makes it
+// explicit: it compares the measured makespan with the critical path and
+// quantifies how well the off-critical-path work is pipelined.
+
+#include <string>
+
+#include "dag/graph.hpp"
+#include "trace/timeline.hpp"
+
+namespace wfr::core {
+
+struct PipelineReport {
+  int total_tasks = 0;
+  /// Tasks on the (duration-weighted) critical path.
+  int critical_path_tasks = 0;
+  double critical_path_seconds = 0.0;
+  double makespan_seconds = 0.0;
+  /// critical path / makespan in (0, 1]: 1 means the critical path fully
+  /// accounts for the makespan (no stall beyond the inherent chain);
+  /// lower values mean tasks *off* the critical path delayed completion
+  /// (resource limits or a poor pipeline strategy).
+  double critical_path_ratio = 0.0;
+  /// Sum of task durations / makespan: the average task concurrency.
+  double average_concurrency = 0.0;
+  /// Maximum simultaneous tasks observed.
+  int peak_concurrency = 0;
+  /// average / peak concurrency in (0, 1]: how evenly the pipeline keeps
+  /// its width busy.
+  double pipeline_balance = 0.0;
+  /// One-line interpretation.
+  std::string verdict;
+
+  std::string to_string() const;
+};
+
+/// Builds the report from an executed trace.  Throws when the trace does
+/// not cover the graph.
+PipelineReport pipeline_report(const dag::WorkflowGraph& graph,
+                               const trace::WorkflowTrace& trace);
+
+}  // namespace wfr::core

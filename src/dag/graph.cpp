@@ -1,0 +1,211 @@
+#include "dag/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::dag {
+
+TaskId WorkflowGraph::add_task(TaskSpec spec) {
+  spec.validate();
+  util::require(find_task_or_invalid(spec.name) == kInvalidTask,
+                "duplicate task name '" + spec.name + "'");
+  const auto id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(std::move(spec));
+  successors_.emplace_back();
+  predecessors_.emplace_back();
+  return id;
+}
+
+void WorkflowGraph::add_dependency(TaskId producer, TaskId consumer) {
+  check_id(producer);
+  check_id(consumer);
+  util::require(producer != consumer, "self-dependency on task '" +
+                                          tasks_[producer].name + "'");
+  auto& succ = successors_[producer];
+  if (std::find(succ.begin(), succ.end(), consumer) != succ.end()) return;
+  succ.push_back(consumer);
+  predecessors_[consumer].push_back(producer);
+}
+
+const TaskSpec& WorkflowGraph::task(TaskId id) const {
+  check_id(id);
+  return tasks_[id];
+}
+
+TaskSpec& WorkflowGraph::task(TaskId id) {
+  check_id(id);
+  return tasks_[id];
+}
+
+TaskId WorkflowGraph::find_task(std::string_view name) const {
+  const TaskId id = find_task_or_invalid(name);
+  if (id == kInvalidTask)
+    throw util::NotFound("no task named '" + std::string(name) + "'");
+  return id;
+}
+
+TaskId WorkflowGraph::find_task_or_invalid(std::string_view name) const {
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    if (tasks_[i].name == name) return static_cast<TaskId>(i);
+  return kInvalidTask;
+}
+
+std::span<const TaskId> WorkflowGraph::successors(TaskId id) const {
+  check_id(id);
+  return successors_[id];
+}
+
+std::span<const TaskId> WorkflowGraph::predecessors(TaskId id) const {
+  check_id(id);
+  return predecessors_[id];
+}
+
+void WorkflowGraph::validate() const {
+  // Kahn's algorithm; a cycle exists iff not all tasks are output.
+  if (topological_order().size() != tasks_.size())
+    throw util::InvalidArgument("workflow graph '" + name_ +
+                                "' contains a cycle");
+}
+
+std::vector<TaskId> WorkflowGraph::topological_order() const {
+  std::vector<int> in_degree(tasks_.size(), 0);
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    in_degree[i] = static_cast<int>(predecessors_[i].size());
+
+  // A plain queue keeps insertion order among simultaneously-ready tasks,
+  // making the order stable and test-friendly.
+  std::queue<TaskId> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    if (in_degree[i] == 0) ready.push(static_cast<TaskId>(i));
+
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (TaskId next : successors_[id]) {
+      if (--in_degree[next] == 0) ready.push(next);
+    }
+  }
+  return order;
+}
+
+std::vector<int> WorkflowGraph::levels() const {
+  validate();
+  std::vector<int> level(tasks_.size(), 0);
+  for (TaskId id : topological_order()) {
+    for (TaskId pred : predecessors_[id])
+      level[id] = std::max(level[id], level[pred] + 1);
+  }
+  return level;
+}
+
+int WorkflowGraph::level_count() const {
+  if (tasks_.empty()) return 0;
+  const std::vector<int> level = levels();
+  return 1 + *std::max_element(level.begin(), level.end());
+}
+
+std::vector<int> WorkflowGraph::level_widths() const {
+  std::vector<int> widths(static_cast<std::size_t>(level_count()), 0);
+  for (int l : levels()) ++widths[static_cast<std::size_t>(l)];
+  return widths;
+}
+
+int WorkflowGraph::max_parallel_tasks() const {
+  const std::vector<int> widths = level_widths();
+  return widths.empty() ? 0 : *std::max_element(widths.begin(), widths.end());
+}
+
+CriticalPath WorkflowGraph::critical_path(
+    std::span<const double> durations) const {
+  validate();
+  CriticalPath result;
+  if (tasks_.empty()) return result;
+  util::require(durations.empty() || durations.size() == tasks_.size(),
+                "critical_path durations must match task count");
+  auto duration = [&](TaskId id) {
+    return durations.empty() ? 1.0 : durations[id];
+  };
+
+  std::vector<double> finish(tasks_.size(), 0.0);
+  std::vector<TaskId> best_pred(tasks_.size(), kInvalidTask);
+  for (TaskId id : topological_order()) {
+    double start = 0.0;
+    for (TaskId pred : predecessors_[id]) {
+      if (finish[pred] > start) {
+        start = finish[pred];
+        best_pred[id] = pred;
+      }
+    }
+    finish[id] = start + duration(id);
+  }
+
+  TaskId tail = 0;
+  for (std::size_t i = 1; i < tasks_.size(); ++i)
+    if (finish[i] > finish[tail]) tail = static_cast<TaskId>(i);
+
+  result.length_seconds = finish[tail];
+  for (TaskId id = tail; id != kInvalidTask; id = best_pred[id])
+    result.tasks.push_back(id);
+  std::reverse(result.tasks.begin(), result.tasks.end());
+  return result;
+}
+
+ResourceDemand WorkflowGraph::total_demand() const {
+  ResourceDemand total;
+  for (const TaskSpec& t : tasks_) total = total + t.demand;
+  return total;
+}
+
+int WorkflowGraph::peak_nodes_by_level() const {
+  const std::vector<int> level = levels();
+  std::vector<int> nodes_at(static_cast<std::size_t>(level_count()), 0);
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    nodes_at[static_cast<std::size_t>(level[i])] += tasks_[i].nodes;
+  return nodes_at.empty() ? 0
+                          : *std::max_element(nodes_at.begin(), nodes_at.end());
+}
+
+void WorkflowGraph::check_id(TaskId id) const {
+  if (id >= tasks_.size())
+    throw util::NotFound(util::format("task id %u out of range (%zu tasks)",
+                                      id, tasks_.size()));
+}
+
+WorkflowGraph make_fork_join(std::string name, const TaskSpec& parallel_task,
+                             int width, const TaskSpec& join_task) {
+  util::require(width >= 1, "make_fork_join width must be >= 1");
+  WorkflowGraph g(std::move(name));
+  std::vector<TaskId> branch_ids;
+  branch_ids.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    TaskSpec spec = parallel_task;
+    spec.name = util::format("%s_%d", parallel_task.name.c_str(), i);
+    branch_ids.push_back(g.add_task(std::move(spec)));
+  }
+  const TaskId join = g.add_task(join_task);
+  for (TaskId b : branch_ids) g.add_dependency(b, join);
+  return g;
+}
+
+WorkflowGraph make_chain(std::string name, const TaskSpec& stage_task,
+                         int count) {
+  util::require(count >= 1, "make_chain count must be >= 1");
+  WorkflowGraph g(std::move(name));
+  TaskId prev = kInvalidTask;
+  for (int i = 0; i < count; ++i) {
+    TaskSpec spec = stage_task;
+    spec.name = util::format("%s_%d", stage_task.name.c_str(), i);
+    const TaskId id = g.add_task(std::move(spec));
+    if (prev != kInvalidTask) g.add_dependency(prev, id);
+    prev = id;
+  }
+  return g;
+}
+
+}  // namespace wfr::dag

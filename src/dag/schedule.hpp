@@ -1,0 +1,60 @@
+#pragma once
+// A deterministic list scheduler: places workflow tasks on a fixed pool of
+// nodes as soon as their dependencies are met and enough nodes are free.
+// Produces a Gantt timeline (Fig. 7d) and the makespan used on the Workflow
+// Roofline y-axis.  Contention-free; the discrete-event simulator in
+// src/sim refines these times under shared-resource contention.
+
+#include <vector>
+
+#include "dag/graph.hpp"
+
+namespace wfr::dag {
+
+/// One scheduled task interval.
+struct ScheduledTask {
+  TaskId task = kInvalidTask;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  /// First node index of the contiguous allocation.
+  int first_node = 0;
+  /// Number of nodes allocated.
+  int nodes = 0;
+
+  double duration() const { return end_seconds - start_seconds; }
+};
+
+/// The complete schedule of a workflow.
+struct Schedule {
+  std::vector<ScheduledTask> entries;  // indexed by TaskId
+  double makespan_seconds = 0.0;
+  /// Peak number of nodes in use at any instant.
+  int peak_nodes_used = 0;
+  /// Maximum number of tasks running concurrently at any instant.
+  int peak_concurrent_tasks = 0;
+
+  /// Node-seconds of useful allocation divided by pool-size * makespan.
+  /// 0 when the makespan is 0.
+  double node_utilization(int pool_nodes) const;
+
+  /// Tasks sorted by start time (ties by id); convenient for rendering.
+  std::vector<ScheduledTask> sorted_by_start() const;
+};
+
+/// Options controlling list scheduling.
+struct ScheduleOptions {
+  /// Size of the node pool.  Tasks requiring more nodes than this throw.
+  int pool_nodes = 1;
+  /// When true, among ready tasks the one with the longest duration is
+  /// placed first (LPT); otherwise insertion (FIFO) order is used.
+  bool longest_task_first = false;
+};
+
+/// Schedules `graph` with per-task `durations` (seconds, indexed by
+/// TaskId).  Throws InvalidArgument when durations are negative, sizes
+/// mismatch, or any task needs more nodes than the pool provides.
+Schedule schedule_workflow(const WorkflowGraph& graph,
+                           std::span<const double> durations,
+                           const ScheduleOptions& options);
+
+}  // namespace wfr::dag

@@ -1,0 +1,53 @@
+#pragma once
+// JSON workflow-description load/save.  This is the library's stand-in for
+// the workflow descriptions the paper obtains from sbatch scripts and WDL:
+// a compact, human-writable file listing tasks, their resource demands, and
+// dependencies.
+//
+// Format:
+//   {
+//     "name": "lcls",
+//     "tasks": [
+//       {
+//         "name": "analysis_0",
+//         "kind": "analysis",            // optional
+//         "nodes": 16,                   // optional, default 1
+//         "depends_on": ["stage_in"],    // optional
+//         "fixed_duration": "17 min",    // optional; or a number of seconds
+//         "demand": {                    // optional; all members optional
+//           "external_in": "1 TB",       // unit string or raw byte count
+//           "fs_read": "70 GB",
+//           "fs_write": "1 GB",
+//           "network": "168 GB",
+//           "flops_per_node": "69 PFLOP",
+//           "dram_per_node": "32 GB",
+//           "hbm_per_node": "6.4 GB",
+//           "pcie_per_node": "80 GB",
+//           "overhead": "2 s"
+//         }
+//       }, ...
+//     ]
+//   }
+
+#include <string>
+#include <string_view>
+
+#include "dag/graph.hpp"
+#include "util/json.hpp"
+
+namespace wfr::dag {
+
+/// Parses a workflow description from JSON text.  Throws ParseError /
+/// InvalidArgument with actionable messages on malformed input.
+WorkflowGraph load_workflow(std::string_view json_text);
+
+/// Parses a workflow description from an already-parsed JSON value.
+WorkflowGraph load_workflow_json(const util::Json& json);
+
+/// Serializes `graph` to a JSON value that load_workflow round-trips.
+util::Json save_workflow(const WorkflowGraph& graph);
+
+/// Serializes `graph` to pretty-printed JSON text.
+std::string save_workflow_text(const WorkflowGraph& graph);
+
+}  // namespace wfr::dag

@@ -1,0 +1,58 @@
+#pragma once
+// Summary statistics used for trace aggregation, benchmark reporting, and
+// property tests.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wfr::math {
+
+/// Streaming accumulator (Welford) for mean/variance plus min/max.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// Geometric mean; requires all inputs > 0. 0 for empty input.
+double geomean(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].  Requires non-empty xs.
+double percentile(std::span<const double> xs, double p);
+
+/// Median (50th percentile).
+double median(std::span<const double> xs);
+
+/// Sum of elements.
+double sum(std::span<const double> xs);
+
+/// True when |a - b| <= tol * max(1, |a|, |b|) (relative-with-floor).
+bool approx_equal(double a, double b, double tol = 1e-9);
+
+/// Relative error |a - b| / |b|; returns |a| when b == 0.
+double relative_error(double a, double b);
+
+}  // namespace wfr::math

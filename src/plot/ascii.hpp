@@ -1,0 +1,29 @@
+#pragma once
+// Terminal (ASCII) renderers: the CLI's quick look at a Workflow Roofline
+// without leaving the shell, plus a one-line-per-task Gantt.
+
+#include <string>
+
+#include "core/model.hpp"
+#include "trace/timeline.hpp"
+
+namespace wfr::plot {
+
+struct AsciiOptions {
+  int width = 72;   // plot columns (not counting the y-axis gutter)
+  int height = 22;  // plot rows
+};
+
+/// Renders the model as monospace art:
+///   * '-' horizontal ceilings, '/' diagonals, '|' the parallelism wall,
+///   * '#' the unattainable region, 'O' measured dots, 'o' projected dots,
+///   * '~' target lines.
+/// A key with ceiling labels follows the canvas.
+std::string ascii_roofline(const core::RooflineModel& model,
+                           const AsciiOptions& options = {});
+
+/// Renders a trace as one bar per task:
+///   name  |   ====####====   | with '=' work and '#' I/O phases.
+std::string ascii_gantt(const trace::WorkflowTrace& trace, int width = 64);
+
+}  // namespace wfr::plot

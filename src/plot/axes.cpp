@@ -1,0 +1,92 @@
+#include "plot/axes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::plot {
+
+LogScale::LogScale(double domain_lo, double domain_hi, double range_lo,
+                   double range_hi)
+    : domain_lo_(domain_lo),
+      domain_hi_(domain_hi),
+      range_lo_(range_lo),
+      range_hi_(range_hi) {
+  util::require(domain_lo > 0.0 && domain_hi > domain_lo,
+                "log scale needs 0 < lo < hi");
+  log_lo_ = std::log10(domain_lo);
+  log_hi_ = std::log10(domain_hi);
+}
+
+double LogScale::operator()(double value) const {
+  const double v = std::clamp(value, domain_lo_, domain_hi_);
+  const double t = (std::log10(v) - log_lo_) / (log_hi_ - log_lo_);
+  return range_lo_ + t * (range_hi_ - range_lo_);
+}
+
+std::vector<double> LogScale::decade_ticks() const {
+  std::vector<double> ticks;
+  const int first = static_cast<int>(std::ceil(log_lo_ - 1e-9));
+  const int last = static_cast<int>(std::floor(log_hi_ + 1e-9));
+  for (int e = first; e <= last; ++e) ticks.push_back(std::pow(10.0, e));
+  if (ticks.empty()) {
+    // Domain inside one decade: use endpoints.
+    ticks.push_back(domain_lo_);
+    ticks.push_back(domain_hi_);
+  }
+  return ticks;
+}
+
+LinearScale::LinearScale(double domain_lo, double domain_hi, double range_lo,
+                         double range_hi)
+    : domain_lo_(domain_lo),
+      domain_hi_(domain_hi),
+      range_lo_(range_lo),
+      range_hi_(range_hi) {
+  util::require(domain_hi > domain_lo, "linear scale needs lo < hi");
+}
+
+double LinearScale::operator()(double value) const {
+  const double v = std::clamp(value, domain_lo_, domain_hi_);
+  const double t = (v - domain_lo_) / (domain_hi_ - domain_lo_);
+  return range_lo_ + t * (range_hi_ - range_lo_);
+}
+
+std::vector<double> LinearScale::ticks(int target_count) const {
+  util::require(target_count >= 2, "need at least two ticks");
+  const double span = domain_hi_ - domain_lo_;
+  const double raw_step = span / (target_count - 1);
+  // Snap to 1/2/5 x 10^k.
+  const double mag = std::pow(10.0, std::floor(std::log10(raw_step)));
+  double step = mag;
+  for (double m : {1.0, 2.0, 5.0, 10.0}) {
+    if (mag * m >= raw_step) {
+      step = mag * m;
+      break;
+    }
+  }
+  std::vector<double> out;
+  const double start = std::ceil(domain_lo_ / step) * step;
+  for (double v = start; v <= domain_hi_ + step * 1e-9; v += step)
+    out.push_back(std::fabs(v) < step * 1e-9 ? 0.0 : v);
+  return out;
+}
+
+std::string tick_label(double value) {
+  if (value == 0.0) return "0";
+  const double mag = std::fabs(value);
+  if (mag >= 1e4 || mag < 1e-2) {
+    // Exponential, trimmed: 1e+06 -> 1e6.
+    std::string s = util::format("%.0e", value);
+    s = util::replace_all(s, "e+0", "e");
+    s = util::replace_all(s, "e-0", "e-");
+    s = util::replace_all(s, "e+", "e");
+    return s;
+  }
+  if (mag >= 1000.0) return util::format("%gk", value / 1000.0);
+  return util::format("%g", value);
+}
+
+}  // namespace wfr::plot

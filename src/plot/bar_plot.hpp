@@ -1,0 +1,29 @@
+#pragma once
+// Stacked-bar renderer for time breakdowns (Figs. 5b and 10b): one bar per
+// scenario, stacked by labelled component, with a legend.
+
+#include <string>
+#include <vector>
+
+#include "trace/summary.hpp"
+
+namespace wfr::plot {
+
+struct BarPlotOptions {
+  double width = 560.0;
+  double height = 420.0;
+  std::string title = "Time breakdown";
+  std::string y_label = "Time (s)";
+};
+
+/// Renders stacked bars.  Component colors are assigned by first
+/// appearance across all breakdowns, so the same label gets the same color
+/// in every bar.
+std::string render_breakdown(const std::vector<trace::TimeBreakdown>& bars,
+                             const BarPlotOptions& options = {});
+
+void write_breakdown_svg(const std::vector<trace::TimeBreakdown>& bars,
+                         const std::string& path,
+                         const BarPlotOptions& options = {});
+
+}  // namespace wfr::plot

@@ -1,0 +1,33 @@
+#pragma once
+// Gantt-chart renderer (Fig. 7d): one lane per task, bars split into phase
+// segments, with an optional critical-path overlay.
+
+#include <string>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "trace/timeline.hpp"
+
+namespace wfr::plot {
+
+struct GanttPlotOptions {
+  double width = 820.0;
+  double lane_height = 26.0;
+  std::string title = "Gantt chart";
+  /// Highlight these task ids as the critical path (drawn as a connected
+  /// outline).  Empty disables the overlay.
+  std::vector<dag::TaskId> critical_path;
+  /// Show per-phase segment coloring (otherwise one bar per task).
+  bool color_phases = true;
+};
+
+/// Renders the trace as a standalone SVG string.  Lanes are ordered by task
+/// start time.
+std::string render_gantt(const trace::WorkflowTrace& trace,
+                         const GanttPlotOptions& options = {});
+
+void write_gantt_svg(const trace::WorkflowTrace& trace,
+                     const std::string& path,
+                     const GanttPlotOptions& options = {});
+
+}  // namespace wfr::plot

@@ -1,0 +1,17 @@
+#include "plot/palette.hpp"
+
+#include <algorithm>
+
+namespace wfr::plot {
+
+const std::string& Palette::series_color(int i) const {
+  const int idx = std::clamp(i, 0, kSeriesCount - 1);
+  return series[idx];
+}
+
+const Palette& default_palette() {
+  static const Palette palette;
+  return palette;
+}
+
+}  // namespace wfr::plot

@@ -1,0 +1,53 @@
+#pragma once
+// Color roles for the figure renderers.  The categorical slots follow a
+// validated colorblind-safe ordering (worst adjacent CVD deltaE 24.2 in
+// light mode); identity is assigned in fixed slot order, never cycled.
+// Zone fills are soft tints reserved for the paper's four-quadrant
+// interpretation (Fig. 2a) and are never used as series colors.
+
+#include <string>
+
+namespace wfr::plot {
+
+struct Palette {
+  // Surfaces and ink.
+  std::string surface = "#fcfcfb";
+  std::string text_primary = "#0b0b0b";
+  std::string text_secondary = "#52514e";
+  std::string grid = "#e4e3df";
+
+  // Categorical series slots (fixed order).
+  static constexpr int kSeriesCount = 8;
+  std::string series[kSeriesCount] = {
+      "#2a78d6",  // 1 blue
+      "#1baf7a",  // 2 aqua
+      "#eda100",  // 3 yellow
+      "#008300",  // 4 green
+      "#4a3aa7",  // 5 violet
+      "#e34948",  // 6 red
+      "#e87ba4",  // 7 magenta
+      "#eb6834",  // 8 orange
+  };
+
+  // Roofline-specific roles.
+  std::string unattainable = "#b9b8b3";   // grey shade above the ceilings
+  std::string wall = "#52514e";           // parallelism wall stroke
+  std::string target = "#0b0b0b";         // dashed target lines
+  std::string dot_measured = "#2a78d6";   // filled measured dots
+  std::string dot_projected = "#52514e";  // open projected dots
+
+  // Fig. 2a zone tints (soft fills; labels carry the meaning).
+  std::string zone_good_good = "#d9efe2";
+  std::string zone_good_poor = "#faf0cd";
+  std::string zone_poor_good = "#fbe3d4";
+  std::string zone_poor_poor = "#f9dcdc";
+
+  /// Series color for index `i` (clamped to the last slot beyond 8 — the
+  /// caller should fold extra series into "other" before getting here).
+  const std::string& series_color(int i) const;
+};
+
+/// The default (light mode) palette.
+const Palette& default_palette();
+
+}  // namespace wfr::plot

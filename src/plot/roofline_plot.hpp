@@ -1,0 +1,57 @@
+#pragma once
+// SVG renderer for Workflow Roofline figures: ceilings, the parallelism
+// wall, the unattainable region, target lines with the four-zone tinting of
+// Fig. 2a, and measured/projected dots.  Also renders the task view of
+// Fig. 7c.
+
+#include <string>
+
+#include "core/model.hpp"
+#include "core/taskview.hpp"
+#include "plot/palette.hpp"
+
+namespace wfr::plot {
+
+struct RooflinePlotOptions {
+  double width = 780.0;
+  double height = 560.0;
+  std::string title;  // defaults to "<workflow> on <system>"
+  /// Shade the region above the ceilings / right of the wall.
+  bool shade_unattainable = true;
+  /// Tint the four target zones when the model has targets.
+  bool shade_zones = true;
+  /// Draw ceiling labels along the lines.
+  bool show_labels = true;
+  /// Extend the x axis this factor beyond the parallelism wall.
+  double x_max_factor = 2.0;
+  /// Explicit y domain; both 0 means auto.
+  double y_min = 0.0;
+  double y_max = 0.0;
+};
+
+/// Renders the model as a standalone SVG string.
+std::string render_roofline(const core::RooflineModel& model,
+                            const RooflinePlotOptions& options = {});
+
+/// Renders and writes to `path`.
+void write_roofline_svg(const core::RooflineModel& model,
+                        const std::string& path,
+                        const RooflinePlotOptions& options = {});
+
+struct TaskViewPlotOptions {
+  double width = 780.0;
+  double height = 560.0;
+  std::string title = "Task view";
+  /// The parallelism wall to draw (tasks cannot scale past it).
+  int parallelism_wall = 1;
+};
+
+/// Renders a task view (Fig. 7c): one dot and one node-ceiling diagonal per
+/// entry, colored by group.
+std::string render_task_view(const core::TaskView& view,
+                             const TaskViewPlotOptions& options = {});
+
+void write_task_view_svg(const core::TaskView& view, const std::string& path,
+                         const TaskViewPlotOptions& options = {});
+
+}  // namespace wfr::plot

@@ -1,0 +1,51 @@
+#include "roofline/drilldown.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::roofline {
+
+DrillDown drill_down(const core::RooflineModel& model,
+                     const dag::WorkflowGraph& graph,
+                     const trace::WorkflowTrace& trace) {
+  util::require(!model.dots().empty(),
+                "drill_down needs a model with a measured dot");
+  DrillDown result;
+  const core::BoundClass bound = model.classify(model.dots().front());
+  if (bound != core::BoundClass::kNodeBound &&
+      bound != core::BoundClass::kParallelismBound) {
+    result.applicable = false;
+    result.reason = util::format(
+        "workflow is %s; the bottleneck is not inside the node — the "
+        "traditional Roofline would not explain it",
+        core::bound_class_name(bound));
+    return result;
+  }
+
+  result.applicable = true;
+  result.reason =
+      "workflow is " + std::string(core::bound_class_name(bound)) +
+      "; apply the traditional node Roofline per task";
+  result.node_roofline = NodeRoofline::from_system(model.system());
+
+  for (const trace::TaskRecord& record : trace.records()) {
+    util::require(record.task < graph.task_count(),
+                  "trace record references an unknown task id");
+    const dag::ResourceDemand& demand = graph.task(record.task).demand;
+    if (demand.flops_per_node <= 0.0) continue;  // no node kernel to plot
+    // Dominant node memory level: HBM when the task uses it, else DRAM.
+    const double bytes = demand.hbm_bytes_per_node > 0.0
+                             ? demand.hbm_bytes_per_node
+                             : demand.dram_bytes_per_node;
+    if (bytes <= 0.0 || record.duration() <= 0.0) continue;
+    KernelSample kernel;
+    kernel.name = record.name;
+    kernel.flops = demand.flops_per_node;
+    kernel.bytes = bytes;
+    kernel.seconds = record.duration();
+    result.node_roofline.add_kernel(std::move(kernel));
+  }
+  return result;
+}
+
+}  // namespace wfr::roofline

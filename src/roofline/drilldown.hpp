@@ -1,0 +1,35 @@
+#pragma once
+// The bridge the paper describes in Section III-D: when the Workflow
+// Roofline classifies a workflow as node-bound, drill down into the
+// traditional node Roofline — each node-bound task becomes a kernel dot
+// (its per-node flops/bytes and measured time).
+
+#include "core/model.hpp"
+#include "core/taskview.hpp"
+#include "dag/graph.hpp"
+#include "roofline/node_roofline.hpp"
+#include "trace/timeline.hpp"
+
+namespace wfr::roofline {
+
+/// Result of a drill-down attempt.
+struct DrillDown {
+  /// Whether drilling down is the right next step (the workflow dot is
+  /// node-bound or control-flow-bound at node level).
+  bool applicable = false;
+  /// Why / why not, in one sentence.
+  std::string reason;
+  /// The node roofline with one kernel per task (empty when not
+  /// applicable).
+  NodeRoofline node_roofline{"n/a", 1.0};
+};
+
+/// Builds the node-level view for a workflow execution.  Tasks without
+/// node-level demand (pure I/O or overhead tasks) are skipped.  The
+/// per-kernel bytes use the task's dominant node memory level (HBM when
+/// present, else DRAM).
+DrillDown drill_down(const core::RooflineModel& model,
+                     const dag::WorkflowGraph& graph,
+                     const trace::WorkflowTrace& trace);
+
+}  // namespace wfr::roofline

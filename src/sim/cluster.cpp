@@ -1,0 +1,36 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::sim {
+
+Cluster::Cluster(int total_nodes) : total_nodes_(total_nodes) {
+  util::require(total_nodes >= 1, "cluster must have >= 1 node");
+}
+
+bool Cluster::can_fit(int count) const {
+  return count >= 1 && count <= total_nodes_;
+}
+
+bool Cluster::try_allocate(int count) {
+  util::require(count >= 1, "allocation must request >= 1 node");
+  util::require(count <= total_nodes_,
+                util::format("allocation of %d nodes exceeds cluster size %d",
+                             count, total_nodes_));
+  if (count > free_nodes()) return false;
+  used_nodes_ += count;
+  peak_used_nodes_ = std::max(peak_used_nodes_, used_nodes_);
+  return true;
+}
+
+void Cluster::release(int count) {
+  util::require(count >= 1 && count <= used_nodes_,
+                util::format("release of %d nodes with %d in use", count,
+                             used_nodes_));
+  used_nodes_ -= count;
+}
+
+}  // namespace wfr::sim

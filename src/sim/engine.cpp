@@ -1,0 +1,215 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::sim {
+
+namespace {
+// Completion threshold: volumes are bytes (up to ~1e16), so anything below
+// a micro-byte of residue is floating-point drift, not real work.
+constexpr double kResidueEpsilon = 1e-6;
+}  // namespace
+
+int Simulator::Resource::finite_flow_count() const {
+  int n = 0;
+  for (const Flow& f : flows)
+    if (!f.background) ++n;
+  return n;
+}
+
+double Simulator::Resource::share_rate() const {
+  if (flows.empty()) return 0.0;
+  return capacity / static_cast<double>(flows.size());
+}
+
+double Simulator::Resource::next_completion_dt() const {
+  const double rate = share_rate();
+  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const Flow& f : flows)
+    if (!f.background) min_remaining = std::min(min_remaining, f.remaining);
+  if (!std::isfinite(min_remaining))
+    return std::numeric_limits<double>::infinity();
+  return min_remaining / rate;
+}
+
+ResourceId Simulator::add_resource(std::string name, double capacity) {
+  util::require(capacity > 0.0, "resource capacity must be > 0 for '" +
+                                    name + "'");
+  Resource r;
+  r.name = std::move(name);
+  r.capacity = capacity;
+  resources_.push_back(std::move(r));
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+void Simulator::set_capacity(ResourceId resource, double capacity) {
+  util::require(capacity > 0.0, "resource capacity must be > 0");
+  resource_ref(resource).capacity = capacity;
+}
+
+double Simulator::capacity(ResourceId resource) const {
+  return resource_ref(resource).capacity;
+}
+
+const std::string& Simulator::resource_name(ResourceId resource) const {
+  return resource_ref(resource).name;
+}
+
+int Simulator::active_flows(ResourceId resource) const {
+  return static_cast<int>(resource_ref(resource).flows.size());
+}
+
+void Simulator::schedule_at(double time, Callback callback) {
+  util::require(time >= now_ - 1e-12,
+                util::format("cannot schedule in the past (%g < %g)", time,
+                             now_));
+  events_payload_.push_back(std::move(callback));
+  events_.push(TimedEvent{std::max(time, now_), next_sequence_++,
+                          events_payload_.size() - 1});
+}
+
+void Simulator::schedule_after(double delay, Callback callback) {
+  util::require(delay >= 0.0, "delay must be >= 0");
+  schedule_at(now_ + delay, std::move(callback));
+}
+
+FlowId Simulator::start_flow(ResourceId resource, double volume,
+                             Callback on_complete) {
+  util::require(volume >= 0.0, "flow volume must be >= 0");
+  if (volume <= kResidueEpsilon) {
+    // Degenerate flow: complete "now" via the event queue so that callback
+    // ordering stays deterministic.
+    schedule_after(0.0, std::move(on_complete));
+    return kInvalidFlow;
+  }
+  Resource& r = resource_ref(resource);
+  Flow f;
+  f.id = next_flow_id_++;
+  f.remaining = volume;
+  f.background = false;
+  f.on_complete = std::move(on_complete);
+  r.flows.push_back(std::move(f));
+  return r.flows.back().id;
+}
+
+FlowId Simulator::start_background_flow(ResourceId resource) {
+  Resource& r = resource_ref(resource);
+  Flow f;
+  f.id = next_flow_id_++;
+  f.remaining = std::numeric_limits<double>::infinity();
+  f.background = true;
+  r.flows.push_back(std::move(f));
+  return r.flows.back().id;
+}
+
+void Simulator::cancel_flow(FlowId flow) {
+  if (flow == kInvalidFlow) return;
+  for (Resource& r : resources_) {
+    auto it = std::find_if(r.flows.begin(), r.flows.end(),
+                           [flow](const Flow& f) { return f.id == flow; });
+    if (it != r.flows.end()) {
+      r.flows.erase(it);
+      return;
+    }
+  }
+}
+
+void Simulator::advance(double dt) {
+  util::ensure(dt >= 0.0, "simulator attempted to move time backwards");
+  if (dt > 0.0) {
+    for (Resource& r : resources_) {
+      if (r.flows.empty()) continue;
+      if (r.finite_flow_count() > 0) r.busy_seconds += dt;
+      const double rate = r.share_rate();
+      for (Flow& f : r.flows) {
+        if (f.background) continue;
+        const double moved = std::min(f.remaining, rate * dt);
+        f.remaining -= moved;
+        r.completed_volume += moved;
+      }
+    }
+    now_ += dt;
+  }
+}
+
+void Simulator::complete_finished_flows() {
+  // Collect finished flows first; callbacks may add flows/events.
+  std::vector<Callback> callbacks;
+  for (Resource& r : resources_) {
+    auto it = r.flows.begin();
+    while (it != r.flows.end()) {
+      if (!it->background && it->remaining <= kResidueEpsilon) {
+        callbacks.push_back(std::move(it->on_complete));
+        it = r.flows.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (Callback& cb : callbacks)
+    if (cb) cb();
+}
+
+bool Simulator::step() {
+  const double dt_event = events_.empty()
+                              ? std::numeric_limits<double>::infinity()
+                              : events_.top().time - now_;
+  double dt_flow = std::numeric_limits<double>::infinity();
+  for (const Resource& r : resources_)
+    dt_flow = std::min(dt_flow, r.next_completion_dt());
+
+  if (!std::isfinite(dt_event) && !std::isfinite(dt_flow)) return false;
+
+  if (dt_event <= dt_flow) {
+    advance(std::max(dt_event, 0.0));
+    const TimedEvent ev = events_.top();
+    events_.pop();
+    Callback cb = std::move(events_payload_[ev.payload]);
+    if (cb) cb();
+  } else {
+    advance(dt_flow);
+    complete_finished_flows();
+  }
+  return true;
+}
+
+void Simulator::run(double time_limit) {
+  while (step()) {
+    util::ensure(now_ <= time_limit,
+                 util::format("simulation exceeded time limit (%g s)",
+                              time_limit));
+  }
+}
+
+double Simulator::completed_volume(ResourceId resource) const {
+  return resource_ref(resource).completed_volume;
+}
+
+double Simulator::busy_seconds(ResourceId resource) const {
+  return resource_ref(resource).busy_seconds;
+}
+
+double Simulator::utilization(ResourceId resource) const {
+  const Resource& r = resource_ref(resource);
+  if (r.busy_seconds <= 0.0) return 0.0;
+  return r.completed_volume / (r.capacity * r.busy_seconds);
+}
+
+Simulator::Resource& Simulator::resource_ref(ResourceId id) {
+  if (id >= resources_.size())
+    throw util::NotFound(util::format("resource id %u out of range", id));
+  return resources_[id];
+}
+
+const Simulator::Resource& Simulator::resource_ref(ResourceId id) const {
+  if (id >= resources_.size())
+    throw util::NotFound(util::format("resource id %u out of range", id));
+  return resources_[id];
+}
+
+}  // namespace wfr::sim

@@ -1,0 +1,150 @@
+#pragma once
+// Discrete-event simulation engine with fair-share bandwidth resources.
+//
+// Two primitives drive everything:
+//   * timed events: a callback at an absolute simulation time;
+//   * flows: a volume moving through a shared resource whose capacity is
+//     split equally among the flows active on it (max-min fair share for a
+//     single resource).  When the set of active flows changes, remaining
+//     completion times are re-derived automatically.
+//
+// Background flows occupy a fair share forever (modeling contention from
+// other workloads, e.g. the paper's "bad days" at LCLS) until cancelled.
+//
+// The engine is deterministic: simultaneous events fire in insertion
+// order.  Callbacks may schedule new events and start new flows.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace wfr::sim {
+
+using Callback = std::function<void()>;
+
+/// Handle to a shared bandwidth resource.
+using ResourceId = std::uint32_t;
+/// Handle to an active flow; valid until the flow completes / is cancelled.
+using FlowId = std::uint64_t;
+
+inline constexpr FlowId kInvalidFlow = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // Non-copyable: callbacks capture `this`.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time in seconds.
+  double now() const { return now_; }
+
+  /// Registers a shared resource with `capacity` in volume-units/second
+  /// (> 0).  Returns its id.
+  ResourceId add_resource(std::string name, double capacity);
+
+  /// Changes a resource's capacity from the current time onward.  Active
+  /// flows' remaining volumes are preserved; their rates change.
+  void set_capacity(ResourceId resource, double capacity);
+
+  double capacity(ResourceId resource) const;
+  const std::string& resource_name(ResourceId resource) const;
+
+  /// Number of flows (finite + background) currently on `resource`.
+  int active_flows(ResourceId resource) const;
+
+  /// Schedules `callback` at absolute time `time` (>= now).
+  void schedule_at(double time, Callback callback);
+
+  /// Schedules `callback` `delay` seconds from now (delay >= 0).
+  void schedule_after(double delay, Callback callback);
+
+  /// Starts moving `volume` units through `resource`; `on_complete` fires
+  /// when the last byte arrives.  Zero volume completes at the current
+  /// time (via a zero-delay event).  Returns the flow id.
+  FlowId start_flow(ResourceId resource, double volume, Callback on_complete);
+
+  /// Starts a flow that never completes but takes a fair share of
+  /// `resource` until cancel_flow() — a contention injector.
+  FlowId start_background_flow(ResourceId resource);
+
+  /// Removes a flow (finite or background).  Completion callbacks of a
+  /// cancelled finite flow never fire.  Unknown ids are ignored (the flow
+  /// may have already completed).
+  void cancel_flow(FlowId flow);
+
+  /// Runs until no timed events remain and no finite flows are active.
+  /// Background flows do not keep the simulation alive.  Throws
+  /// InternalError if time would exceed `time_limit`.
+  void run(double time_limit = std::numeric_limits<double>::infinity());
+
+  /// Advances past the next event.  Returns false when nothing remains.
+  bool step();
+
+  /// Total volume that has completed per resource (for utilization checks).
+  double completed_volume(ResourceId resource) const;
+
+  /// Time during which `resource` had at least one finite flow in flight.
+  double busy_seconds(ResourceId resource) const;
+
+  /// completed_volume / (capacity * busy_seconds): 1.0 when the resource
+  /// was saturated whenever busy (no background flows stealing shares);
+  /// 0 when never busy.
+  double utilization(ResourceId resource) const;
+
+ private:
+  struct Flow {
+    FlowId id = kInvalidFlow;
+    double remaining = 0.0;
+    bool background = false;
+    Callback on_complete;
+  };
+
+  struct Resource {
+    std::string name;
+    double capacity = 0.0;
+    std::vector<Flow> flows;
+    double completed_volume = 0.0;
+    double busy_seconds = 0.0;
+
+    int finite_flow_count() const;
+    /// Per-flow rate under equal sharing; 0 when no flows.
+    double share_rate() const;
+    /// Time until the first finite flow completes; +inf when none.
+    double next_completion_dt() const;
+  };
+
+  struct TimedEvent {
+    double time = 0.0;
+    std::uint64_t sequence = 0;  // tie-break: insertion order
+    // Index into events_payload_ to keep the heap nodes cheap to move.
+    std::size_t payload = 0;
+
+    bool operator>(const TimedEvent& other) const {
+      if (time != other.time) return time > other.time;
+      return sequence > other.sequence;
+    }
+  };
+
+  Resource& resource_ref(ResourceId id);
+  const Resource& resource_ref(ResourceId id) const;
+  /// Moves time forward by dt, draining flow volumes.
+  void advance(double dt);
+  /// Fires completions for flows that have drained.
+  void complete_finished_flows();
+
+  double now_ = 0.0;
+  std::uint64_t next_flow_id_ = 1;
+  std::uint64_t next_sequence_ = 0;
+  std::vector<Resource> resources_;
+  std::priority_queue<TimedEvent, std::vector<TimedEvent>,
+                      std::greater<TimedEvent>>
+      events_;
+  std::vector<Callback> events_payload_;
+};
+
+}  // namespace wfr::sim

@@ -1,0 +1,49 @@
+#pragma once
+// Machine configuration for the simulator: per-node rates plus shared
+// system capacities.  This mirrors the peak numbers the Workflow Roofline
+// model uses for its ceilings; src/core's SystemSpec converts to and from
+// this structure so that the same machine description drives both the
+// analytical model and the simulated execution.
+
+#include <string>
+
+namespace wfr::sim {
+
+/// Peak rates of one machine.  All rates are base units per second (bytes/s
+/// or FLOP/s).  A zero rate means "channel not present" — tasks demanding
+/// that channel on such a machine are a configuration error.
+struct MachineConfig {
+  std::string name = "machine";
+  /// Nodes available to the workflow (the paper's "available nodes").
+  int total_nodes = 1;
+
+  // --- Per-node peaks ------------------------------------------------------
+  double node_flops = 0.0;  // FLOP/s per node
+  double dram_gbs = 0.0;    // CPU memory bytes/s per node
+  double hbm_gbs = 0.0;     // GPU memory bytes/s per node
+  double pcie_gbs = 0.0;    // host<->device bytes/s per node
+  double nic_gbs = 0.0;     // network injection bytes/s per node
+
+  // --- Shared system peaks --------------------------------------------------
+  double fs_gbs = 0.0;        // parallel filesystem aggregate bytes/s
+  double external_gbs = 0.0;  // external ingress (detector/DTN) bytes/s
+
+  /// Validates invariants (total_nodes >= 1, rates >= 0); throws
+  /// InvalidArgument on violation.
+  void validate() const;
+};
+
+/// Perlmutter GPU partition (values from the paper's artifact appendix):
+/// 1792 nodes, 4x9.7 TFLOPS, 4x1555 GB/s HBM, 4x25 GB/s PCIe, 100 GB/s NIC,
+/// 5.6 TB/s filesystem.  DRAM is set to 204.8 GB/s (one Milan socket).
+MachineConfig perlmutter_gpu();
+
+/// Perlmutter CPU partition: 3072 nodes, 5 TFLOPS, 2x204.8 GB/s DRAM,
+/// 25 GB/s NIC, 4.8 TB/s filesystem, 25 GB/s external (DTN).
+MachineConfig perlmutter_cpu();
+
+/// Cori Haswell: 2388 nodes, 1.2 TFLOPS, 129 GB/s DRAM, ~8 GB/s NIC,
+/// 910 GB/s burst-buffer filesystem, 1 GB/s external (2020 LCLS average).
+MachineConfig cori_haswell();
+
+}  // namespace wfr::sim

@@ -1,0 +1,106 @@
+#pragma once
+// Workflow runner: executes a dag::WorkflowGraph on a MachineConfig through
+// the discrete-event engine and emits a trace::WorkflowTrace.
+//
+// Execution model per task (phases in order):
+//   1. overhead       — fixed serial delay (bash/srun/python);
+//   2. external_in    — flow on the shared external-ingress resource;
+//   3. fs_read        — flow on the shared filesystem resource;
+//   4. work           — node-local delay: the max over compute, DRAM, HBM
+//                       and PCIe channel times plus the task's network time
+//                       at its aggregate NIC bandwidth (overlapped-channel
+//                       roofline assumption);
+//   5. fs_write       — flow on the shared filesystem resource.
+//
+// Shared resources use fair-share bandwidth, so concurrent tasks (and any
+// configured background contention) slow each other down — exactly the
+// mechanism behind the paper's LCLS "good day / bad day" observation.
+//
+// A task with fixed_duration_seconds >= 0 pads its work phase so that,
+// absent contention, its total duration equals the fixed value; when the
+// I/O phases take longer than the fixed duration allows, the task simply
+// takes longer (contention cannot be waived by fiat).
+
+#include <functional>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "math/rng.hpp"
+#include "sim/machine.hpp"
+#include "trace/timeline.hpp"
+
+namespace wfr::sim {
+
+/// A contention injector: `flows` background flows occupying fair shares
+/// of one shared channel for [start_seconds, end_seconds).
+struct BackgroundLoad {
+  enum class Channel { kFilesystem, kExternal };
+  Channel channel = Channel::kFilesystem;
+  int flows = 1;
+  double start_seconds = 0.0;
+  /// Negative means "until the simulation ends".
+  double end_seconds = -1.0;
+};
+
+/// Options controlling a workflow run.
+struct RunOptions {
+  /// Node-pool size; 0 means "the whole machine".
+  int pool_nodes = 0;
+  /// Contention injectors.
+  std::vector<BackgroundLoad> background;
+  /// When set, the work phase of each task is jittered by a lognormal
+  /// factor exp(N(0, sigma)); 0 disables jitter.
+  double work_jitter_sigma = 0.0;
+  /// Failure injection: probability that a task attempt fails at the end
+  /// of its work phase and restarts from its first phase.  0 disables.
+  double failure_probability = 0.0;
+  /// Attempts per task before the whole run is declared failed (throws
+  /// util::Error).  Only meaningful with failure_probability > 0.
+  int max_attempts = 3;
+  /// Seed for jitter and failure draws.
+  std::uint64_t seed = 0;
+  /// Hard wall on simulated time; guards against configuration errors.
+  double time_limit_seconds = 1e12;
+};
+
+/// Derived, contention-free duration of one task's work phase on `machine`
+/// (max over node channels; network at nodes*nic).  Exposed for the
+/// analytical model and tests.
+double work_phase_seconds(const dag::TaskSpec& task,
+                          const MachineConfig& machine);
+
+/// Contention-free estimate of a full task duration (all phases, shared
+/// channels at full capacity).  Used for fixed-duration padding and quick
+/// estimates.
+double uncontended_task_seconds(const dag::TaskSpec& task,
+                                const MachineConfig& machine);
+
+/// Executes `graph` on `machine` and returns the trace.  Throws
+/// InvalidArgument when a task demands a channel the machine lacks or
+/// needs more nodes than the pool.
+trace::WorkflowTrace run_workflow(const dag::WorkflowGraph& graph,
+                                  const MachineConfig& machine,
+                                  const RunOptions& options = {});
+
+/// Occupancy of one shared channel over a run.
+struct ChannelStats {
+  double busy_seconds = 0.0;  // time with >= 1 workflow flow in flight
+  double volume_bytes = 0.0;  // bytes delivered to workflow flows
+  /// Delivered volume / (capacity x busy time); < 1 under background
+  /// contention, 1 when the channel was saturated whenever busy.
+  double utilization = 0.0;
+};
+
+/// run_workflow plus the shared-channel occupancy statistics.
+struct RunResult {
+  trace::WorkflowTrace trace;
+  ChannelStats filesystem;
+  ChannelStats external;
+  int peak_nodes_used = 0;
+};
+
+RunResult run_workflow_detailed(const dag::WorkflowGraph& graph,
+                                const MachineConfig& machine,
+                                const RunOptions& options = {});
+
+}  // namespace wfr::sim

@@ -1,0 +1,13 @@
+#include "util/error.hpp"
+
+namespace wfr::util {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+void ensure(bool condition, const std::string& message) {
+  if (!condition) throw InternalError(message);
+}
+
+}  // namespace wfr::util

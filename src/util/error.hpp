@@ -1,0 +1,51 @@
+#pragma once
+// Error handling for the workflow-roofline library.
+//
+// The library throws exceptions derived from wfr::util::Error for
+// unrecoverable misuse (invalid specifications, parse failures, broken
+// invariants detected at API boundaries).  Hot paths (the simulator event
+// loop, model evaluation) validate inputs up front and are exception-free
+// afterwards.
+
+#include <stdexcept>
+#include <string>
+
+namespace wfr::util {
+
+/// Base class for all exceptions thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller supplied an argument that violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Text (JSON, units, workflow descriptions) failed to parse.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A named entity (task, resource, field) was not found.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated; indicates a library bug.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgument with `message` when `condition` is false.
+void require(bool condition, const std::string& message);
+
+/// Throws InternalError with `message` when `condition` is false.
+void ensure(bool condition, const std::string& message);
+
+}  // namespace wfr::util

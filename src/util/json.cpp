@@ -1,0 +1,459 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::util {
+
+// --- JsonObject ------------------------------------------------------------
+
+void JsonObject::set(std::string key, Json value) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+bool JsonObject::contains(std::string_view key) const {
+  return find(key) != nullptr;
+}
+
+const Json* JsonObject::find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& JsonObject::at(std::string_view key) const {
+  const Json* v = find(key);
+  if (v == nullptr) throw NotFound("missing JSON member '" + std::string(key) + "'");
+  return *v;
+}
+
+// --- Typed accessors --------------------------------------------------------
+
+namespace {
+const char* type_name(Json::Type t) {
+  switch (t) {
+    case Json::Type::kNull: return "null";
+    case Json::Type::kBool: return "bool";
+    case Json::Type::kNumber: return "number";
+    case Json::Type::kString: return "string";
+    case Json::Type::kArray: return "array";
+    case Json::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_error(Json::Type actual, const char* wanted) {
+  throw ParseError(std::string("JSON type mismatch: wanted ") + wanted +
+                   ", got " + type_name(actual));
+}
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error(type_, "bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber) type_error(type_, "number");
+  return number_;
+}
+
+std::int64_t Json::as_int() const {
+  const double d = as_number();
+  const double r = std::nearbyint(d);
+  if (std::fabs(d - r) > 1e-9)
+    throw ParseError(format("JSON number %g is not an integer", d));
+  return static_cast<std::int64_t>(r);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error(type_, "string");
+  return string_;
+}
+
+const JsonArray& Json::as_array() const {
+  if (type_ != Type::kArray) type_error(type_, "array");
+  return array_;
+}
+
+const JsonObject& Json::as_object() const {
+  if (type_ != Type::kObject) type_error(type_, "object");
+  return object_;
+}
+
+JsonArray& Json::as_array() {
+  if (type_ != Type::kArray) type_error(type_, "array");
+  return array_;
+}
+
+JsonObject& Json::as_object() {
+  if (type_ != Type::kObject) type_error(type_, "object");
+  return object_;
+}
+
+const Json& Json::at(std::string_view key) const { return as_object().at(key); }
+
+const Json& Json::at(std::size_t index) const {
+  const JsonArray& a = as_array();
+  if (index >= a.size())
+    throw NotFound(format("JSON array index %zu out of range (size %zu)",
+                          index, a.size()));
+  return a[index];
+}
+
+double Json::number_or(std::string_view key, double fallback) const {
+  const Json* v = as_object().find(key);
+  return v == nullptr ? fallback : v->as_number();
+}
+
+std::string Json::string_or(std::string_view key, std::string fallback) const {
+  const Json* v = as_object().find(key);
+  return v == nullptr ? fallback : v->as_string();
+}
+
+bool Json::bool_or(std::string_view key, bool fallback) const {
+  const Json* v = as_object().find(key);
+  return v == nullptr ? fallback : v->as_bool();
+}
+
+// --- Parser ------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw ParseError(format("JSON parse error at line %zu col %zu: %s", line,
+                            col, message.c_str()));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        // Allow // line comments in spec files.
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(format("expected '%c'", c));
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_whitespace();
+      const char d = take();
+      if (d == '}') break;
+      if (d != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return Json(std::move(obj));
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_whitespace();
+      const char d = take();
+      if (d == ']') break;
+      if (d != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return Json(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') break;
+      if (c == '\\') {
+        const char e = take();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("invalid \\u escape");
+            }
+            // Encode as UTF-8 (basic multilingual plane only; surrogate
+            // pairs are not needed for spec files).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("invalid escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) {
+      pos_ = start;
+      fail("malformed number '" + num + "'");
+    }
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void write_escaped(std::string* out, const std::string& s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += format("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void write_number(std::string* out, double d) {
+  if (d == std::nearbyint(d) && std::fabs(d) < 1e15) {
+    *out += format("%.0f", d);
+  } else {
+    *out += format("%.17g", d);
+  }
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+void Json::write(std::string* out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ') : "";
+  const std::string closing_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: write_number(out, number_); break;
+    case Type::kString: write_escaped(out, string_); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      *out += nl;
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        *out += pad;
+        array_[i].write(out, indent, depth + 1);
+        if (i + 1 < array_.size()) *out += ',';
+        *out += nl;
+      }
+      *out += closing_pad;
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      *out += nl;
+      const auto& m = object_.members();
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        *out += pad;
+        write_escaped(out, m[i].first);
+        *out += colon;
+        m[i].second.write(out, indent, depth + 1);
+        if (i + 1 < m.size()) *out += ',';
+        *out += nl;
+      }
+      *out += closing_pad;
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  write(&out, 0, 0);
+  return out;
+}
+
+std::string Json::pretty() const {
+  std::string out;
+  write(&out, 2, 0);
+  return out;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return number_ == other.number_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return array_ == other.array_;
+    case Type::kObject: {
+      if (object_.size() != other.object_.size()) return false;
+      for (const auto& [k, v] : object_.members()) {
+        const Json* o = other.object_.find(k);
+        if (o == nullptr || !(v == *o)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace wfr::util

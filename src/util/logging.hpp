@@ -1,0 +1,26 @@
+#pragma once
+// Minimal leveled logging.  Off by default above kWarn; tests and the CLI
+// can raise verbosity.  Not thread-buffered: intended for coarse progress
+// and diagnostics, not per-event simulator chatter.
+
+#include <string>
+
+namespace wfr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted (default kWarn).
+void set_log_level(LogLevel level);
+
+/// Returns the current global log level.
+LogLevel log_level();
+
+/// Emits `message` to stderr when `level` >= the global level.
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace wfr::util

@@ -1,0 +1,140 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace wfr::util {
+
+namespace {
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_whitespace(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string repeat(std::string_view s, std::size_t count) {
+  std::string out;
+  out.reserve(s.size() * count);
+  for (std::size_t i = 0; i < count; ++i) out += s;
+  return out;
+}
+
+std::string pad_right(std::string_view s, std::size_t w) {
+  std::string out(s);
+  if (out.size() < w) out.append(w - out.size(), ' ');
+  return out;
+}
+
+std::string pad_left(std::string_view s, std::size_t w) {
+  std::string out(s);
+  if (out.size() < w) out.insert(out.begin(), w - out.size(), ' ');
+  return out;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out += s.substr(pos);
+      break;
+    }
+    out += s.substr(pos, hit - pos);
+    out += to;
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+std::string xml_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace wfr::util

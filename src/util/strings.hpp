@@ -1,0 +1,50 @@
+#pragma once
+// Small string utilities shared across the library.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wfr::util {
+
+/// Returns `s` with leading and trailing ASCII whitespace removed.
+std::string trim(std::string_view s);
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits `s` on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> split_whitespace(std::string_view s);
+
+/// ASCII lower-cases `s`.
+std::string to_lower(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True when `s` ends with `suffix`.
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Repeats `s` `count` times.
+std::string repeat(std::string_view s, std::size_t count);
+
+/// Pads `s` with spaces on the right (left-aligned) to width `w`.
+std::string pad_right(std::string_view s, std::size_t w);
+
+/// Pads `s` with spaces on the left (right-aligned) to width `w`.
+std::string pad_left(std::string_view s, std::size_t w);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Replaces every occurrence of `from` in `s` with `to`.
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to);
+
+/// Escapes the XML special characters &, <, >, ", '.
+std::string xml_escape(std::string_view s);
+
+}  // namespace wfr::util

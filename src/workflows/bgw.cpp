@@ -1,0 +1,49 @@
+#include "workflows/bgw.hpp"
+
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "util/error.hpp"
+
+namespace wfr::workflows {
+
+BgwStudyResult run_bgw(int nodes, const analytical::BgwParams& params) {
+  const core::SystemSpec system = core::SystemSpec::perlmutter_gpu();
+
+  BgwStudyResult result{
+      nodes,
+      analytical::bgw_graph(params, nodes),
+      {},
+      analytical::bgw_characterization(params, nodes),
+      core::RooflineModel(system, {}),
+      {},
+      {}};
+
+  result.trace = sim::run_workflow(result.graph, system.to_machine());
+
+  // The simulated makespan must land on the paper's measured total (the
+  // fixed task durations are the measured values; I/O is tiny).
+  result.characterization.makespan_seconds = result.trace.makespan_seconds();
+  result.model = core::build_model(system, result.characterization);
+
+  result.task_view =
+      core::task_view_from_trace(result.graph, result.trace, system);
+
+  std::vector<double> durations(result.graph.task_count(), 0.0);
+  for (const trace::TaskRecord& r : result.trace.records())
+    durations[r.task] = r.duration();
+  result.critical_path = result.graph.critical_path(durations);
+  return result;
+}
+
+core::TaskView bgw_combined_task_view(const analytical::BgwParams& params) {
+  core::TaskView combined;
+  for (int nodes : {analytical::kBgwSmallNodes, analytical::kBgwLargeNodes}) {
+    const BgwStudyResult r = run_bgw(nodes, params);
+    for (const core::TaskViewEntry& e : r.task_view.entries())
+      combined.add(e);
+  }
+  return combined;
+}
+
+}  // namespace wfr::workflows

@@ -1,0 +1,68 @@
+#include "workflows/cosmoflow.hpp"
+
+#include "sim/runner.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::workflows {
+
+namespace {
+core::SystemSpec cosmoflow_system(const analytical::CosmoFlowParams& params) {
+  core::SystemSpec system = core::SystemSpec::perlmutter_gpu();
+  // The throughput benchmark cannot use the 256 large-memory nodes; the
+  // parallelism wall is 1536 / 128 = 12 instances.
+  system.total_nodes = params.usable_nodes;
+  return system;
+}
+}  // namespace
+
+CosmoPoint run_cosmoflow_point(const analytical::CosmoFlowParams& params,
+                               int instances) {
+  const core::SystemSpec system = cosmoflow_system(params);
+  const dag::WorkflowGraph graph =
+      analytical::cosmoflow_graph(params, instances);
+  const trace::WorkflowTrace trace =
+      sim::run_workflow(graph, system.to_machine());
+  CosmoPoint point;
+  point.instances = instances;
+  point.makespan_seconds = trace.makespan_seconds();
+  point.epochs_per_second =
+      static_cast<double>(instances * params.epochs_per_instance) /
+      point.makespan_seconds;
+  return point;
+}
+
+CosmoStudyResult run_cosmoflow(const analytical::CosmoFlowParams& params) {
+  params.validate();
+  const core::SystemSpec system = cosmoflow_system(params);
+  const int max_instances = analytical::cosmoflow_max_instances(params);
+
+  CosmoStudyResult result{params,
+                          {},
+                          core::RooflineModel(system, {}),
+                          analytical::cosmoflow_hbm_epoch_seconds(
+                              params, system.node.hbm_gbs),
+                          analytical::cosmoflow_pcie_epoch_seconds(
+                              params, system.node.pcie_gbs),
+                          max_instances};
+
+  for (int i = 1; i <= max_instances; ++i)
+    result.sweep.push_back(run_cosmoflow_point(params, i));
+
+  core::WorkflowCharacterization c =
+      analytical::cosmoflow_characterization(params, max_instances);
+  c.makespan_seconds = result.sweep.back().makespan_seconds;
+  result.model = core::build_model(system, c);
+  result.model.set_dot_label(0, util::format("%d instances", max_instances));
+  for (const CosmoPoint& p : result.sweep) {
+    if (p.instances == max_instances) continue;  // already the measured dot
+    core::Dot d;
+    d.label = util::format("%d", p.instances);
+    d.parallel_tasks = p.instances;
+    d.tps = p.epochs_per_second;
+    result.model.add_dot(std::move(d));
+  }
+  return result;
+}
+
+}  // namespace wfr::workflows

@@ -1,0 +1,40 @@
+#pragma once
+// CosmoFlow case study (paper Fig. 8): a hyperparameter-tuning-style
+// throughput benchmark on PM-GPU, ultimately HBM-bound, with a
+// 12-instance parallelism wall and throughput linear in the instance
+// count.
+
+#include <vector>
+
+#include "analytical/cosmoflow_model.hpp"
+#include "core/model.hpp"
+#include "trace/timeline.hpp"
+
+namespace wfr::workflows {
+
+/// One point of the instance sweep.
+struct CosmoPoint {
+  int instances = 0;
+  double makespan_seconds = 0.0;
+  double epochs_per_second = 0.0;
+};
+
+struct CosmoStudyResult {
+  analytical::CosmoFlowParams params;
+  std::vector<CosmoPoint> sweep;     // 1 .. max instances
+  core::RooflineModel model;         // ceilings at the wall + sweep dots
+  double hbm_epoch_seconds = 0.0;    // 4.2 s on PM-GPU
+  double pcie_epoch_seconds = 0.0;   // 0.8 s on PM-GPU
+  int max_instances = 0;             // 12 on PM-GPU
+};
+
+/// Sweeps 1..max instances on PM-GPU (the large-memory nodes excluded)
+/// and assembles the Fig. 8 model.
+CosmoStudyResult run_cosmoflow(
+    const analytical::CosmoFlowParams& params = {});
+
+/// Runs one instance count through the simulator; exposed for tests.
+CosmoPoint run_cosmoflow_point(const analytical::CosmoFlowParams& params,
+                               int instances);
+
+}  // namespace wfr::workflows

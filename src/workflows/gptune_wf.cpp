@@ -1,0 +1,71 @@
+#include "workflows/gptune_wf.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace wfr::workflows {
+
+GptuneStudyResult run_gptune(std::uint64_t seed,
+                             const analytical::GptuneParams& params) {
+  params.validate();
+
+  auto run_mode = [&](autotune::ControlFlowMode mode) {
+    autotune::SuperluSurface surface(params.matrix_dim);
+    autotune::CampaignConfig cfg;
+    cfg.mode = mode;
+    cfg.tuner.total_samples = params.samples;
+    cfg.tuner.seed = seed;
+    return autotune::run_campaign(surface, cfg);
+  };
+
+  GptuneStudyResult result;
+  result.rci = run_mode(autotune::ControlFlowMode::kRci);
+  result.spawn = run_mode(autotune::ControlFlowMode::kSpawn);
+  result.projected = run_mode(autotune::ControlFlowMode::kProjected);
+
+  result.spawn_over_rci =
+      result.rci.total_seconds / result.spawn.total_seconds;
+  result.projected_over_spawn =
+      result.spawn.total_seconds / result.projected.total_seconds;
+
+  // Fig. 10a: the RCI characterization carries the measured dot; the
+  // irreducible (python-free) campaign time forms the control-flow
+  // diagonal the projected dot rides.
+  const core::SystemSpec system = core::SystemSpec::perlmutter_cpu();
+  core::WorkflowCharacterization c = analytical::gptune_characterization(
+      params, result.rci, result.projected.total_seconds);
+  result.model = core::build_model(system, c);
+  result.model.set_dot_label(0, "RCI");
+
+  // Second filesystem ceiling: the Spawn metadata volume (40 MB vs 45 MB;
+  // the two horizontals nearly coincide — the paper's pattern-over-volume
+  // insight).
+  const double spawn_fs_per_task =
+      result.spawn.fs_bytes / static_cast<double>(params.samples);
+  result.model.add_ceiling(core::Ceiling::horizontal(
+      core::Channel::kFilesystem,
+      util::format("File System (Spawn) %s @ %s",
+                   util::format_bytes(result.spawn.fs_bytes).c_str(),
+                   util::format_rate(system.fs_gbs).c_str()),
+      system.fs_gbs / spawn_fs_per_task));
+
+  core::Dot spawn_dot;
+  spawn_dot.label = "Spawn";
+  spawn_dot.parallel_tasks = 1;
+  spawn_dot.tps = result.spawn.samples_per_second();
+  result.model.add_dot(std::move(spawn_dot));
+
+  core::Dot projected_dot;
+  projected_dot.label = "projected (no python)";
+  projected_dot.parallel_tasks = 1;
+  projected_dot.tps = result.projected.samples_per_second();
+  projected_dot.style = "projected";
+  result.model.add_dot(std::move(projected_dot));
+
+  result.breakdowns = {result.rci.breakdown, result.spawn.breakdown,
+                       result.projected.breakdown};
+  return result;
+}
+
+}  // namespace wfr::workflows

@@ -1,0 +1,35 @@
+#pragma once
+// GPTune case study (paper Figs. 9-10): an auto-tuner bound by its data
+// control flow.  The same Bayesian-optimization campaign (a real GP + EI
+// loop over the synthetic SuperLU_DIST surface) runs under the RCI and
+// Spawn control flows; the projected variant removes the python overhead.
+
+#include <vector>
+
+#include "analytical/gptune_model.hpp"
+#include "autotune/control_flow.hpp"
+#include "core/model.hpp"
+#include "trace/summary.hpp"
+
+namespace wfr::workflows {
+
+struct GptuneStudyResult {
+  autotune::CampaignResult rci;
+  autotune::CampaignResult spawn;
+  autotune::CampaignResult projected;
+  /// The Fig. 10a model: ceilings from the RCI characterization plus the
+  /// Spawn filesystem ceiling, with RCI/Spawn measured dots and the
+  /// projected open dot.
+  core::RooflineModel model;
+  /// The Fig. 10b bars, in RCI / Spawn / Projected order.
+  std::vector<trace::TimeBreakdown> breakdowns;
+  /// Speedup ratios the paper calls out.
+  double spawn_over_rci = 0.0;       // ~2.4x
+  double projected_over_spawn = 0.0; // ~12x
+};
+
+/// Runs all three campaign variants with the given seed.
+GptuneStudyResult run_gptune(std::uint64_t seed = 1,
+                             const analytical::GptuneParams& params = {});
+
+}  // namespace wfr::workflows

@@ -1,0 +1,51 @@
+#pragma once
+// LCLS case study (paper Figs. 4-6): time-sensitive XFEL analysis, bound
+// by the system external bandwidth.  Scenarios reproduce the paper's
+// "good day" / "bad day" contention split on Cori-HSW and the DTN-based
+// ingest on PM-CPU.
+
+#include <string>
+
+#include "analytical/lcls_model.hpp"
+#include "core/model.hpp"
+#include "dag/graph.hpp"
+#include "trace/summary.hpp"
+#include "trace/timeline.hpp"
+
+namespace wfr::workflows {
+
+/// One LCLS execution scenario: a system plus the aggregate external
+/// bandwidth observed that day.
+struct LclsScenario {
+  std::string label;
+  core::SystemSpec system;  // external_gbs holds the scenario bandwidth
+  int cores_per_node = 32;
+  bool target_2024 = false;
+};
+
+/// Cori-HSW, good day: each of the five streams sustains ~1 GB/s
+/// (5 GB/s aggregate).  End-to-end lands at the paper's ~17 minutes.
+LclsScenario lcls_cori_good_day();
+/// Cori-HSW, bad day: 5x contention drop (1 GB/s aggregate, ~85 minutes).
+LclsScenario lcls_cori_bad_day();
+/// PM-CPU via a data transfer node at 25 GB/s (Fig. 6), 2024 target.
+LclsScenario lcls_pm_dtn();
+/// PM-CPU with the observed 5x contention drop to 5 GB/s.
+LclsScenario lcls_pm_dtn_contended();
+
+/// Everything the figures need from one scenario run.
+struct LclsStudyResult {
+  LclsScenario scenario;
+  dag::WorkflowGraph graph;
+  trace::WorkflowTrace trace;
+  core::WorkflowCharacterization characterization;  // measured makespan set
+  core::RooflineModel model;
+  /// Fig. 5b wall-clock split: "Loading data" vs "Analysis".
+  trace::TimeBreakdown breakdown;
+};
+
+/// Runs the scenario through the simulator and assembles the model.
+LclsStudyResult run_lcls(const LclsScenario& scenario,
+                         const analytical::LclsParams& params = {});
+
+}  // namespace wfr::workflows

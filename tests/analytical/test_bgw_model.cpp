@@ -1,0 +1,97 @@
+#include "analytical/bgw_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wfr::analytical {
+namespace {
+
+TEST(BgwModel, MeasuredTaskTimesSumToPaperTotals) {
+  const BgwParams p;
+  const auto [e64, s64] = bgw_measured_task_seconds(p, 64);
+  EXPECT_NEAR(e64 + s64, 4184.86, 1e-9);
+  const auto [e1024, s1024] = bgw_measured_task_seconds(p, 1024);
+  EXPECT_NEAR(e1024 + s1024, 404.74, 1e-9);
+  // Sigma dominates at both scales (Fig. 7c).
+  EXPECT_GT(s64, e64);
+  EXPECT_GT(s1024, e1024);
+}
+
+TEST(BgwModel, EpsilonFartherFromItsCeiling) {
+  const BgwParams p;
+  for (int nodes : {64, 1024}) {
+    const auto [e, s] = bgw_measured_task_seconds(p, nodes);
+    const double n = nodes;
+    const double ceiling_e = p.epsilon_flops / n / 38.8e12;
+    const double ceiling_s = p.sigma_flops / n / 38.8e12;
+    // Efficiency = ceiling time / measured time; Epsilon must be lower
+    // (farther from its ceiling), the paper's Fig. 7c observation.
+    EXPECT_LT(ceiling_e / e, ceiling_s / s);
+  }
+}
+
+TEST(BgwModel, GraphIsTwoStageChain) {
+  const dag::WorkflowGraph g = bgw_graph(BgwParams{}, 64);
+  EXPECT_EQ(g.task_count(), 2u);
+  EXPECT_EQ(g.level_count(), 2);
+  EXPECT_EQ(g.max_parallel_tasks(), 1);  // one task per level
+  const dag::TaskId sigma = g.find_task("sigma");
+  EXPECT_EQ(g.predecessors(sigma).size(), 1u);
+}
+
+TEST(BgwModel, GraphDemandsMatchReportedTotals) {
+  const BgwParams p;
+  const dag::WorkflowGraph g = bgw_graph(p, 64);
+  const dag::ResourceDemand total = g.total_demand();
+  // 70 GB filesystem total across the chain.
+  EXPECT_NEAR(total.fs_read_bytes + total.fs_write_bytes, 70e9, 1e-3);
+  // Network volume split sums to the fixed strong-scaling total.
+  EXPECT_NEAR(total.network_bytes, 2676e9 * 64.0, 1.0);
+  // Per-node flops at 64 nodes: 1164/64 and 3226/64 PFLOP.
+  EXPECT_NEAR(g.task(g.find_task("epsilon")).demand.flops_per_node,
+              1164e15 / 64.0, 1e6);
+  EXPECT_NEAR(g.task(g.find_task("sigma")).demand.flops_per_node,
+              3226e15 / 64.0, 1e6);
+}
+
+TEST(BgwModel, CharacterizationNodeCeilingFormula) {
+  const core::WorkflowCharacterization c =
+      bgw_characterization(BgwParams{}, 64);
+  // (1164 + 3226) PFLOP / 64 nodes, the paper's node-ceiling numerator.
+  EXPECT_NEAR(c.flops_per_node, (1164e15 + 3226e15) / 64.0, 1e6);
+  EXPECT_EQ(c.total_tasks, 2);
+  EXPECT_EQ(c.parallel_tasks, 1);
+  EXPECT_DOUBLE_EQ(c.makespan_seconds, 4184.86);
+  // Full campaign network volume per slot.
+  EXPECT_NEAR(c.network_bytes_per_task, 2676e9 * 64.0, 1.0);
+}
+
+TEST(BgwModel, PerNodeNetworkVolumeShrinksWithScale) {
+  const BgwParams p;
+  const core::WorkflowCharacterization c64 = bgw_characterization(p, 64);
+  const core::WorkflowCharacterization c1024 = bgw_characterization(p, 1024);
+  // The total is scale-invariant; per-node volume is total / N, so the
+  // paper's appendix pairing (64 -> 2676 GB/node, 1024 -> 168 GB/node)
+  // falls out.
+  EXPECT_NEAR(c64.network_bytes_per_task / 64.0, 2676e9, 1e9);
+  EXPECT_NEAR(c1024.network_bytes_per_task / 1024.0, 167.25e9, 1e9);
+}
+
+TEST(BgwModel, UnsupportedScaleThrows) {
+  EXPECT_THROW(bgw_graph(BgwParams{}, 128), util::InvalidArgument);
+  EXPECT_THROW(bgw_measured_task_seconds(BgwParams{}, 7),
+               util::InvalidArgument);
+}
+
+TEST(BgwModel, Validation) {
+  BgwParams p;
+  p.epsilon_time_fraction_64 = 1.5;
+  EXPECT_THROW(p.validate(), util::InvalidArgument);
+  p = BgwParams{};
+  p.epsilon_flops = 0.0;
+  EXPECT_THROW(p.validate(), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wfr::analytical

@@ -1,0 +1,77 @@
+#include "analytical/cosmoflow_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wfr::analytical {
+namespace {
+
+TEST(CosmoModel, PcieVolumeMatchesPaper80GbPerNode) {
+  // 10 TB decompressed over 128 nodes: ~78 GB/node (the paper rounds to
+  // 80 GB).
+  EXPECT_NEAR(cosmoflow_pcie_bytes_per_node(CosmoFlowParams{}), 78.125e9,
+              1e6);
+}
+
+TEST(CosmoModel, PcieEpochTimeIs0Point8Seconds) {
+  // At 100 GB/s/node PCIe.
+  EXPECT_NEAR(cosmoflow_pcie_epoch_seconds(CosmoFlowParams{}, 100e9), 0.78,
+              0.03);
+}
+
+TEST(CosmoModel, HbmEpochTimeIs4Point2Seconds) {
+  // 2^19 samples x 6.4 GB at 4 x 1555 GB/s x 128 nodes.
+  EXPECT_NEAR(cosmoflow_hbm_epoch_seconds(CosmoFlowParams{}, 4.0 * 1555e9),
+              4.2, 0.05);
+}
+
+TEST(CosmoModel, HbmDominatesPcie) {
+  // The paper's conclusion: HBM is ultimately the limitation.
+  const CosmoFlowParams p;
+  EXPECT_GT(cosmoflow_hbm_epoch_seconds(p, 4.0 * 1555e9),
+            cosmoflow_pcie_epoch_seconds(p, 100e9));
+}
+
+TEST(CosmoModel, TwelveInstanceWall) {
+  EXPECT_EQ(cosmoflow_max_instances(CosmoFlowParams{}), 12);
+}
+
+TEST(CosmoModel, GraphShape) {
+  const dag::WorkflowGraph g = cosmoflow_graph(CosmoFlowParams{}, 12);
+  EXPECT_EQ(g.task_count(), 12u);
+  EXPECT_EQ(g.max_parallel_tasks(), 12);  // fully independent instances
+  const dag::TaskSpec& t = g.task(0);
+  EXPECT_EQ(t.nodes, 128);
+  EXPECT_DOUBLE_EQ(t.demand.fs_read_bytes, 2e12);
+  // 25 epochs of HBM traffic per instance.
+  EXPECT_NEAR(t.demand.hbm_bytes_per_node,
+              25.0 * cosmoflow_hbm_bytes_per_node(CosmoFlowParams{}), 1.0);
+}
+
+TEST(CosmoModel, GraphRejectsTooManyInstances) {
+  EXPECT_THROW(cosmoflow_graph(CosmoFlowParams{}, 13), util::InvalidArgument);
+  EXPECT_THROW(cosmoflow_graph(CosmoFlowParams{}, 0), util::InvalidArgument);
+}
+
+TEST(CosmoModel, CharacterizationEpochAccounting) {
+  const core::WorkflowCharacterization c =
+      cosmoflow_characterization(CosmoFlowParams{}, 12);
+  EXPECT_EQ(c.total_tasks, 300);     // 12 instances x 25 epochs
+  EXPECT_EQ(c.parallel_tasks, 12);
+  EXPECT_EQ(c.nodes_per_task, 128);
+  // Paper's Fig. 8 filesystem normalization: per-instance 2 TB.
+  EXPECT_DOUBLE_EQ(c.fs_bytes_per_task, 2e12);
+}
+
+TEST(CosmoModel, Validation) {
+  CosmoFlowParams p;
+  p.decompressed_bytes = 1e9;  // smaller than the compressed set
+  EXPECT_THROW(p.validate(), util::InvalidArgument);
+  p = CosmoFlowParams{};
+  p.usable_nodes = 64;  // less than one instance
+  EXPECT_THROW(p.validate(), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wfr::analytical

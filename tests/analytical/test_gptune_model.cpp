@@ -1,0 +1,61 @@
+#include "analytical/gptune_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wfr::analytical {
+namespace {
+
+autotune::CampaignResult rci_campaign() {
+  autotune::SuperluSurface surface(4960);
+  autotune::CampaignConfig cfg;
+  cfg.mode = autotune::ControlFlowMode::kRci;
+  cfg.tuner.total_samples = 40;
+  cfg.tuner.seed = 2;
+  return autotune::run_campaign(surface, cfg);
+}
+
+TEST(GptuneModel, MetadataEstimateMatchesAppendixVolumes) {
+  const GptuneParams p;
+  // The appendix reports 45 MB (RCI) and 40 MB (Spawn).
+  EXPECT_NEAR(gptune_metadata_bytes(p, /*rci_mode=*/true), 45e6, 2e6);
+  EXPECT_NEAR(gptune_metadata_bytes(p, /*rci_mode=*/false), 40e6, 2e6);
+  EXPECT_GT(gptune_metadata_bytes(p, true), gptune_metadata_bytes(p, false));
+}
+
+TEST(GptuneModel, MetadataGrowsWithMatrixDim) {
+  GptuneParams small;
+  GptuneParams large;
+  large.matrix_dim = 4960 * 2;
+  EXPECT_GT(gptune_metadata_bytes(large, true),
+            gptune_metadata_bytes(small, true));
+}
+
+TEST(GptuneModel, CharacterizationShape) {
+  const autotune::CampaignResult campaign = rci_campaign();
+  const core::WorkflowCharacterization c =
+      gptune_characterization(GptuneParams{}, campaign, 19.0);
+  EXPECT_EQ(c.total_tasks, 40);
+  EXPECT_EQ(c.parallel_tasks, 1);  // serialized application runs
+  EXPECT_EQ(c.nodes_per_task, 1);
+  EXPECT_DOUBLE_EQ(c.dram_bytes_per_node, 3344e6);
+  EXPECT_DOUBLE_EQ(c.overhead_seconds_per_task, 19.0);
+  EXPECT_NEAR(c.makespan_seconds, campaign.total_seconds, 1e-9);
+  EXPECT_NEAR(c.fs_bytes_per_task, campaign.fs_bytes / 40.0, 1.0);
+}
+
+TEST(GptuneModel, Validation) {
+  const autotune::CampaignResult campaign = rci_campaign();
+  EXPECT_THROW(gptune_characterization(GptuneParams{}, campaign, 0.0),
+               util::InvalidArgument);
+  GptuneParams bad;
+  bad.samples = 0;
+  EXPECT_THROW(bad.validate(), util::InvalidArgument);
+  bad = GptuneParams{};
+  bad.cpu_bytes_per_socket = 0.0;
+  EXPECT_THROW(bad.validate(), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wfr::analytical

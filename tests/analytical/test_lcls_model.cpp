@@ -1,0 +1,79 @@
+#include "analytical/lcls_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace wfr::analytical {
+namespace {
+
+TEST(LclsModel, NodesPerTaskMatchesPaperWalls) {
+  const LclsParams p;
+  // Cori Haswell (32 cores): 1024 ranks -> 32 nodes -> wall 2388/32 = 74.
+  EXPECT_EQ(lcls_nodes_per_task(p, 32), 32);
+  // PM-CPU (128 cores): 8 nodes -> wall 3072/8 = 384.
+  EXPECT_EQ(lcls_nodes_per_task(p, 128), 8);
+}
+
+TEST(LclsModel, NodesPerTaskRoundsUp) {
+  LclsParams p;
+  p.processes_per_task = 100;
+  EXPECT_EQ(lcls_nodes_per_task(p, 32), 4);  // ceil(100/32)
+}
+
+TEST(LclsModel, GraphMatchesFig4Skeleton) {
+  const dag::WorkflowGraph g = lcls_graph(LclsParams{}, 32);
+  EXPECT_EQ(g.task_count(), 6u);
+  EXPECT_EQ(g.level_count(), 2);         // critical path length two
+  EXPECT_EQ(g.max_parallel_tasks(), 5);  // five parallel tasks at level 0
+  const dag::TaskId merge = g.find_task("merge");
+  EXPECT_EQ(g.predecessors(merge).size(), 5u);
+}
+
+TEST(LclsModel, GraphDemands) {
+  const dag::WorkflowGraph g = lcls_graph(LclsParams{}, 32);
+  const dag::TaskSpec& a = g.task(g.find_task("analysis_0"));
+  EXPECT_DOUBLE_EQ(a.demand.external_in_bytes, 1e12);
+  EXPECT_DOUBLE_EQ(a.demand.dram_bytes_per_node, 32e9);
+  EXPECT_EQ(a.nodes, 32);
+  const dag::TaskSpec& m = g.task(g.find_task("merge"));
+  EXPECT_DOUBLE_EQ(m.demand.fs_read_bytes, 5e9);  // five 1 GB outputs
+  EXPECT_DOUBLE_EQ(m.demand.external_in_bytes, 0.0);
+}
+
+TEST(LclsModel, AnalysisWorkIs18SecondsOnHaswell) {
+  const LclsParams p;
+  // 21.6 TFLOP per node at Cori's 1.2 TFLOP/s.
+  EXPECT_NEAR(p.analysis_flops_per_node / 1.2e12, 18.0, 1e-9);
+}
+
+TEST(LclsModel, CharacterizationMatchesAppendix) {
+  const core::WorkflowCharacterization c =
+      lcls_characterization(LclsParams{}, 32);
+  EXPECT_EQ(c.total_tasks, 6);
+  EXPECT_EQ(c.parallel_tasks, 5);
+  EXPECT_EQ(c.nodes_per_task, 32);
+  EXPECT_NEAR(c.external_bytes_per_task, 5e12 / 6.0, 1.0);
+  EXPECT_DOUBLE_EQ(c.dram_bytes_per_node, 32e9);
+  EXPECT_DOUBLE_EQ(c.target_makespan_seconds, 600.0);
+  EXPECT_FALSE(c.has_measurement());
+}
+
+TEST(LclsModel, Target2024) {
+  const core::WorkflowCharacterization c =
+      lcls_characterization(LclsParams{}, 8, /*target_2024=*/true);
+  EXPECT_DOUBLE_EQ(c.target_makespan_seconds, 300.0);
+}
+
+TEST(LclsModel, Validation) {
+  LclsParams p;
+  p.analysis_tasks = 0;
+  EXPECT_THROW(p.validate(), util::InvalidArgument);
+  p = LclsParams{};
+  EXPECT_THROW(lcls_nodes_per_task(p, 0), util::InvalidArgument);
+  EXPECT_THROW(lcls_graph(p, 0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wfr::analytical

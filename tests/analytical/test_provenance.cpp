@@ -1,0 +1,69 @@
+#include "analytical/provenance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wfr::analytical {
+namespace {
+
+TEST(TableOne, HasSixRowsInPaperOrder) {
+  const auto rows = table_one();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].metric, "Wall clock time");
+  EXPECT_EQ(rows[1].metric, "Node FLOPs");
+  EXPECT_EQ(rows[2].metric, "CPU/GPU Bytes");
+  EXPECT_EQ(rows[3].metric, "Node PCIe Bytes");
+  EXPECT_EQ(rows[4].metric, "System Network Bytes");
+  EXPECT_EQ(rows[5].metric, "File System Bytes");
+}
+
+TEST(TableOne, WallClockProvenance) {
+  const ProvenanceRow& r = table_one_row("Wall clock time");
+  EXPECT_EQ(r.lcls, Method::kReported);
+  EXPECT_EQ(r.bgw, Method::kMeasured);
+  EXPECT_EQ(r.cosmoflow, Method::kMeasured);
+  EXPECT_EQ(r.gptune, Method::kMeasured);
+}
+
+TEST(TableOne, NodeFlopsOnlyReportedForBgw) {
+  const ProvenanceRow& r = table_one_row("Node FLOPs");
+  EXPECT_EQ(r.lcls, Method::kNA);
+  EXPECT_EQ(r.bgw, Method::kReported);
+  EXPECT_EQ(r.cosmoflow, Method::kNA);
+  EXPECT_EQ(r.gptune, Method::kNA);
+}
+
+TEST(TableOne, PcieOnlyAnalyticalForCosmoflow) {
+  const ProvenanceRow& r = table_one_row("Node PCIe Bytes");
+  EXPECT_EQ(r.cosmoflow, Method::kAnalytical);
+  EXPECT_EQ(r.lcls, Method::kNA);
+}
+
+TEST(TableOne, FileSystemBytesRow) {
+  const ProvenanceRow& r = table_one_row("File System Bytes");
+  EXPECT_EQ(r.lcls, Method::kAnalytical);
+  EXPECT_EQ(r.bgw, Method::kReported);
+  EXPECT_EQ(r.cosmoflow, Method::kAnalytical);
+  EXPECT_EQ(r.gptune, Method::kMeasured);
+}
+
+TEST(TableOne, UnknownMetricThrows) {
+  EXPECT_THROW(table_one_row("Quantum Bytes"), util::NotFound);
+}
+
+TEST(TableOne, RenderContainsWorkflowsAndMethods) {
+  const std::string t = render_table_one();
+  EXPECT_NE(t.find("LCLS"), std::string::npos);
+  EXPECT_NE(t.find("BerkeleyGW"), std::string::npos);
+  EXPECT_NE(t.find("Analytical model"), std::string::npos);
+  EXPECT_NE(t.find("NA"), std::string::npos);
+}
+
+TEST(MethodNames, AreDistinct) {
+  EXPECT_STRNE(method_name(Method::kMeasured), method_name(Method::kReported));
+  EXPECT_STRNE(method_name(Method::kAnalytical), method_name(Method::kNA));
+}
+
+}  // namespace
+}  // namespace wfr::analytical

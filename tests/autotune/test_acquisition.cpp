@@ -1,0 +1,81 @@
+#include "autotune/acquisition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wfr::autotune {
+namespace {
+
+TEST(ExpectedImprovement, ZeroVarianceIsDeterministic) {
+  EXPECT_DOUBLE_EQ(expected_improvement(5.0, 0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(expected_improvement(15.0, 0.0, 10.0), 0.0);
+}
+
+TEST(ExpectedImprovement, IsNonNegative) {
+  for (double mean : {-5.0, 0.0, 5.0, 50.0}) {
+    for (double var : {0.0, 0.1, 10.0}) {
+      EXPECT_GE(expected_improvement(mean, var, 1.0), 0.0);
+    }
+  }
+}
+
+TEST(ExpectedImprovement, GrowsWithVarianceWhenMeanIsWorse) {
+  // A worse-than-best mean can still be attractive if uncertain.
+  const double low = expected_improvement(12.0, 0.01, 10.0);
+  const double high = expected_improvement(12.0, 25.0, 10.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(ExpectedImprovement, GrowsAsMeanImproves) {
+  const double worse = expected_improvement(9.5, 1.0, 10.0);
+  const double better = expected_improvement(5.0, 1.0, 10.0);
+  EXPECT_GT(better, worse);
+}
+
+TEST(ExpectedImprovement, RejectsNegativeVariance) {
+  EXPECT_THROW(expected_improvement(0.0, -1.0, 0.0), util::InvalidArgument);
+}
+
+TEST(ProposeNext, RequiresFittedGp) {
+  GaussianProcess gp;
+  math::Rng rng(1);
+  EXPECT_THROW(propose_next(gp, 1, 0.0, rng), util::InvalidArgument);
+}
+
+TEST(ProposeNext, ReturnsPointInUnitCube) {
+  GaussianProcess gp;
+  gp.fit({{0.2, 0.2}, {0.8, 0.8}}, std::vector<double>{1.0, 2.0});
+  math::Rng rng(7);
+  const auto x = propose_next(gp, 2, 1.0, rng, 64);
+  ASSERT_EQ(x.size(), 2u);
+  for (double v : x) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(ProposeNext, AvoidsKnownBadRegion) {
+  // Observations: low values near x=0.2, high values near x=0.8.  EI
+  // should prefer the neighbourhood of the low region (or unexplored
+  // space), not the known-bad point.
+  GaussianProcess gp(GpParams{.length_scale = 0.2, .signal_variance = 1.0,
+                              .noise_variance = 1e-6});
+  gp.fit({{0.2}, {0.25}, {0.8}, {0.85}},
+         std::vector<double>{1.0, 1.1, 5.0, 5.2});
+  math::Rng rng(13);
+  const auto x = propose_next(gp, 1, 1.0, rng, 512);
+  // The proposal should not sit on the known-bad plateau.
+  EXPECT_TRUE(x[0] < 0.7 || x[0] > 0.95);
+}
+
+TEST(ProposeNext, Validation) {
+  GaussianProcess gp;
+  gp.fit({{0.5}}, std::vector<double>{1.0});
+  math::Rng rng(1);
+  EXPECT_THROW(propose_next(gp, 0, 1.0, rng), util::InvalidArgument);
+  EXPECT_THROW(propose_next(gp, 1, 1.0, rng, 0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wfr::autotune

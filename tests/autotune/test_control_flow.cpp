@@ -1,0 +1,115 @@
+#include "autotune/control_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wfr::autotune {
+namespace {
+
+CampaignResult run_mode(ControlFlowMode mode, std::uint64_t seed = 1) {
+  SuperluSurface surface(4960);
+  CampaignConfig cfg;
+  cfg.mode = mode;
+  cfg.tuner.total_samples = 40;  // the paper's campaign
+  cfg.tuner.seed = seed;
+  return run_campaign(surface, cfg);
+}
+
+TEST(ControlFlow, Names) {
+  EXPECT_STREQ(control_flow_name(ControlFlowMode::kRci), "RCI");
+  EXPECT_STREQ(control_flow_name(ControlFlowMode::kSpawn), "Spawn");
+  EXPECT_STREQ(control_flow_name(ControlFlowMode::kProjected), "Projected");
+}
+
+TEST(ControlFlow, RciTotalNearPaper553) {
+  const CampaignResult r = run_mode(ControlFlowMode::kRci);
+  EXPECT_NEAR(r.total_seconds, 553.0, 30.0);
+  EXPECT_EQ(r.history.samples.size(), 40u);
+}
+
+TEST(ControlFlow, SpawnTotalNearPaper228) {
+  const CampaignResult r = run_mode(ControlFlowMode::kSpawn);
+  EXPECT_NEAR(r.total_seconds, 228.0, 20.0);
+}
+
+TEST(ControlFlow, SpawnIs2Point4xFasterThanRci) {
+  const double rci = run_mode(ControlFlowMode::kRci).total_seconds;
+  const double spawn = run_mode(ControlFlowMode::kSpawn).total_seconds;
+  EXPECT_NEAR(rci / spawn, 2.4, 0.3);  // the paper's 2.4x
+}
+
+TEST(ControlFlow, ProjectedIsAbout12xAboveSpawn) {
+  const double spawn = run_mode(ControlFlowMode::kSpawn).total_seconds;
+  const double projected = run_mode(ControlFlowMode::kProjected).total_seconds;
+  EXPECT_NEAR(spawn / projected, 12.0, 3.0);  // the paper's 12x
+}
+
+TEST(ControlFlow, IoPatternDominatesVolume) {
+  // The paper's insight: similar metadata volumes (45 vs 40 MB), wildly
+  // different I/O times (30 s vs 0.02 s).
+  const CampaignResult rci = run_mode(ControlFlowMode::kRci);
+  const CampaignResult spawn = run_mode(ControlFlowMode::kSpawn);
+  EXPECT_NEAR(rci.fs_bytes, 45e6, 1e5);
+  EXPECT_NEAR(spawn.fs_bytes, 40e6, 1e5);
+  EXPECT_NEAR(rci.io_seconds, 30.0, 1.0);
+  EXPECT_NEAR(spawn.io_seconds, 0.02, 0.005);
+  EXPECT_GT(rci.fs_ops, spawn.fs_ops);
+}
+
+TEST(ControlFlow, BreakdownComponentsMatchMode) {
+  const CampaignResult rci = run_mode(ControlFlowMode::kRci);
+  EXPECT_GT(rci.breakdown.component("bash").seconds, 0.0);
+  EXPECT_GT(rci.breakdown.component("python").seconds, 0.0);
+  EXPECT_GT(rci.breakdown.component("load data").seconds, 0.0);
+  EXPECT_GT(rci.breakdown.component("application").seconds, 0.0);
+
+  const CampaignResult spawn = run_mode(ControlFlowMode::kSpawn);
+  // Spawn has no bash component.
+  EXPECT_THROW(
+      static_cast<const trace::TimeBreakdown&>(spawn.breakdown)
+          .component("bash"),
+      util::NotFound);
+
+  const CampaignResult projected = run_mode(ControlFlowMode::kProjected);
+  EXPECT_THROW(
+      static_cast<const trace::TimeBreakdown&>(projected.breakdown)
+          .component("python"),
+      util::NotFound);
+}
+
+TEST(ControlFlow, SameSeedSameTuningAcrossModes) {
+  // The control flow changes orchestration cost, not the optimization
+  // trajectory.
+  const CampaignResult rci = run_mode(ControlFlowMode::kRci, 7);
+  const CampaignResult spawn = run_mode(ControlFlowMode::kSpawn, 7);
+  ASSERT_EQ(rci.history.samples.size(), spawn.history.samples.size());
+  for (std::size_t i = 0; i < rci.history.samples.size(); ++i)
+    EXPECT_DOUBLE_EQ(rci.history.samples[i].value,
+                     spawn.history.samples[i].value);
+  EXPECT_DOUBLE_EQ(rci.application_seconds, spawn.application_seconds);
+}
+
+TEST(ControlFlow, ThroughputOrdering) {
+  const CampaignResult rci = run_mode(ControlFlowMode::kRci);
+  const CampaignResult spawn = run_mode(ControlFlowMode::kSpawn);
+  const CampaignResult projected = run_mode(ControlFlowMode::kProjected);
+  EXPECT_LT(rci.samples_per_second(), spawn.samples_per_second());
+  EXPECT_LT(spawn.samples_per_second(), projected.samples_per_second());
+}
+
+TEST(ControlFlow, CustomCostsAreHonoured) {
+  SuperluSurface surface(4960);
+  CampaignConfig cfg;
+  cfg.mode = ControlFlowMode::kRci;
+  cfg.tuner.total_samples = 10;
+  cfg.use_custom_costs = true;
+  cfg.custom_costs = ControlFlowCosts{};  // all-zero overheads
+  cfg.custom_costs.fs_gbs = 4.8e12;
+  const CampaignResult r = run_campaign(surface, cfg);
+  // Only application time remains.
+  EXPECT_NEAR(r.total_seconds, r.application_seconds, 1e-9);
+}
+
+}  // namespace
+}  // namespace wfr::autotune

@@ -1,0 +1,156 @@
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wfr::core {
+namespace {
+
+WorkflowCharacterization bgw_64() {
+  WorkflowCharacterization c;
+  c.name = "bgw-64";
+  c.total_tasks = 2;
+  c.parallel_tasks = 1;
+  c.nodes_per_task = 64;
+  c.flops_per_node = (1164e15 + 3226e15) / 64.0;
+  c.network_bytes_per_task = 2676e9 * 64.0;
+  c.fs_bytes_per_task = 35e9;
+  c.makespan_seconds = 4184.86;
+  return c;
+}
+
+TEST(Advisor, NodeBoundAdviceSuggestsNodeTuningAndParallelism) {
+  const RooflineModel model =
+      build_model(SystemSpec::perlmutter_gpu(), bgw_64());
+  const Advice a = advise(model);
+  EXPECT_EQ(a.bound, BoundClass::kNodeBound);
+  EXPECT_NEAR(a.efficiency, 0.42, 0.01);
+  EXPECT_NEAR(a.headroom, 1.0 / 0.42, 0.1);
+  // Raising P from 1 to the wall of 28 gives ~28x throughput headroom
+  // (node-bound diagonal).
+  EXPECT_NEAR(a.parallelism_headroom, 28.0, 1.0);
+  bool mentions_parallelism = false;
+  for (const std::string& s : a.suggestions)
+    mentions_parallelism =
+        mentions_parallelism || s.find("wall at 28") != std::string::npos;
+  EXPECT_TRUE(mentions_parallelism);
+}
+
+TEST(Advisor, SystemBoundAdviceDiscouragesFasterCompute) {
+  SystemSpec hsw = SystemSpec::cori_haswell();
+  hsw.external_gbs = 5e9;
+  WorkflowCharacterization c;
+  c.name = "lcls";
+  c.total_tasks = 6;
+  c.parallel_tasks = 5;
+  c.nodes_per_task = 32;
+  c.dram_bytes_per_node = 32e9;
+  c.external_bytes_per_task = 5e12 / 6.0;
+  c.makespan_seconds = 1020.0;
+  c.target_makespan_seconds = 600.0;
+  const Advice a = advise(build_model(hsw, c));
+  EXPECT_EQ(a.bound, BoundClass::kSystemBound);
+  ASSERT_TRUE(a.zone.has_value());
+  EXPECT_EQ(*a.zone, Zone::kPoorMakespanPoorThroughput);
+  bool mentions_qos = false;
+  for (const std::string& s : a.suggestions)
+    mentions_qos = mentions_qos || s.find("QOS") != std::string::npos;
+  EXPECT_TRUE(mentions_qos);
+}
+
+TEST(Advisor, ControlFlowAdviceMentionsSpawn) {
+  WorkflowCharacterization c;
+  c.name = "gptune-rci";
+  c.total_tasks = 40;
+  c.parallel_tasks = 1;
+  c.nodes_per_task = 1;
+  c.overhead_seconds_per_task = 12.0;
+  c.dram_bytes_per_node = 3344e6;
+  c.makespan_seconds = 553.0;
+  const Advice a = advise(build_model(SystemSpec::perlmutter_cpu(), c));
+  EXPECT_EQ(a.bound, BoundClass::kControlFlowBound);
+  bool mentions_spawn = false;
+  for (const std::string& s : a.suggestions)
+    mentions_spawn = mentions_spawn || s.find("spawn") != std::string::npos;
+  EXPECT_TRUE(mentions_spawn);
+}
+
+TEST(Advisor, NoDotsThrows) {
+  WorkflowCharacterization c = bgw_64();
+  c.makespan_seconds = -1.0;  // no measurement -> no automatic dot
+  const RooflineModel model = build_model(SystemSpec::perlmutter_gpu(), c);
+  EXPECT_THROW(advise(model), util::InvalidArgument);
+}
+
+// --- scale_intra_task_parallelism (Fig. 2c) --------------------------------
+
+TEST(IntraTaskScaling, DoubleNodesHalvesWallAndRaisesCeiling) {
+  WorkflowCharacterization c = bgw_64();
+  c.parallel_tasks = 2;
+  c.total_tasks = 4;
+  const WorkflowCharacterization scaled =
+      scale_intra_task_parallelism(c, 2.0);
+  EXPECT_EQ(scaled.nodes_per_task, 128);
+  EXPECT_EQ(scaled.parallel_tasks, 1);
+  EXPECT_DOUBLE_EQ(scaled.flops_per_node, c.flops_per_node / 2.0);
+  EXPECT_FALSE(scaled.has_measurement());  // projections drop measurements
+
+  // The wall moves left by 2x and the node ceiling up by 2x.
+  const RooflineModel before = build_model(SystemSpec::perlmutter_gpu(), c);
+  const RooflineModel after =
+      build_model(SystemSpec::perlmutter_gpu(), scaled);
+  EXPECT_EQ(after.parallelism_wall(), before.parallelism_wall() / 2);
+  EXPECT_NEAR(after.binding_ceiling(1.0).seconds_per_task,
+              before.binding_ceiling(1.0).seconds_per_task / 2.0, 1e-9);
+}
+
+TEST(IntraTaskScaling, ImperfectScalingRaisesCeilingLess) {
+  const WorkflowCharacterization c = bgw_64();
+  const WorkflowCharacterization scaled =
+      scale_intra_task_parallelism(c, 2.0, /*scaling_efficiency=*/0.8);
+  // Volume per node shrinks by 1/(2*0.8) = 0.625 instead of 0.5.
+  EXPECT_NEAR(scaled.flops_per_node, c.flops_per_node * 0.625, 1.0);
+}
+
+TEST(IntraTaskScaling, HalvingNodesMovesWallRight) {
+  WorkflowCharacterization c = bgw_64();
+  c.parallel_tasks = 1;
+  c.total_tasks = 8;
+  const WorkflowCharacterization scaled =
+      scale_intra_task_parallelism(c, 0.5);
+  EXPECT_EQ(scaled.nodes_per_task, 32);
+  EXPECT_EQ(scaled.parallel_tasks, 2);
+  EXPECT_DOUBLE_EQ(scaled.flops_per_node, c.flops_per_node * 2.0);
+}
+
+TEST(IntraTaskScaling, Validation) {
+  const WorkflowCharacterization c = bgw_64();
+  EXPECT_THROW(scale_intra_task_parallelism(c, 0.0), util::InvalidArgument);
+  EXPECT_THROW(scale_intra_task_parallelism(c, 2.0, 0.0),
+               util::InvalidArgument);
+  EXPECT_THROW(scale_intra_task_parallelism(c, 2.0, 1.5),
+               util::InvalidArgument);
+  // 64 * 1.3 is not a whole node count.
+  EXPECT_THROW(scale_intra_task_parallelism(c, 1.3), util::InvalidArgument);
+}
+
+TEST(IntraTaskScaling, ParallelTasksNeverBelowOne) {
+  WorkflowCharacterization c = bgw_64();
+  c.parallel_tasks = 1;
+  const WorkflowCharacterization scaled =
+      scale_intra_task_parallelism(c, 4.0);
+  EXPECT_EQ(scaled.parallel_tasks, 1);
+}
+
+TEST(Advisor, AdviceToStringContainsSuggestions) {
+  const RooflineModel model =
+      build_model(SystemSpec::perlmutter_gpu(), bgw_64());
+  const Advice a = advise(model);
+  const std::string s = a.to_string();
+  EXPECT_NE(s.find("node-bound"), std::string::npos);
+  EXPECT_NE(s.find("- "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfr::core

@@ -1,0 +1,141 @@
+#include "core/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wfr::core {
+namespace {
+
+RooflineModel gptune_like(const std::string& name, double makespan) {
+  WorkflowCharacterization c;
+  c.name = name;
+  c.total_tasks = 40;
+  c.parallel_tasks = 1;
+  c.nodes_per_task = 1;
+  c.dram_bytes_per_node = 3344e6;
+  c.overhead_seconds_per_task = 19.0 * 40.0 / 40.0;  // irreducible slot time
+  c.overhead_seconds_per_task = 19.0;
+  c.fs_bytes_per_task = 1.125e6;
+  c.makespan_seconds = makespan;
+  return build_model(SystemSpec::perlmutter_cpu(), c);
+}
+
+TEST(Compare, RciToSpawnMovesUp) {
+  const RooflineModel rci = gptune_like("rci", 553.0);
+  const RooflineModel spawn = gptune_like("spawn", 228.0);
+  const Comparison c = compare_models(rci, spawn);
+  EXPECT_NEAR(c.throughput_speedup, 553.0 / 228.0, 1e-9);
+  EXPECT_NEAR(c.makespan_speedup, 553.0 / 228.0, 1e-9);
+  EXPECT_EQ(c.direction, "up");
+  EXPECT_FALSE(c.bound_changed);
+  EXPECT_GT(c.after_efficiency, c.before_efficiency);
+  EXPECT_GT(c.headroom_claimed, 0.0);
+  EXPECT_LT(c.headroom_claimed, 1.0);
+}
+
+TEST(Compare, ReachingTheCeilingClaimsAllHeadroom) {
+  const RooflineModel before = gptune_like("slow", 553.0);
+  // The projected run rides the 19 s/slot x 40-task overhead ceiling:
+  // makespan = 19 s -> tps = attainable.
+  const RooflineModel at_ceiling = gptune_like("projected", 19.0);
+  const Comparison c = compare_models(before, at_ceiling);
+  EXPECT_NEAR(c.after_efficiency, 1.0, 1e-9);
+  EXPECT_NEAR(c.headroom_claimed, 1.0, 1e-9);
+}
+
+TEST(Compare, MoreParallelismIsUpRight) {
+  WorkflowCharacterization a;
+  a.name = "narrow";
+  a.total_tasks = 8;
+  a.parallel_tasks = 2;
+  a.nodes_per_task = 8;
+  a.flops_per_node = 5e12 * 60.0;
+  a.makespan_seconds = 500.0;
+  WorkflowCharacterization b = a;
+  b.name = "wide";
+  b.parallel_tasks = 8;
+  b.makespan_seconds = 130.0;
+  const SystemSpec s = SystemSpec::perlmutter_cpu();
+  const Comparison c =
+      compare_models(build_model(s, a), build_model(s, b));
+  EXPECT_EQ(c.direction, "up-right");
+  EXPECT_NEAR(c.parallelism_delta, 6.0, 1e-9);
+}
+
+TEST(Compare, RegressionIsDown) {
+  const Comparison c = compare_models(gptune_like("fast", 228.0),
+                                      gptune_like("slow", 553.0));
+  EXPECT_EQ(c.direction, "down");
+  EXPECT_LT(c.throughput_speedup, 1.0);
+  EXPECT_DOUBLE_EQ(c.headroom_claimed, 0.0);  // clamped: nothing claimed
+}
+
+TEST(Compare, BoundShiftIsDetected) {
+  // Before: external-bound LCLS on a contended link; after: the link is
+  // fast enough that the node DRAM diagonal takes over.
+  SystemSpec slow_link = SystemSpec::cori_haswell();
+  slow_link.external_gbs = 1e9;
+  SystemSpec fast_link = SystemSpec::cori_haswell();
+  fast_link.external_gbs = 500e9;
+  WorkflowCharacterization w;
+  w.name = "lcls";
+  w.total_tasks = 6;
+  w.parallel_tasks = 5;
+  w.nodes_per_task = 32;
+  w.dram_bytes_per_node = 32e9;
+  w.flops_per_node = 21.6e12;
+  w.external_bytes_per_task = 5e12 / 6.0;
+  w.makespan_seconds = 5020.0;
+  const RooflineModel before = build_model(slow_link, w);
+  WorkflowCharacterization w2 = w;
+  w2.makespan_seconds = 40.0;
+  const RooflineModel after = build_model(fast_link, w2);
+  const Comparison c = compare_models(before, after);
+  EXPECT_EQ(c.before_bound, BoundClass::kSystemBound);
+  EXPECT_EQ(c.after_bound, BoundClass::kNodeBound);
+  EXPECT_TRUE(c.bound_changed);
+}
+
+TEST(Compare, ZoneMovementWhenTargetsPresent) {
+  SystemSpec s = SystemSpec::cori_haswell();
+  s.external_gbs = 25e9;
+  WorkflowCharacterization w;
+  w.name = "lcls";
+  w.total_tasks = 6;
+  w.parallel_tasks = 5;
+  w.nodes_per_task = 32;
+  w.external_bytes_per_task = 5e12 / 6.0;
+  w.target_makespan_seconds = 600.0;
+  w.makespan_seconds = 1020.0;
+  const RooflineModel before = build_model(s, w);
+  WorkflowCharacterization w2 = w;
+  w2.makespan_seconds = 400.0;
+  const RooflineModel after = build_model(s, w2);
+  const Comparison c = compare_models(before, after);
+  ASSERT_TRUE(c.before_zone.has_value());
+  ASSERT_TRUE(c.after_zone.has_value());
+  EXPECT_EQ(*c.before_zone, Zone::kPoorMakespanPoorThroughput);
+  EXPECT_EQ(*c.after_zone, Zone::kGoodMakespanGoodThroughput);
+  EXPECT_NE(c.to_string().find("zone:"), std::string::npos);
+}
+
+TEST(Compare, RequiresDots) {
+  WorkflowCharacterization no_measurement;
+  no_measurement.flops_per_node = 1e12;
+  const RooflineModel empty =
+      build_model(SystemSpec::perlmutter_cpu(), no_measurement);
+  EXPECT_THROW(compare_models(empty, empty), util::InvalidArgument);
+}
+
+TEST(Compare, ToStringMentionsSpeedupAndBounds) {
+  const Comparison c = compare_models(gptune_like("rci", 553.0),
+                                      gptune_like("spawn", 228.0));
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("2.43x throughput"), std::string::npos);
+  EXPECT_NE(s.find("control-flow-bound"), std::string::npos);
+  EXPECT_NE(s.find("headroom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfr::core

@@ -1,0 +1,176 @@
+#include "dag/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wfr::dag {
+namespace {
+
+TaskSpec simple_task(const std::string& name, int nodes = 1) {
+  TaskSpec t;
+  t.name = name;
+  t.nodes = nodes;
+  return t;
+}
+
+TEST(Schedule, SingleTask) {
+  WorkflowGraph g("w");
+  g.add_task(simple_task("a", 4));
+  const std::vector<double> durations{10.0};
+  const Schedule s = schedule_workflow(g, durations, {.pool_nodes = 8});
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 10.0);
+  EXPECT_EQ(s.peak_nodes_used, 4);
+  EXPECT_EQ(s.peak_concurrent_tasks, 1);
+  EXPECT_DOUBLE_EQ(s.entries[0].start_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.entries[0].end_seconds, 10.0);
+}
+
+TEST(Schedule, IndependentTasksRunConcurrentlyWhenNodesAllow) {
+  WorkflowGraph g("w");
+  for (int i = 0; i < 4; ++i)
+    g.add_task(simple_task("t" + std::to_string(i), 2));
+  const std::vector<double> durations(4, 5.0);
+  const Schedule s = schedule_workflow(g, durations, {.pool_nodes = 8});
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 5.0);
+  EXPECT_EQ(s.peak_concurrent_tasks, 4);
+  EXPECT_EQ(s.peak_nodes_used, 8);
+}
+
+TEST(Schedule, NodeLimitSerializesTasks) {
+  WorkflowGraph g("w");
+  for (int i = 0; i < 4; ++i)
+    g.add_task(simple_task("t" + std::to_string(i), 2));
+  const std::vector<double> durations(4, 5.0);
+  const Schedule s = schedule_workflow(g, durations, {.pool_nodes = 4});
+  // Only two tasks fit at a time -> two waves.
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 10.0);
+  EXPECT_EQ(s.peak_concurrent_tasks, 2);
+}
+
+TEST(Schedule, DependenciesAreRespected) {
+  WorkflowGraph g("w");
+  const TaskId a = g.add_task(simple_task("a"));
+  const TaskId b = g.add_task(simple_task("b"));
+  g.add_dependency(a, b);
+  const std::vector<double> durations{3.0, 4.0};
+  const Schedule s = schedule_workflow(g, durations, {.pool_nodes = 4});
+  EXPECT_DOUBLE_EQ(s.entries[b].start_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 7.0);
+}
+
+TEST(Schedule, ForkJoinMakespanIsSlowestBranchPlusJoin) {
+  WorkflowGraph g =
+      make_fork_join("w", simple_task("p", 1), 5, simple_task("j", 1));
+  std::vector<double> durations(6, 10.0);
+  durations[2] = 30.0;  // slow branch
+  durations[5] = 2.0;   // join
+  const Schedule s = schedule_workflow(g, durations, {.pool_nodes = 5});
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 32.0);
+}
+
+TEST(Schedule, LptOrderingShortensMakespan) {
+  WorkflowGraph g("w");
+  // 3 tasks of 1 node: durations 1, 1, 10; pool of 2 nodes.
+  for (int i = 0; i < 3; ++i)
+    g.add_task(simple_task("t" + std::to_string(i)));
+  const std::vector<double> durations{1.0, 1.0, 10.0};
+  const Schedule fifo = schedule_workflow(g, durations, {.pool_nodes = 2});
+  const Schedule lpt = schedule_workflow(
+      g, durations, {.pool_nodes = 2, .longest_task_first = true});
+  EXPECT_DOUBLE_EQ(fifo.makespan_seconds, 11.0);  // 10 starts at t=1
+  EXPECT_DOUBLE_EQ(lpt.makespan_seconds, 10.0);   // 10 starts at t=0
+}
+
+TEST(Schedule, TaskLargerThanPoolThrows) {
+  WorkflowGraph g("w");
+  g.add_task(simple_task("big", 100));
+  const std::vector<double> durations{1.0};
+  EXPECT_THROW(schedule_workflow(g, durations, {.pool_nodes = 10}),
+               util::InvalidArgument);
+}
+
+TEST(Schedule, NegativeDurationThrows) {
+  WorkflowGraph g("w");
+  g.add_task(simple_task("a"));
+  const std::vector<double> durations{-1.0};
+  EXPECT_THROW(schedule_workflow(g, durations, {.pool_nodes = 1}),
+               util::InvalidArgument);
+}
+
+TEST(Schedule, DurationSizeMismatchThrows) {
+  WorkflowGraph g("w");
+  g.add_task(simple_task("a"));
+  const std::vector<double> durations{1.0, 2.0};
+  EXPECT_THROW(schedule_workflow(g, durations, {.pool_nodes = 1}),
+               util::InvalidArgument);
+}
+
+TEST(Schedule, ZeroDurationTasksComplete) {
+  WorkflowGraph g = make_chain("c", simple_task("s"), 3);
+  const std::vector<double> durations(3, 0.0);
+  const Schedule s = schedule_workflow(g, durations, {.pool_nodes = 1});
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 0.0);
+}
+
+TEST(Schedule, NodeUtilization) {
+  WorkflowGraph g("w");
+  g.add_task(simple_task("a", 2));
+  const std::vector<double> durations{10.0};
+  const Schedule s = schedule_workflow(g, durations, {.pool_nodes = 4});
+  // 2 nodes busy for the whole makespan out of 4.
+  EXPECT_DOUBLE_EQ(s.node_utilization(4), 0.5);
+  EXPECT_DOUBLE_EQ(Schedule{}.node_utilization(4), 0.0);
+}
+
+TEST(Schedule, SortedByStartOrdersEntries) {
+  WorkflowGraph g("w");
+  const TaskId a = g.add_task(simple_task("a"));
+  const TaskId b = g.add_task(simple_task("b"));
+  g.add_dependency(a, b);
+  const std::vector<double> durations{2.0, 1.0};
+  const Schedule s = schedule_workflow(g, durations, {.pool_nodes = 1});
+  const auto sorted = s.sorted_by_start();
+  EXPECT_EQ(sorted[0].task, a);
+  EXPECT_EQ(sorted[1].task, b);
+}
+
+TEST(Schedule, EmptyGraph) {
+  WorkflowGraph g("w");
+  const Schedule s = schedule_workflow(g, {}, {.pool_nodes = 1});
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 0.0);
+  EXPECT_TRUE(s.entries.empty());
+}
+
+TEST(Schedule, GanttChartNodePlacementIsContiguousWhenPossible) {
+  WorkflowGraph g("w");
+  g.add_task(simple_task("a", 2));
+  g.add_task(simple_task("b", 2));
+  const std::vector<double> durations{5.0, 5.0};
+  const Schedule s = schedule_workflow(g, durations, {.pool_nodes = 4});
+  // Both run at once on disjoint node ranges.
+  const auto& ea = s.entries[0];
+  const auto& eb = s.entries[1];
+  EXPECT_TRUE(ea.first_node + ea.nodes <= eb.first_node ||
+              eb.first_node + eb.nodes <= ea.first_node);
+}
+
+// The BGW scenario shape: a two-stage chain where the second stage
+// dominates; critical path must be identical at both scales (Fig. 7d).
+TEST(Schedule, ChainCriticalPathShapeInvariantAcrossScales) {
+  WorkflowGraph g = make_chain("bgw", simple_task("stage", 1), 2);
+  const std::vector<double> small{490.0, 1289.0};
+  const std::vector<double> big{28.0, 79.0};
+  const Schedule s64 = schedule_workflow(g, small, {.pool_nodes = 1});
+  const Schedule s1024 = schedule_workflow(g, big, {.pool_nodes = 1});
+  EXPECT_DOUBLE_EQ(s64.makespan_seconds, 1779.0);
+  EXPECT_DOUBLE_EQ(s1024.makespan_seconds, 107.0);
+  // Same structure: stage_1 starts exactly when stage_0 ends.
+  EXPECT_DOUBLE_EQ(s64.entries[1].start_seconds, 490.0);
+  EXPECT_DOUBLE_EQ(s1024.entries[1].start_seconds, 28.0);
+}
+
+}  // namespace
+}  // namespace wfr::dag

@@ -1,0 +1,76 @@
+#include "plot/axes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wfr::plot {
+namespace {
+
+TEST(LogScale, MapsEndpoints) {
+  LogScale s(1.0, 100.0, 0.0, 200.0);
+  EXPECT_DOUBLE_EQ(s(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s(100.0), 200.0);
+  EXPECT_DOUBLE_EQ(s(10.0), 100.0);  // log midpoint
+}
+
+TEST(LogScale, InvertedRangeForYAxis) {
+  LogScale s(1.0, 100.0, 400.0, 0.0);
+  EXPECT_DOUBLE_EQ(s(1.0), 400.0);
+  EXPECT_DOUBLE_EQ(s(100.0), 0.0);
+}
+
+TEST(LogScale, ClampsOutOfDomain) {
+  LogScale s(1.0, 100.0, 0.0, 200.0);
+  EXPECT_DOUBLE_EQ(s(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(s(1e6), 200.0);
+}
+
+TEST(LogScale, RejectsBadDomain) {
+  EXPECT_THROW(LogScale(0.0, 10.0, 0.0, 1.0), util::InvalidArgument);
+  EXPECT_THROW(LogScale(10.0, 1.0, 0.0, 1.0), util::InvalidArgument);
+}
+
+TEST(LogScale, DecadeTicks) {
+  LogScale s(1.0, 1000.0, 0.0, 1.0);
+  const auto ticks = s.decade_ticks();
+  ASSERT_EQ(ticks.size(), 4u);
+  EXPECT_DOUBLE_EQ(ticks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ticks[3], 1000.0);
+}
+
+TEST(LogScale, SubDecadeDomainStillHasTicks) {
+  LogScale s(2.0, 8.0, 0.0, 1.0);
+  EXPECT_GE(s.decade_ticks().size(), 2u);
+}
+
+TEST(LinearScale, MapsAndClamps) {
+  LinearScale s(0.0, 10.0, 100.0, 200.0);
+  EXPECT_DOUBLE_EQ(s(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(s(10.0), 200.0);
+  EXPECT_DOUBLE_EQ(s(5.0), 150.0);
+  EXPECT_DOUBLE_EQ(s(-5.0), 100.0);
+}
+
+TEST(LinearScale, TicksAreRoundNumbers) {
+  LinearScale s(0.0, 87.0, 0.0, 1.0);
+  const auto ticks = s.ticks(5);
+  ASSERT_FALSE(ticks.empty());
+  EXPECT_DOUBLE_EQ(ticks.front(), 0.0);
+  for (std::size_t i = 1; i < ticks.size(); ++i) {
+    const double step = ticks[i] - ticks[i - 1];
+    EXPECT_NEAR(step, ticks[1] - ticks[0], 1e-9);  // uniform
+  }
+}
+
+TEST(TickLabel, Formats) {
+  EXPECT_EQ(tick_label(0.0), "0");
+  EXPECT_EQ(tick_label(10.0), "10");
+  EXPECT_EQ(tick_label(0.5), "0.5");
+  EXPECT_EQ(tick_label(2000.0), "2k");
+  EXPECT_EQ(tick_label(1e6), "1e6");
+  EXPECT_EQ(tick_label(1e-3), "1e-3");
+}
+
+}  // namespace
+}  // namespace wfr::plot

@@ -1,0 +1,77 @@
+#include "plot/bar_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wfr::plot {
+namespace {
+
+std::vector<trace::TimeBreakdown> gptune_breakdowns() {
+  trace::TimeBreakdown rci;
+  rci.scenario = "RCI";
+  rci.component("bash").seconds = 160.0;
+  rci.component("load data").seconds = 30.0;
+  rci.component("python").seconds = 310.0;
+  rci.component("application").seconds = 53.0;
+  trace::TimeBreakdown spawn;
+  spawn.scenario = "Spawn";
+  spawn.component("python").seconds = 175.0;
+  spawn.component("application").seconds = 53.0;
+  return {rci, spawn};
+}
+
+TEST(BarPlot, RendersScenariosAndLegend) {
+  const std::string svg = render_breakdown(gptune_breakdowns());
+  EXPECT_NE(svg.find(">RCI<"), std::string::npos);
+  EXPECT_NE(svg.find(">Spawn<"), std::string::npos);
+  EXPECT_NE(svg.find(">bash<"), std::string::npos);
+  EXPECT_NE(svg.find(">python<"), std::string::npos);
+}
+
+TEST(BarPlot, TotalsAreDirectLabeled) {
+  const std::string svg = render_breakdown(gptune_breakdowns());
+  EXPECT_NE(svg.find(">553<"), std::string::npos);  // RCI total
+  EXPECT_NE(svg.find(">228<"), std::string::npos);  // Spawn total
+}
+
+TEST(BarPlot, SameLabelSameColorAcrossBars) {
+  const std::string svg = render_breakdown(gptune_breakdowns());
+  // "python" appears in both bars; count occurrences of its color fill.
+  // python is the third distinct label -> series slot 2 (#eda100).
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = svg.find("#eda100", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_GE(count, 3u);  // two segments + legend chip
+}
+
+TEST(BarPlot, EmptyInputsThrow) {
+  EXPECT_THROW(render_breakdown({}), util::InvalidArgument);
+  trace::TimeBreakdown empty;
+  empty.scenario = "none";
+  EXPECT_THROW(render_breakdown({empty}), util::InvalidArgument);
+}
+
+TEST(BarPlot, ZeroComponentsAreSkipped) {
+  trace::TimeBreakdown b;
+  b.scenario = "x";
+  b.component("a").seconds = 10.0;
+  b.component("zero").seconds = 0.0;
+  const std::string svg = render_breakdown({b});
+  EXPECT_NE(svg.find(">x<"), std::string::npos);
+}
+
+TEST(BarPlot, WriteFile) {
+  const std::string path = "/tmp/wfr_test_bars.svg";
+  write_breakdown_svg(gptune_breakdowns(), path);
+  FILE* fp = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(fp, nullptr);
+  std::fclose(fp);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wfr::plot

@@ -1,0 +1,128 @@
+// Property tests for the fair-share discrete-event engine: conservation
+// and fairness invariants over randomized flow populations.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "math/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace wfr::sim {
+namespace {
+
+class EngineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineProperty, VolumeIsConserved) {
+  math::Rng rng(GetParam());
+  Simulator sim;
+  const int resources = static_cast<int>(rng.uniform_int(1, 4));
+  std::vector<ResourceId> ids;
+  std::vector<double> totals(static_cast<std::size_t>(resources), 0.0);
+  for (int r = 0; r < resources; ++r)
+    ids.push_back(sim.add_resource("r" + std::to_string(r),
+                                   rng.uniform(1e6, 1e12)));
+  const int flows = static_cast<int>(rng.uniform_int(1, 60));
+  int completed = 0;
+  for (int f = 0; f < flows; ++f) {
+    const auto r = static_cast<std::size_t>(
+        rng.uniform_int(0, resources - 1));
+    const double volume = rng.uniform(1.0, 1e12);
+    totals[r] += volume;
+    const double start = rng.uniform(0.0, 100.0);
+    sim.schedule_at(start, [&sim, &completed, id = ids[r], volume] {
+      sim.start_flow(id, volume, [&completed] { ++completed; });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, flows);
+  for (int r = 0; r < resources; ++r) {
+    EXPECT_NEAR(sim.completed_volume(ids[static_cast<std::size_t>(r)]),
+                totals[static_cast<std::size_t>(r)],
+                1e-5 * std::max(1.0, totals[static_cast<std::size_t>(r)]));
+  }
+}
+
+TEST_P(EngineProperty, BacklockedResourceIsWorkConserving) {
+  // All flows start at t=0 on one resource: the finish time must be
+  // exactly total volume / capacity regardless of the flow mix.
+  math::Rng rng(GetParam());
+  Simulator sim;
+  const double capacity = rng.uniform(10.0, 1e9);
+  const ResourceId r = sim.add_resource("r", capacity);
+  const int flows = static_cast<int>(rng.uniform_int(1, 50));
+  double total = 0.0;
+  for (int f = 0; f < flows; ++f) {
+    const double volume = rng.uniform(1.0, 1e9);
+    total += volume;
+    sim.start_flow(r, volume, [] {});
+  }
+  sim.run();
+  EXPECT_NEAR(sim.now(), total / capacity,
+              1e-9 * std::max(1.0, total / capacity));
+}
+
+TEST_P(EngineProperty, IdenticalFlowsFinishTogether) {
+  math::Rng rng(GetParam());
+  Simulator sim;
+  const ResourceId r = sim.add_resource("r", rng.uniform(1.0, 1e9));
+  const double volume = rng.uniform(1.0, 1e9);
+  const int flows = static_cast<int>(rng.uniform_int(2, 20));
+  std::vector<double> finish_times;
+  for (int f = 0; f < flows; ++f)
+    sim.start_flow(r, volume,
+                   [&sim, &finish_times] { finish_times.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(static_cast<int>(finish_times.size()), flows);
+  for (double t : finish_times) EXPECT_NEAR(t, finish_times[0], 1e-9);
+}
+
+TEST_P(EngineProperty, BackgroundFlowsOnlySlowThingsDown) {
+  math::Rng rng(GetParam());
+  const double capacity = rng.uniform(1.0, 1e9);
+  const double volume = rng.uniform(1.0, 1e9);
+  const int bg = static_cast<int>(rng.uniform_int(1, 10));
+
+  Simulator clean;
+  const ResourceId rc = clean.add_resource("r", capacity);
+  clean.start_flow(rc, volume, [] {});
+  clean.run();
+
+  Simulator contended;
+  const ResourceId rd = contended.add_resource("r", capacity);
+  for (int i = 0; i < bg; ++i) contended.start_background_flow(rd);
+  contended.start_flow(rd, volume, [] {});
+  contended.run();
+
+  EXPECT_GE(contended.now(), clean.now() - 1e-9);
+  // With n background flows the single finite flow gets 1/(n+1) share.
+  EXPECT_NEAR(contended.now(), clean.now() * (bg + 1), 1e-6 * clean.now() *
+                                                            (bg + 1));
+}
+
+TEST_P(EngineProperty, EventOrderIsDeterministic) {
+  // Two identical simulations must produce identical event sequences.
+  auto run_once = [&](std::uint64_t seed) {
+    math::Rng rng(seed);
+    Simulator sim;
+    const ResourceId r = sim.add_resource("r", 100.0);
+    std::vector<double> events;
+    for (int i = 0; i < 20; ++i) {
+      sim.schedule_at(rng.uniform(0.0, 50.0), [&sim, &events] {
+        events.push_back(sim.now());
+      });
+      sim.start_flow(r, rng.uniform(1.0, 500.0),
+                     [&sim, &events] { events.push_back(-sim.now()); });
+    }
+    sim.run();
+    return events;
+  };
+  EXPECT_EQ(run_once(GetParam()), run_once(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace wfr::sim

@@ -1,0 +1,226 @@
+// Property tests for the Workflow Roofline model: geometric invariants
+// over random systems and characterizations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "archetypes/generators.hpp"
+#include "core/advisor.hpp"
+#include "core/model.hpp"
+#include "dag/wdl.hpp"
+#include "math/rng.hpp"
+
+namespace wfr::core {
+namespace {
+
+SystemSpec random_system(math::Rng& rng) {
+  SystemSpec s;
+  s.name = "random";
+  s.total_nodes = static_cast<int>(rng.uniform_int(64, 4096));
+  s.node.peak_flops = rng.uniform(1e12, 100e12);
+  s.node.dram_gbs = rng.uniform(50e9, 1e12);
+  s.node.hbm_gbs = rng.uniform(1e12, 8e12);
+  s.node.pcie_gbs = rng.uniform(25e9, 200e9);
+  s.node.nic_gbs = rng.uniform(10e9, 200e9);
+  s.fs_gbs = rng.uniform(100e9, 10e12);
+  s.external_gbs = rng.uniform(1e9, 100e9);
+  return s;
+}
+
+WorkflowCharacterization random_workflow(math::Rng& rng, int total_nodes) {
+  WorkflowCharacterization c;
+  c.name = "random";
+  c.nodes_per_task =
+      static_cast<int>(rng.uniform_int(1, std::max(1, total_nodes / 4)));
+  c.parallel_tasks = static_cast<int>(
+      rng.uniform_int(1, std::max(1, total_nodes / c.nodes_per_task)));
+  c.total_tasks = c.parallel_tasks *
+                  static_cast<int>(rng.uniform_int(1, 4));
+  if (rng.bernoulli(0.9)) c.flops_per_node = rng.uniform(1e12, 1e17);
+  if (rng.bernoulli(0.5)) c.dram_bytes_per_node = rng.uniform(1e9, 1e14);
+  if (rng.bernoulli(0.3)) c.hbm_bytes_per_node = rng.uniform(1e10, 1e15);
+  if (rng.bernoulli(0.3)) c.pcie_bytes_per_node = rng.uniform(1e9, 1e13);
+  if (rng.bernoulli(0.4))
+    c.network_bytes_per_task = rng.uniform(1e9, 1e14);
+  if (rng.bernoulli(0.7)) c.fs_bytes_per_task = rng.uniform(1e8, 1e13);
+  if (rng.bernoulli(0.5)) c.external_bytes_per_task = rng.uniform(1e8, 1e12);
+  if (rng.bernoulli(0.3)) c.overhead_seconds_per_task = rng.uniform(0.1, 100.0);
+  return c;
+}
+
+class ModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelProperty, AttainableIsMonotoneNonDecreasingInParallelism) {
+  math::Rng rng(GetParam());
+  const SystemSpec s = random_system(rng);
+  const WorkflowCharacterization w = random_workflow(rng, s.total_nodes);
+  const RooflineModel model = build_model(s, w);
+  const int wall = model.parallelism_wall();
+  double prev = 0.0;
+  for (int p = 1; p <= std::min(wall, 200); ++p) {
+    const double tps = model.attainable_tps(p);
+    EXPECT_GE(tps, prev - 1e-12);
+    EXPECT_TRUE(std::isfinite(tps));
+    EXPECT_GT(tps, 0.0);
+    prev = tps;
+  }
+}
+
+TEST_P(ModelProperty, BindingCeilingRealizesTheMinimum) {
+  math::Rng rng(GetParam());
+  const SystemSpec s = random_system(rng);
+  const WorkflowCharacterization w = random_workflow(rng, s.total_nodes);
+  const RooflineModel model = build_model(s, w);
+  const int wall = model.parallelism_wall();
+  for (double p : {1.0, wall / 2.0, static_cast<double>(wall)}) {
+    if (p < 1.0) continue;
+    const Ceiling& binding = model.binding_ceiling(p);
+    const double attainable = model.attainable_tps(p);
+    EXPECT_NEAR(binding.tps_at(p), attainable, 1e-12 * attainable);
+    for (const Ceiling& c : model.ceilings()) {
+      if (c.kind == CeilingKind::kWall) continue;
+      EXPECT_GE(c.tps_at(p), attainable * (1.0 - 1e-12));
+    }
+  }
+}
+
+TEST_P(ModelProperty, DotAtCeilingHasUnitEfficiency) {
+  math::Rng rng(GetParam());
+  const SystemSpec s = random_system(rng);
+  const WorkflowCharacterization w = random_workflow(rng, s.total_nodes);
+  const RooflineModel model = build_model(s, w);
+  Dot dot;
+  dot.label = "at-ceiling";
+  dot.parallel_tasks = std::min(model.parallelism_wall(), w.parallel_tasks);
+  dot.tps = model.attainable_tps(dot.parallel_tasks);
+  EXPECT_NEAR(model.efficiency(dot), 1.0, 1e-9);
+}
+
+TEST_P(ModelProperty, PerfectIntraTaskScalingPreservesWallThroughput) {
+  math::Rng rng(GetParam());
+  const SystemSpec s = random_system(rng);
+  WorkflowCharacterization w = random_workflow(rng, s.total_nodes);
+  // Make the doubling well-defined and keep the wall >= 2.
+  w.nodes_per_task = std::max(2, w.nodes_per_task);
+  if (s.parallelism_wall(2 * w.nodes_per_task) < 1) return;
+  w.parallel_tasks =
+      std::min(w.parallel_tasks, s.parallelism_wall(w.nodes_per_task));
+  w.total_tasks = std::max(w.total_tasks, w.parallel_tasks);
+  if (w.parallel_tasks < 2) w.parallel_tasks = 2;
+  w.total_tasks = w.parallel_tasks * 2;
+
+  const RooflineModel before = build_model(s, w);
+  const WorkflowCharacterization scaled =
+      scale_intra_task_parallelism(w, 2.0, 1.0);
+  const RooflineModel after = build_model(s, scaled);
+
+  // When the binding ceiling is a node diagonal, throughput at the wall
+  // is invariant under perfect scaling (up to integer wall rounding).
+  const int wall_b = before.parallelism_wall();
+  const int wall_a = after.parallelism_wall();
+  const Ceiling& binding = before.binding_ceiling(wall_b);
+  if (binding.kind == CeilingKind::kDiagonal &&
+      binding.channel != Channel::kOverhead &&
+      binding.channel != Channel::kNetwork &&
+      after.binding_ceiling(wall_a).channel == binding.channel) {
+    const double tb = before.attainable_tps(wall_b);
+    const double ta = after.attainable_tps(wall_a);
+    // Integer walls introduce up to a factor (wall_b/2)/wall_a of slack.
+    const double rounding = static_cast<double>(wall_b) / 2.0 /
+                            static_cast<double>(wall_a);
+    EXPECT_NEAR(ta / tb * rounding, 1.0, 0.02);
+  }
+}
+
+TEST_P(ModelProperty, ZonesPartitionTheDotSpace) {
+  math::Rng rng(GetParam());
+  const SystemSpec s = random_system(rng);
+  WorkflowCharacterization w = random_workflow(rng, s.total_nodes);
+  w.target_makespan_seconds = rng.uniform(10.0, 1e4);
+  const RooflineModel model = build_model(s, w);
+  // Every random dot lands in exactly one zone, and moving straight up
+  // never worsens either verdict.
+  for (int i = 0; i < 20; ++i) {
+    Dot dot;
+    dot.label = "probe";
+    dot.parallel_tasks = rng.uniform(1.0, model.parallelism_wall());
+    dot.tps = rng.uniform(1e-6, 1e3);
+    const Zone zone = model.zone_of(dot);
+    Dot up = dot;
+    up.tps *= 10.0;
+    const Zone up_zone = model.zone_of(up);
+    auto good_makespan = [](Zone z) {
+      return z == Zone::kGoodMakespanGoodThroughput ||
+             z == Zone::kGoodMakespanPoorThroughput;
+    };
+    auto good_throughput = [](Zone z) {
+      return z == Zone::kGoodMakespanGoodThroughput ||
+             z == Zone::kPoorMakespanGoodThroughput;
+    };
+    if (good_makespan(zone)) {
+      EXPECT_TRUE(good_makespan(up_zone));
+    }
+    if (good_throughput(zone)) {
+      EXPECT_TRUE(good_throughput(up_zone));
+    }
+  }
+}
+
+TEST_P(ModelProperty, AdviceIsAlwaysProducible) {
+  math::Rng rng(GetParam());
+  const SystemSpec s = random_system(rng);
+  WorkflowCharacterization w = random_workflow(rng, s.total_nodes);
+  w.makespan_seconds = rng.uniform(10.0, 1e5);
+  const RooflineModel model = build_model(s, w);
+  const Advice advice = advise(model);
+  EXPECT_FALSE(advice.headline.empty());
+  EXPECT_FALSE(advice.suggestions.empty());
+  EXPECT_GT(advice.efficiency, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperty,
+                         ::testing::Values(101, 103, 107, 109, 113, 127,
+                                           131, 137, 139, 149));
+
+// --- Workflow-description round-trip over random DAGs -----------------------
+
+class WdlRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WdlRoundTrip, RandomDagSurvivesSaveAndLoad) {
+  archetypes::RandomDagParams params;
+  params.tasks = 30;
+  params.seed = GetParam();
+  const dag::WorkflowGraph original = archetypes::random_dag(params);
+  const dag::WorkflowGraph reloaded =
+      dag::load_workflow(dag::save_workflow_text(original));
+  ASSERT_EQ(reloaded.task_count(), original.task_count());
+  for (dag::TaskId id = 0; id < original.task_count(); ++id) {
+    const dag::TaskSpec& a = original.task(id);
+    const dag::TaskSpec& b = reloaded.task(reloaded.find_task(a.name));
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_DOUBLE_EQ(a.demand.flops_per_node, b.demand.flops_per_node);
+    EXPECT_DOUBLE_EQ(a.demand.dram_bytes_per_node,
+                     b.demand.dram_bytes_per_node);
+    EXPECT_DOUBLE_EQ(a.demand.fs_read_bytes, b.demand.fs_read_bytes);
+    EXPECT_DOUBLE_EQ(a.demand.fs_write_bytes, b.demand.fs_write_bytes);
+    EXPECT_DOUBLE_EQ(a.demand.external_in_bytes, b.demand.external_in_bytes);
+    EXPECT_DOUBLE_EQ(a.demand.network_bytes, b.demand.network_bytes);
+    EXPECT_DOUBLE_EQ(a.demand.overhead_seconds, b.demand.overhead_seconds);
+    EXPECT_EQ(original.predecessors(id).size(),
+              reloaded.predecessors(reloaded.find_task(a.name)).size());
+  }
+  // The derived characterization is identical too.
+  const core::WorkflowCharacterization ca = characterize_graph(original);
+  const core::WorkflowCharacterization cb = characterize_graph(reloaded);
+  EXPECT_EQ(ca.parallel_tasks, cb.parallel_tasks);
+  EXPECT_DOUBLE_EQ(ca.flops_per_node, cb.flops_per_node);
+  EXPECT_DOUBLE_EQ(ca.fs_bytes_per_task, cb.fs_bytes_per_task);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WdlRoundTrip,
+                         ::testing::Values(211, 223, 227, 229, 233));
+
+}  // namespace
+}  // namespace wfr::core

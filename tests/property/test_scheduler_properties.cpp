@@ -1,0 +1,121 @@
+// Property tests for the list scheduler: resource safety, dependency
+// respect, and classic makespan lower bounds over random DAGs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dag/schedule.hpp"
+#include "math/rng.hpp"
+
+namespace wfr::dag {
+namespace {
+
+struct Instance {
+  WorkflowGraph graph{"random"};
+  std::vector<double> durations;
+  int pool = 1;
+};
+
+Instance random_instance(std::uint64_t seed) {
+  math::Rng rng(seed);
+  Instance inst;
+  inst.pool = static_cast<int>(rng.uniform_int(4, 64));
+  const int tasks = static_cast<int>(rng.uniform_int(2, 40));
+  for (int i = 0; i < tasks; ++i) {
+    TaskSpec t;
+    t.name = "t" + std::to_string(i);
+    t.nodes = static_cast<int>(rng.uniform_int(1, inst.pool));
+    const TaskId id = inst.graph.add_task(std::move(t));
+    for (TaskId p = 0; p < id; ++p)
+      if (rng.bernoulli(0.12)) inst.graph.add_dependency(p, id);
+    inst.durations.push_back(rng.uniform(0.5, 50.0));
+  }
+  return inst;
+}
+
+class SchedulerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerProperty, NodesAreNeverOversubscribed) {
+  const Instance inst = random_instance(GetParam());
+  for (bool lpt : {false, true}) {
+    const Schedule s = schedule_workflow(
+        inst.graph, inst.durations,
+        {.pool_nodes = inst.pool, .longest_task_first = lpt});
+    // Sweep start/end events and track node usage.
+    std::vector<std::pair<double, int>> events;
+    for (const ScheduledTask& t : s.entries) {
+      if (t.duration() <= 0.0) continue;
+      events.emplace_back(t.start_seconds, t.nodes);
+      events.emplace_back(t.end_seconds, -t.nodes);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.second < b.second;  // releases before grabs
+              });
+    int in_use = 0;
+    for (const auto& [time, delta] : events) {
+      in_use += delta;
+      EXPECT_LE(in_use, inst.pool);
+      EXPECT_GE(in_use, 0);
+    }
+  }
+}
+
+TEST_P(SchedulerProperty, DependenciesAreRespected) {
+  const Instance inst = random_instance(GetParam());
+  const Schedule s =
+      schedule_workflow(inst.graph, inst.durations, {.pool_nodes = inst.pool});
+  for (TaskId id = 0; id < inst.graph.task_count(); ++id)
+    for (TaskId pred : inst.graph.predecessors(id))
+      EXPECT_GE(s.entries[id].start_seconds,
+                s.entries[pred].end_seconds - 1e-9);
+}
+
+TEST_P(SchedulerProperty, MakespanRespectsClassicLowerBounds) {
+  const Instance inst = random_instance(GetParam());
+  const Schedule s =
+      schedule_workflow(inst.graph, inst.durations, {.pool_nodes = inst.pool});
+  // LB1: critical path.
+  const CriticalPath cp = inst.graph.critical_path(inst.durations);
+  EXPECT_GE(s.makespan_seconds, cp.length_seconds - 1e-9);
+  // LB2: total node-seconds / pool size.
+  double node_seconds = 0.0;
+  for (TaskId id = 0; id < inst.graph.task_count(); ++id)
+    node_seconds += inst.durations[id] * inst.graph.task(id).nodes;
+  EXPECT_GE(s.makespan_seconds, node_seconds / inst.pool - 1e-9);
+}
+
+TEST_P(SchedulerProperty, GreedyIsWithinTwoXOfLowerBound) {
+  // Graham-style bound: list scheduling is within (2 - 1/m) of optimal
+  // for independent tasks; with dependencies the CP+work/m bound applies.
+  const Instance inst = random_instance(GetParam());
+  const Schedule s =
+      schedule_workflow(inst.graph, inst.durations, {.pool_nodes = inst.pool});
+  const CriticalPath cp = inst.graph.critical_path(inst.durations);
+  double node_seconds = 0.0;
+  for (TaskId id = 0; id < inst.graph.task_count(); ++id)
+    node_seconds += inst.durations[id] * inst.graph.task(id).nodes;
+  const double bound = cp.length_seconds + node_seconds / inst.pool;
+  EXPECT_LE(s.makespan_seconds, 2.0 * bound + 1e-9);
+}
+
+TEST_P(SchedulerProperty, EveryTaskIsScheduledExactlyOnce) {
+  const Instance inst = random_instance(GetParam());
+  const Schedule s =
+      schedule_workflow(inst.graph, inst.durations, {.pool_nodes = inst.pool});
+  ASSERT_EQ(s.entries.size(), inst.graph.task_count());
+  for (TaskId id = 0; id < inst.graph.task_count(); ++id) {
+    EXPECT_EQ(s.entries[id].task, id);
+    EXPECT_NEAR(s.entries[id].duration(), inst.durations[id], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
+                         ::testing::Values(31, 37, 41, 43, 47, 53, 59, 61,
+                                           67, 71));
+
+}  // namespace
+}  // namespace wfr::dag

@@ -1,0 +1,24 @@
+// Compile-and-smoke test of the umbrella header: every public module is
+// reachable through one include and the end-to-end flow works.
+
+#include "wfr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+  wfr::core::SystemSpec system = wfr::core::SystemSpec::perlmutter_cpu();
+  wfr::dag::WorkflowGraph g = wfr::archetypes::pipeline(3);
+  const wfr::trace::WorkflowTrace trace =
+      wfr::sim::run_workflow(g, system.to_machine());
+  const wfr::core::WorkflowCharacterization c =
+      wfr::core::characterize_trace(g, trace);
+  const wfr::core::RooflineModel model = wfr::core::build_model(system, c);
+  EXPECT_FALSE(model.dots().empty());
+  EXPECT_FALSE(wfr::core::advise(model).suggestions.empty());
+  EXPECT_FALSE(wfr::plot::render_roofline(model).empty());
+  EXPECT_FALSE(wfr::core::pipeline_report(g, trace).verdict.empty());
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wfr::util {
+namespace {
+
+// Restores the global level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarn) {
+  // The suite may have changed it; just verify set/get round-trips.
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, SetLevelRoundTrips) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST_F(LoggingTest, EmittingBelowThresholdIsSafe) {
+  set_log_level(LogLevel::kError);
+  // Suppressed messages must not crash or misbehave.
+  EXPECT_NO_THROW(log_debug("suppressed"));
+  EXPECT_NO_THROW(log_info("suppressed"));
+  EXPECT_NO_THROW(log_warn("suppressed"));
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  EXPECT_NO_THROW(log_error("also suppressed"));
+  EXPECT_NO_THROW(log(LogLevel::kOff, "never emitted"));
+}
+
+TEST(ErrorHelpers, RequireThrowsInvalidArgument) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "nope"), InvalidArgument);
+  try {
+    require(false, "specific message");
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+TEST(ErrorHelpers, EnsureThrowsInternalError) {
+  EXPECT_NO_THROW(ensure(true, "fine"));
+  EXPECT_THROW(ensure(false, "bug"), InternalError);
+}
+
+TEST(ErrorHierarchy, AllDeriveFromError) {
+  EXPECT_THROW(throw ParseError("x"), Error);
+  EXPECT_THROW(throw NotFound("x"), Error);
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw InternalError("x"), Error);
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wfr::util

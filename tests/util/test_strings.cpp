@@ -1,0 +1,91 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfr::util {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nhi\r "), "hi");
+}
+
+TEST(Strings, TrimKeepsInteriorWhitespace) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+}
+
+TEST(Strings, TrimEmptyAndAllWhitespace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpties) {
+  const auto parts = split_whitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitWhitespaceEmpty) {
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("GB/s MiXeD"), "gb/s mixed");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("workflow", "work"));
+  EXPECT_FALSE(starts_with("work", "workflow"));
+  EXPECT_TRUE(ends_with("5.6TB/s", "B/s"));
+  EXPECT_FALSE(ends_with("B/s", "5.6TB/s"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Strings, RepeatAndPad) {
+  EXPECT_EQ(repeat("ab", 3), "ababab");
+  EXPECT_EQ(repeat("x", 0), "");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d tasks at %.1f GB/s", 28, 5.6), "28 tasks at 5.6 GB/s");
+  EXPECT_EQ(format("plain"), "plain");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("abc", "", "x"), "abc");
+}
+
+TEST(Strings, XmlEscape) {
+  EXPECT_EQ(xml_escape("a<b & c>\"d'"), "a&lt;b &amp; c&gt;&quot;d&apos;");
+  EXPECT_EQ(xml_escape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace wfr::util

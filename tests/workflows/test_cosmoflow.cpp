@@ -1,0 +1,106 @@
+#include "workflows/cosmoflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "math/fit.hpp"
+
+namespace wfr::workflows {
+namespace {
+
+TEST(CosmoStudy, SweepsToTheTwelveInstanceWall) {
+  const CosmoStudyResult r = run_cosmoflow();
+  EXPECT_EQ(r.max_instances, 12);
+  ASSERT_EQ(r.sweep.size(), 12u);
+  EXPECT_EQ(r.sweep.front().instances, 1);
+  EXPECT_EQ(r.sweep.back().instances, 12);
+}
+
+TEST(CosmoStudy, EpochCeilingsMatchPaper) {
+  const CosmoStudyResult r = run_cosmoflow();
+  EXPECT_NEAR(r.hbm_epoch_seconds, 4.2, 0.05);   // HBM makespan 4.2 s
+  EXPECT_NEAR(r.pcie_epoch_seconds, 0.78, 0.03); // PCIe makespan 0.8 s
+}
+
+TEST(CosmoStudy, ThroughputIsLinearInInstances) {
+  // Fig. 8: "the throughput increases proportionally".
+  const CosmoStudyResult r = run_cosmoflow();
+  std::vector<double> xs, ys;
+  for (const CosmoPoint& p : r.sweep) {
+    xs.push_back(p.instances);
+    ys.push_back(p.epochs_per_second);
+  }
+  const math::LinearFit fit = math::fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.0, 0.05);  // slope 1 in log-log = proportional
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(CosmoStudy, TwelveInstancesReachAbout2Point7EpochsPerSecond) {
+  const CosmoStudyResult r = run_cosmoflow();
+  EXPECT_NEAR(r.sweep.back().epochs_per_second, 2.7, 0.2);
+}
+
+TEST(CosmoStudy, HbmBindsAtTheWall) {
+  // At 12 instances the HBM diagonal (12 x 25 epochs / 105.4 s = 2.85/s)
+  // and the filesystem ceiling (5.6 TB/s / 2 TB = 2.80/s) nearly
+  // coincide — "HBM is ultimately the limitation", with the filesystem
+  // line drawn right at it in Fig. 8.
+  const CosmoStudyResult r = run_cosmoflow();
+  const core::Ceiling& binding = r.model.binding_ceiling(12.0);
+  EXPECT_TRUE(binding.channel == core::Channel::kHbm ||
+              binding.channel == core::Channel::kFilesystem);
+  double hbm_tps = -1.0;
+  for (const core::Ceiling& c : r.model.ceilings())
+    if (c.channel == core::Channel::kHbm) hbm_tps = c.tps_at(12.0);
+  ASSERT_GT(hbm_tps, 0.0);
+  EXPECT_NEAR(hbm_tps / r.model.attainable_tps(12.0), 1.0, 0.03);
+  // Below the wall the HBM diagonal binds outright.
+  EXPECT_EQ(r.model.binding_ceiling(6.0).channel, core::Channel::kHbm);
+  // And the measured dot sits close to the binding ceiling.
+  EXPECT_GT(r.model.efficiency(r.model.dots()[0]), 0.9);
+}
+
+TEST(CosmoStudy, FsCeilingCloseToHbmAtTheWall) {
+  // Fig. 8 draws the filesystem ceiling co-binding near 12 instances.
+  const CosmoStudyResult r = run_cosmoflow();
+  double fs_tps = -1.0;
+  for (const core::Ceiling& c : r.model.ceilings())
+    if (c.channel == core::Channel::kFilesystem) fs_tps = c.tps_limit;
+  ASSERT_GT(fs_tps, 0.0);
+  const double hbm_at_wall = r.model.attainable_tps(12.0);
+  EXPECT_NEAR(fs_tps / hbm_at_wall, 1.0, 0.1);
+}
+
+TEST(CosmoStudy, MakespanDominatedByTraining) {
+  // 25 epochs x 4.2 s ~ 105 s of training; the shared 2 TB load adds a
+  // few seconds that grow with the instance count.
+  const CosmoPoint one = run_cosmoflow_point({}, 1);
+  const CosmoPoint twelve = run_cosmoflow_point({}, 12);
+  EXPECT_NEAR(one.makespan_seconds, 105.8, 2.0);
+  EXPECT_GT(twelve.makespan_seconds, one.makespan_seconds);
+  EXPECT_NEAR(twelve.makespan_seconds - one.makespan_seconds, 3.9, 1.0);
+}
+
+TEST(CosmoStudy, ModelHasTwelveDots) {
+  const CosmoStudyResult r = run_cosmoflow();
+  EXPECT_EQ(r.model.dots().size(), 12u);
+  EXPECT_EQ(r.model.parallelism_wall(), 12);
+}
+
+TEST(CosmoStudy, PcieCeilingAboveHbmCeiling) {
+  // Lower epoch time = higher ceiling; PCIe (0.8 s) sits above HBM
+  // (4.2 s), so HBM binds.
+  const CosmoStudyResult r = run_cosmoflow();
+  double pcie_tps = -1.0, hbm_tps = -1.0;
+  for (const core::Ceiling& c : r.model.ceilings()) {
+    if (c.channel == core::Channel::kPcie) pcie_tps = c.tps_at(12.0);
+    if (c.channel == core::Channel::kHbm) hbm_tps = c.tps_at(12.0);
+  }
+  ASSERT_GT(pcie_tps, 0.0);
+  ASSERT_GT(hbm_tps, 0.0);
+  EXPECT_GT(pcie_tps, 4.0 * hbm_tps);
+}
+
+}  // namespace
+}  // namespace wfr::workflows

@@ -1,0 +1,90 @@
+#include "workflows/gptune_wf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfr::workflows {
+namespace {
+
+// One shared run: the study executes three full BO campaigns.
+const GptuneStudyResult& study() {
+  static const GptuneStudyResult r = run_gptune(1);
+  return r;
+}
+
+TEST(GptuneStudy, TotalsMatchPaper) {
+  EXPECT_NEAR(study().rci.total_seconds, 553.0, 30.0);
+  EXPECT_NEAR(study().spawn.total_seconds, 228.0, 20.0);
+}
+
+TEST(GptuneStudy, SpeedupsMatchPaperArrows) {
+  EXPECT_NEAR(study().spawn_over_rci, 2.4, 0.3);       // Fig. 10a "2.4x"
+  EXPECT_NEAR(study().projected_over_spawn, 12.0, 3.0);  // Fig. 10a "12x"
+}
+
+TEST(GptuneStudy, SpawnDotAboveRciDot) {
+  const auto& dots = study().model.dots();
+  ASSERT_EQ(dots.size(), 3u);
+  EXPECT_EQ(dots[0].label, "RCI");
+  EXPECT_EQ(dots[1].label, "Spawn");
+  EXPECT_GT(dots[1].tps, dots[0].tps);
+  EXPECT_EQ(dots[2].style, "projected");
+  EXPECT_GT(dots[2].tps, dots[1].tps);
+}
+
+TEST(GptuneStudy, RciIsControlFlowBound) {
+  const core::Dot& rci = study().model.dots()[0];
+  EXPECT_EQ(study().model.classify(rci),
+            core::BoundClass::kControlFlowBound);
+}
+
+TEST(GptuneStudy, ProjectedDotRidesTheOverheadCeiling) {
+  const core::Dot& projected = study().model.dots()[2];
+  EXPECT_GT(study().model.efficiency(projected), 0.9);
+}
+
+TEST(GptuneStudy, WallAt3072SerializedTasks) {
+  // One-node tasks on the 3072-node PM-CPU partition.
+  EXPECT_EQ(study().model.parallelism_wall(), 3072);
+  // But the workflow itself runs one task at a time.
+  EXPECT_EQ(study().model.workflow().parallel_tasks, 1);
+}
+
+TEST(GptuneStudy, TwoFilesystemCeilingsNearlyCoincide) {
+  // The paper: the two system bounds (45 vs 40 MB) are very close, while
+  // the I/O times differ by three orders of magnitude.
+  std::vector<double> fs_limits;
+  for (const core::Ceiling& c : study().model.ceilings())
+    if (c.channel == core::Channel::kFilesystem)
+      fs_limits.push_back(c.tps_limit);
+  ASSERT_EQ(fs_limits.size(), 2u);
+  const double ratio = fs_limits[0] / fs_limits[1];
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+  EXPECT_GT(study().rci.io_seconds / study().spawn.io_seconds, 100.0);
+}
+
+TEST(GptuneStudy, BreakdownsInRciSpawnProjectedOrder) {
+  const auto& bars = study().breakdowns;
+  ASSERT_EQ(bars.size(), 3u);
+  EXPECT_EQ(bars[0].scenario, "RCI");
+  EXPECT_EQ(bars[1].scenario, "Spawn");
+  EXPECT_EQ(bars[2].scenario, "Projected");
+  EXPECT_GT(bars[0].total_seconds(), bars[1].total_seconds());
+  EXPECT_GT(bars[1].total_seconds(), bars[2].total_seconds());
+}
+
+TEST(GptuneStudy, TuningFindsAGoodConfiguration) {
+  // The substrate is a real optimizer: the tuned best beats the default
+  // configuration of the synthetic SuperLU surface.
+  autotune::SuperluSurface reference(4960);
+  EXPECT_LT(study().rci.history.best().value, reference.default_value());
+}
+
+TEST(GptuneStudy, SameCampaignAcrossModes) {
+  // Control flow changes orchestration, not the optimization trajectory.
+  EXPECT_DOUBLE_EQ(study().rci.application_seconds,
+                   study().spawn.application_seconds);
+}
+
+}  // namespace
+}  // namespace wfr::workflows
