@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "analytical/bgw_model.hpp"
 #include "autotune/gp.hpp"
 #include "core/model.hpp"
@@ -42,6 +46,61 @@ void BM_AttainableThroughput(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AttainableThroughput);
+
+// Engine event-loop throughput: a chain of sequential timed events, the
+// dominant operation in long simulations.  items/sec = events/sec; the
+// payload slab keeps storage at one slot regardless of chain length.
+void BM_EngineEventThroughput(benchmark::State& state) {
+  const int chain = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int remaining = chain;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) simulator.schedule_after(1.0, tick);
+    };
+    simulator.schedule_after(0.0, tick);
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.now());
+  }
+  state.SetItemsProcessed(state.iterations() * chain);
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(1024)->Arg(16384);
+
+// Fair-share completion throughput at fixed concurrency: N flows with
+// distinct volumes drain one at a time, so every completion re-derives
+// the schedule.  items/sec = flow completions/sec.
+void BM_EngineConcurrentFlows(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    const sim::ResourceId fs = simulator.add_resource("fs", 1e12);
+    for (int i = 0; i < flows; ++i)
+      simulator.start_flow(fs, 1e9 * (i + 1), [] {});
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.now());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_EngineConcurrentFlows)->Arg(10)->Arg(100)->Arg(1000);
+
+// Cancellation cost: N live flows cancelled one by one (the facility
+// co-scheduling scenario tears down background load this way).
+void BM_EngineCancelFlows(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  std::vector<sim::FlowId> ids;
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    const sim::ResourceId fs = simulator.add_resource("fs", 1e12);
+    ids.clear();
+    for (int i = 0; i < flows; ++i)
+      ids.push_back(simulator.start_flow(fs, 1e12, [] {}));
+    for (const sim::FlowId id : ids) simulator.cancel_flow(id);
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.now());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_EngineCancelFlows)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_SimulatorFairShareFlows(benchmark::State& state) {
   const int flows = static_cast<int>(state.range(0));

@@ -10,32 +10,23 @@ namespace wfr::sim {
 
 namespace {
 // Completion threshold: volumes are bytes (up to ~1e16), so anything below
-// a micro-byte of residue is floating-point drift, not real work.
+// a micro-byte of residue is floating-point drift, not real work.  The
+// relative term keeps the threshold above one ulp of the virtual-service
+// accumulator on very long runs, where an absolute epsilon alone could
+// leave a flow stuck one rounding error short of its finish line.
 constexpr double kResidueEpsilon = 1e-6;
+constexpr double kRelativeResidue = 1e-12;
+
+double completion_tolerance(double virtual_time) {
+  return kResidueEpsilon + kRelativeResidue * virtual_time;
+}
+
+// Scheduling in the past is tolerated up to a *relative* rounding slack:
+// at large simulated times (now ~ 1e9 s) one ulp of `now` dwarfs any
+// absolute epsilon, and a caller-computed `now + dt` can legitimately
+// round below `now`.
+constexpr double kPastTolerance = 1e-12;
 }  // namespace
-
-int Simulator::Resource::finite_flow_count() const {
-  int n = 0;
-  for (const Flow& f : flows)
-    if (!f.background) ++n;
-  return n;
-}
-
-double Simulator::Resource::share_rate() const {
-  if (flows.empty()) return 0.0;
-  return capacity / static_cast<double>(flows.size());
-}
-
-double Simulator::Resource::next_completion_dt() const {
-  const double rate = share_rate();
-  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
-  double min_remaining = std::numeric_limits<double>::infinity();
-  for (const Flow& f : flows)
-    if (!f.background) min_remaining = std::min(min_remaining, f.remaining);
-  if (!std::isfinite(min_remaining))
-    return std::numeric_limits<double>::infinity();
-  return min_remaining / rate;
-}
 
 ResourceId Simulator::add_resource(std::string name, double capacity) {
   util::require(capacity > 0.0, "resource capacity must be > 0 for '" +
@@ -61,16 +52,25 @@ const std::string& Simulator::resource_name(ResourceId resource) const {
 }
 
 int Simulator::active_flows(ResourceId resource) const {
-  return static_cast<int>(resource_ref(resource).flows.size());
+  return resource_ref(resource).flow_count;
 }
 
 void Simulator::schedule_at(double time, Callback callback) {
-  util::require(time >= now_ - 1e-12,
+  const double tolerance =
+      kPastTolerance * std::max(1.0, std::abs(now_));
+  util::require(time >= now_ - tolerance,
                 util::format("cannot schedule in the past (%g < %g)", time,
                              now_));
-  events_payload_.push_back(std::move(callback));
-  events_.push(TimedEvent{std::max(time, now_), next_sequence_++,
-                          events_payload_.size() - 1});
+  std::size_t slot;
+  if (!free_event_slots_.empty()) {
+    slot = free_event_slots_.back();
+    free_event_slots_.pop_back();
+    events_payload_[slot] = std::move(callback);
+  } else {
+    events_payload_.push_back(std::move(callback));
+    slot = events_payload_.size() - 1;
+  }
+  events_.push(TimedEvent{std::max(time, now_), next_sequence_++, slot});
 }
 
 void Simulator::schedule_after(double delay, Callback callback) {
@@ -78,8 +78,26 @@ void Simulator::schedule_after(double delay, Callback callback) {
   schedule_at(now_ + delay, std::move(callback));
 }
 
+std::uint32_t Simulator::alloc_flow_slot() {
+  if (!free_flow_slots_.empty()) {
+    const std::uint32_t slot = free_flow_slots_.back();
+    free_flow_slots_.pop_back();
+    return slot;
+  }
+  flow_slots_.emplace_back();
+  return static_cast<std::uint32_t>(flow_slots_.size() - 1);
+}
+
+void Simulator::free_flow_slot(std::uint32_t slot) {
+  FlowState& st = flow_slots_[slot];
+  st.id = kInvalidFlow;
+  st.on_complete = nullptr;
+  st.on_cancel = nullptr;
+  free_flow_slots_.push_back(slot);
+}
+
 FlowId Simulator::start_flow(ResourceId resource, double volume,
-                             Callback on_complete) {
+                             Callback on_complete, CancelCallback on_cancel) {
   util::require(volume >= 0.0, "flow volume must be >= 0");
   if (volume <= kResidueEpsilon) {
     // Degenerate flow: complete "now" via the event queue so that callback
@@ -88,67 +106,126 @@ FlowId Simulator::start_flow(ResourceId resource, double volume,
     return kInvalidFlow;
   }
   Resource& r = resource_ref(resource);
-  Flow f;
-  f.id = next_flow_id_++;
-  f.remaining = volume;
-  f.background = false;
-  f.on_complete = std::move(on_complete);
-  r.flows.push_back(std::move(f));
-  return r.flows.back().id;
+  const std::uint32_t slot = alloc_flow_slot();
+  FlowState& st = flow_slots_[slot];
+  st.id = next_flow_id_++;
+  st.resource = resource;
+  st.volume = volume;
+  st.finish_virtual = r.virtual_time + volume;
+  st.background = false;
+  st.on_complete = std::move(on_complete);
+  st.on_cancel = std::move(on_cancel);
+  flow_index_.emplace(st.id, slot);
+  ++r.flow_count;
+  ++r.finite_count;
+  r.heap.push_back(FlowHeapEntry{st.finish_virtual, st.id, slot});
+  std::push_heap(r.heap.begin(), r.heap.end(), FlowHeapLater{});
+  return st.id;
 }
 
 FlowId Simulator::start_background_flow(ResourceId resource) {
   Resource& r = resource_ref(resource);
-  Flow f;
-  f.id = next_flow_id_++;
-  f.remaining = std::numeric_limits<double>::infinity();
-  f.background = true;
-  r.flows.push_back(std::move(f));
-  return r.flows.back().id;
+  const std::uint32_t slot = alloc_flow_slot();
+  FlowState& st = flow_slots_[slot];
+  st.id = next_flow_id_++;
+  st.resource = resource;
+  st.volume = std::numeric_limits<double>::infinity();
+  st.finish_virtual = std::numeric_limits<double>::infinity();
+  st.background = true;
+  flow_index_.emplace(st.id, slot);
+  ++r.flow_count;
+  return st.id;
 }
 
 void Simulator::cancel_flow(FlowId flow) {
   if (flow == kInvalidFlow) return;
-  for (Resource& r : resources_) {
-    auto it = std::find_if(r.flows.begin(), r.flows.end(),
-                           [flow](const Flow& f) { return f.id == flow; });
-    if (it != r.flows.end()) {
-      r.flows.erase(it);
-      return;
-    }
+  const auto it = flow_index_.find(flow);
+  if (it == flow_index_.end()) return;
+  const std::uint32_t slot = it->second;
+  FlowState& st = flow_slots_[slot];
+  Resource& r = resources_[st.resource];
+  --r.flow_count;
+  double remaining = 0.0;
+  const bool background = st.background;
+  if (!background) {
+    --r.finite_count;
+    ++r.stale_heap_entries;  // its heap node is pruned lazily
+    remaining = std::clamp(st.finish_virtual - r.virtual_time, 0.0,
+                           st.volume);
   }
+  CancelCallback on_cancel = std::move(st.on_cancel);
+  flow_index_.erase(it);
+  free_flow_slot(slot);
+  maybe_compact_heap(r);
+  // Fired last: the engine is in a consistent state, so the callback may
+  // start flows or schedule events.
+  if (!background && on_cancel) on_cancel(remaining);
+}
+
+void Simulator::prune_heap_top(Resource& r) {
+  while (!r.heap.empty() && !heap_entry_live(r.heap.front())) {
+    std::pop_heap(r.heap.begin(), r.heap.end(), FlowHeapLater{});
+    r.heap.pop_back();
+    --r.stale_heap_entries;
+  }
+}
+
+void Simulator::maybe_compact_heap(Resource& r) {
+  // Rebuild once stale nodes dominate; each cancel adds one stale node,
+  // so the O(live + stale) rebuild amortizes to O(1) per cancellation.
+  if (r.stale_heap_entries <= 64 ||
+      r.stale_heap_entries <= static_cast<int>(r.heap.size()) / 2)
+    return;
+  std::erase_if(r.heap, [this](const FlowHeapEntry& entry) {
+    return !heap_entry_live(entry);
+  });
+  std::make_heap(r.heap.begin(), r.heap.end(), FlowHeapLater{});
+  r.stale_heap_entries = 0;
+}
+
+double Simulator::next_completion_dt(Resource& r) {
+  prune_heap_top(r);
+  if (r.heap.empty()) return std::numeric_limits<double>::infinity();
+  const double remaining = r.heap.front().finish_virtual - r.virtual_time;
+  if (remaining <= completion_tolerance(r.virtual_time)) return 0.0;
+  return remaining / r.share_rate();
 }
 
 void Simulator::advance(double dt) {
   util::ensure(dt >= 0.0, "simulator attempted to move time backwards");
-  if (dt > 0.0) {
-    for (Resource& r : resources_) {
-      if (r.flows.empty()) continue;
-      if (r.finite_flow_count() > 0) r.busy_seconds += dt;
-      const double rate = r.share_rate();
-      for (Flow& f : r.flows) {
-        if (f.background) continue;
-        const double moved = std::min(f.remaining, rate * dt);
-        f.remaining -= moved;
-        r.completed_volume += moved;
-      }
+  if (dt <= 0.0) return;
+  for (Resource& r : resources_) {
+    if (r.flow_count == 0) continue;
+    const double rate = r.share_rate();
+    r.virtual_time += rate * dt;
+    if (r.finite_count > 0) {
+      r.busy_seconds += dt;
+      r.completed_volume += rate * dt * static_cast<double>(r.finite_count);
     }
-    now_ += dt;
   }
+  now_ += dt;
 }
 
 void Simulator::complete_finished_flows() {
-  // Collect finished flows first; callbacks may add flows/events.
+  // Collect finished flows first; callbacks may add flows/events.  Within
+  // a resource the heap pops in (required service, flow id) order, so
+  // simultaneous completions fire in flow creation order.
   std::vector<Callback> callbacks;
   for (Resource& r : resources_) {
-    auto it = r.flows.begin();
-    while (it != r.flows.end()) {
-      if (!it->background && it->remaining <= kResidueEpsilon) {
-        callbacks.push_back(std::move(it->on_complete));
-        it = r.flows.erase(it);
-      } else {
-        ++it;
-      }
+    const double tolerance = completion_tolerance(r.virtual_time);
+    for (;;) {
+      prune_heap_top(r);
+      if (r.heap.empty()) break;
+      const FlowHeapEntry top = r.heap.front();
+      if (top.finish_virtual - r.virtual_time > tolerance) break;
+      std::pop_heap(r.heap.begin(), r.heap.end(), FlowHeapLater{});
+      r.heap.pop_back();
+      FlowState& st = flow_slots_[top.slot];
+      callbacks.push_back(std::move(st.on_complete));
+      --r.flow_count;
+      --r.finite_count;
+      flow_index_.erase(top.id);
+      free_flow_slot(top.slot);
     }
   }
   for (Callback& cb : callbacks)
@@ -160,8 +237,8 @@ bool Simulator::step() {
                               ? std::numeric_limits<double>::infinity()
                               : events_.top().time - now_;
   double dt_flow = std::numeric_limits<double>::infinity();
-  for (const Resource& r : resources_)
-    dt_flow = std::min(dt_flow, r.next_completion_dt());
+  for (Resource& r : resources_)
+    dt_flow = std::min(dt_flow, next_completion_dt(r));
 
   if (!std::isfinite(dt_event) && !std::isfinite(dt_flow)) return false;
 
@@ -170,6 +247,8 @@ bool Simulator::step() {
     const TimedEvent ev = events_.top();
     events_.pop();
     Callback cb = std::move(events_payload_[ev.payload]);
+    events_payload_[ev.payload] = nullptr;
+    free_event_slots_.push_back(ev.payload);
     if (cb) cb();
   } else {
     advance(dt_flow);

@@ -12,18 +12,32 @@
 // other workloads, e.g. the paper's "bad days" at LCLS) until cancelled.
 //
 // The engine is deterministic: simultaneous events fire in insertion
-// order.  Callbacks may schedule new events and start new flows.
+// order, and finite flows that drain at the same instant complete in flow
+// creation order.  Callbacks may schedule new events and start new flows.
+//
+// Fair sharing is tracked incrementally in *virtual service time*: each
+// resource accumulates the cumulative per-flow service it has delivered
+// (volume units), and a finite flow completes when that accumulator
+// reaches the value it had at the flow's admission plus the flow's
+// volume.  Advancing time therefore touches each resource once (not each
+// flow), the next completion is the top of a per-resource min-heap, and
+// cancellation is an O(1) id lookup.  Event callbacks live in a slab with
+// a free-list, so long simulations reuse storage instead of growing it.
 
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace wfr::sim {
 
 using Callback = std::function<void()>;
+/// Fired when a finite flow is cancelled; receives the volume that had not
+/// yet moved (0 <= remaining <= the flow's original volume).
+using CancelCallback = std::function<void(double remaining_volume)>;
 
 /// Handle to a shared bandwidth resource.
 using ResourceId = std::uint32_t;
@@ -57,7 +71,9 @@ class Simulator {
   /// Number of flows (finite + background) currently on `resource`.
   int active_flows(ResourceId resource) const;
 
-  /// Schedules `callback` at absolute time `time` (>= now).
+  /// Schedules `callback` at absolute time `time`.  `time` may lag `now()`
+  /// by at most a relative rounding tolerance (the event then fires at
+  /// `now()`); anything further in the past throws InvalidArgument.
   void schedule_at(double time, Callback callback);
 
   /// Schedules `callback` `delay` seconds from now (delay >= 0).
@@ -65,16 +81,22 @@ class Simulator {
 
   /// Starts moving `volume` units through `resource`; `on_complete` fires
   /// when the last byte arrives.  Zero volume completes at the current
-  /// time (via a zero-delay event).  Returns the flow id.
-  FlowId start_flow(ResourceId resource, double volume, Callback on_complete);
+  /// time (via a zero-delay event; such degenerate flows return
+  /// kInvalidFlow and cannot be cancelled).  If `on_cancel` is provided it
+  /// fires — with the not-yet-moved volume — when the flow is removed via
+  /// cancel_flow(); exactly one of the two callbacks ever runs.
+  FlowId start_flow(ResourceId resource, double volume, Callback on_complete,
+                    CancelCallback on_cancel = nullptr);
 
   /// Starts a flow that never completes but takes a fair share of
   /// `resource` until cancel_flow() — a contention injector.
   FlowId start_background_flow(ResourceId resource);
 
-  /// Removes a flow (finite or background).  Completion callbacks of a
-  /// cancelled finite flow never fire.  Unknown ids are ignored (the flow
-  /// may have already completed).
+  /// Removes a flow (finite or background).  A cancelled finite flow's
+  /// `on_complete` never fires; its `on_cancel` (when provided) fires
+  /// immediately with the remaining volume, and the volume it already
+  /// moved stays credited to completed_volume().  Unknown ids are ignored
+  /// (the flow may have already completed).
   void cancel_flow(FlowId flow);
 
   /// Runs until no timed events remain and no finite flows are active.
@@ -85,7 +107,8 @@ class Simulator {
   /// Advances past the next event.  Returns false when nothing remains.
   bool step();
 
-  /// Total volume that has completed per resource (for utilization checks).
+  /// Total volume that has completed per resource (for utilization
+  /// checks).  Includes the partial volume moved by cancelled flows.
   double completed_volume(ResourceId resource) const;
 
   /// Time during which `resource` had at least one finite flow in flight.
@@ -96,26 +119,63 @@ class Simulator {
   /// 0 when never busy.
   double utilization(ResourceId resource) const;
 
+  /// Introspection for tests/benchmarks: high-water slot count of the
+  /// event-callback slab.  Stays bounded by the peak number of *pending*
+  /// events, not the total number ever scheduled.
+  std::size_t event_payload_slots() const { return events_payload_.size(); }
+
+  /// Introspection for tests/benchmarks: flows currently registered
+  /// (finite + background, across all resources).
+  std::size_t live_flows() const { return flow_index_.size(); }
+
  private:
-  struct Flow {
-    FlowId id = kInvalidFlow;
-    double remaining = 0.0;
+  /// Registry entry for one live flow; stored in a slab, slots reused.
+  struct FlowState {
+    FlowId id = kInvalidFlow;  // kInvalidFlow marks a free slot
+    ResourceId resource = 0;
+    double volume = 0.0;
+    /// Virtual-service reading at which this finite flow completes.
+    double finish_virtual = 0.0;
     bool background = false;
     Callback on_complete;
+    CancelCallback on_cancel;
+  };
+
+  /// Min-heap node: finite flows ordered by required virtual service,
+  /// ties broken by flow id (= creation order).  Cancelled flows leave
+  /// stale nodes that are pruned lazily (slot/id mismatch).
+  struct FlowHeapEntry {
+    double finish_virtual = 0.0;
+    FlowId id = kInvalidFlow;
+    std::uint32_t slot = 0;
+  };
+  struct FlowHeapLater {
+    bool operator()(const FlowHeapEntry& a, const FlowHeapEntry& b) const {
+      if (a.finish_virtual != b.finish_virtual)
+        return a.finish_virtual > b.finish_virtual;
+      return a.id > b.id;
+    }
   };
 
   struct Resource {
     std::string name;
     double capacity = 0.0;
-    std::vector<Flow> flows;
+    /// Cumulative per-flow service delivered since creation (volume
+    /// units); advances at capacity / active_flows per second.
+    double virtual_time = 0.0;
+    int flow_count = 0;    // finite + background
+    int finite_count = 0;  // finite only
+    /// Min-heap of live finite flows plus stale (cancelled) leftovers.
+    std::vector<FlowHeapEntry> heap;
+    int stale_heap_entries = 0;
     double completed_volume = 0.0;
     double busy_seconds = 0.0;
 
-    int finite_flow_count() const;
     /// Per-flow rate under equal sharing; 0 when no flows.
-    double share_rate() const;
-    /// Time until the first finite flow completes; +inf when none.
-    double next_completion_dt() const;
+    double share_rate() const {
+      return flow_count == 0 ? 0.0
+                             : capacity / static_cast<double>(flow_count);
+    }
   };
 
   struct TimedEvent {
@@ -132,9 +192,23 @@ class Simulator {
 
   Resource& resource_ref(ResourceId id);
   const Resource& resource_ref(ResourceId id) const;
-  /// Moves time forward by dt, draining flow volumes.
+
+  std::uint32_t alloc_flow_slot();
+  void free_flow_slot(std::uint32_t slot);
+  /// True when a heap node still refers to a live flow.
+  bool heap_entry_live(const FlowHeapEntry& entry) const {
+    return flow_slots_[entry.slot].id == entry.id;
+  }
+  /// Pops cancelled leftovers off the heap top.
+  void prune_heap_top(Resource& r);
+  /// Rebuilds a heap dominated by stale nodes (amortized O(1) per cancel).
+  void maybe_compact_heap(Resource& r);
+  /// Time until the first finite flow on `r` completes; +inf when none.
+  double next_completion_dt(Resource& r);
+
+  /// Moves time forward by dt, advancing each resource's virtual service.
   void advance(double dt);
-  /// Fires completions for flows that have drained.
+  /// Fires completions for flows whose required service has been reached.
   void complete_finished_flows();
 
   double now_ = 0.0;
@@ -144,7 +218,14 @@ class Simulator {
   std::priority_queue<TimedEvent, std::vector<TimedEvent>,
                       std::greater<TimedEvent>>
       events_;
+  // Event-callback slab + free-list: popped slots are reused, so storage
+  // is bounded by the peak number of simultaneously pending events.
   std::vector<Callback> events_payload_;
+  std::vector<std::size_t> free_event_slots_;
+  // Flow registry slab + free-list, with an id index for O(1) cancel.
+  std::vector<FlowState> flow_slots_;
+  std::vector<std::uint32_t> free_flow_slots_;
+  std::unordered_map<FlowId, std::uint32_t> flow_index_;
 };
 
 }  // namespace wfr::sim

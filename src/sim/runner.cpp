@@ -214,6 +214,19 @@ class Runner {
     });
   }
 
+  // Task flows must never be cancelled: the task's phase chain would stall
+  // and the run would end in a misleading "workflow deadlocked" error.
+  // Installing this cancellation callback turns that latent state into an
+  // immediate, attributable failure at the cancel site.
+  CancelCallback abort_on_cancel(dag::TaskId id, const char* phase) {
+    return [this, id, phase](double remaining) {
+      throw util::InternalError(util::format(
+          "task '%s' had its %s flow cancelled mid-run (%g bytes left); "
+          "task flows must run to completion",
+          graph_.task(id).name.c_str(), phase, remaining));
+    };
+  }
+
   void run_external_in(dag::TaskId id) {
     const double volume = graph_.task(id).demand.external_in_bytes;
     auto next = [this, id] {
@@ -221,7 +234,8 @@ class Runner {
       run_fs_read(id);
     };
     if (volume > 0.0) {
-      sim_.start_flow(external_, volume, next);
+      sim_.start_flow(external_, volume, next,
+                      abort_on_cancel(id, "external-ingress"));
     } else {
       next();
     }
@@ -234,7 +248,7 @@ class Runner {
       run_work(id);
     };
     if (volume > 0.0) {
-      sim_.start_flow(fs_, volume, next);
+      sim_.start_flow(fs_, volume, next, abort_on_cancel(id, "fs-read"));
     } else {
       next();
     }
@@ -271,7 +285,7 @@ class Runner {
       finish_task(id);
     };
     if (volume > 0.0) {
-      sim_.start_flow(fs_, volume, next);
+      sim_.start_flow(fs_, volume, next, abort_on_cancel(id, "fs-write"));
     } else {
       next();
     }

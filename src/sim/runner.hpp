@@ -52,10 +52,13 @@ struct RunOptions {
   /// factor exp(N(0, sigma)); 0 disables jitter.
   double work_jitter_sigma = 0.0;
   /// Failure injection: probability that a task attempt fails at the end
-  /// of its work phase and restarts from its first phase.  0 disables.
+  /// of its work phase and restarts from its first phase.  A retrying
+  /// task keeps its node allocation; the failed attempt's spans stay in
+  /// the trace record as lost time.  0 disables.
   double failure_probability = 0.0;
-  /// Attempts per task before the whole run is declared failed (throws
-  /// util::Error).  Only meaningful with failure_probability > 0.
+  /// Work-phase attempts per task before the whole run is declared failed
+  /// (throws util::Error after exactly this many attempts).  Only
+  /// meaningful with failure_probability > 0.
   int max_attempts = 3;
   /// Seed for jitter and failure draws.
   std::uint64_t seed = 0;

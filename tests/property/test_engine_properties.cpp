@@ -100,6 +100,37 @@ TEST_P(EngineProperty, BackgroundFlowsOnlySlowThingsDown) {
                                                             (bg + 1));
 }
 
+TEST_P(EngineProperty, CancellationConservesAccountedVolume) {
+  // completed_volume must equal the full volume of completed flows plus
+  // the partial volume moved by cancelled flows (observed through their
+  // cancellation callbacks).
+  math::Rng rng(GetParam());
+  Simulator sim;
+  const double capacity = rng.uniform(10.0, 1e6);
+  const ResourceId r = sim.add_resource("r", capacity);
+  const int flows = static_cast<int>(rng.uniform_int(4, 40));
+  double completed_total = 0.0;
+  double cancelled_moved = 0.0;
+  for (int f = 0; f < flows; ++f) {
+    const double volume = rng.uniform(1.0, 1e6);
+    const FlowId id = sim.start_flow(
+        r, volume, [&completed_total, volume] { completed_total += volume; },
+        [&cancelled_moved, volume](double remaining) {
+          cancelled_moved += volume - remaining;
+        });
+    if (rng.bernoulli(0.4)) {
+      // May land before or after the flow drains; a post-completion
+      // cancel must be a silent no-op.
+      const double when = rng.uniform(0.0, 2.0 * volume / capacity);
+      sim.schedule_at(when, [&sim, id] { sim.cancel_flow(id); });
+    }
+  }
+  sim.run();
+  const double expected = completed_total + cancelled_moved;
+  EXPECT_NEAR(sim.completed_volume(r), expected,
+              1e-6 * std::max(1.0, expected));
+}
+
 TEST_P(EngineProperty, EventOrderIsDeterministic) {
   // Two identical simulations must produce identical event sequences.
   auto run_once = [&](std::uint64_t seed) {

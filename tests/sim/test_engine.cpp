@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "util/error.hpp"
@@ -185,6 +186,119 @@ TEST(Engine, CancelledFlowNeverFires) {
   sim.schedule_at(1.0, [&] { sim.cancel_flow(f); });
   sim.run();
   EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelFiresCancellationCallbackWithRemainingVolume) {
+  // Regression: cancelling a finite flow used to silently discard its
+  // completion callback, surfacing later as a misleading stall at the
+  // caller.  With an on_cancel handler the cancellation is observable.
+  Simulator sim;
+  const ResourceId r = sim.add_resource("fs", 10.0);
+  bool completed = false;
+  double cancelled_remaining = -1.0;
+  const FlowId f = sim.start_flow(
+      r, 100.0, [&] { completed = true; },
+      [&](double remaining) { cancelled_remaining = remaining; });
+  sim.schedule_at(4.0, [&] { sim.cancel_flow(f); });
+  sim.run();
+  EXPECT_FALSE(completed);
+  // 40 units moved at 10/s by t=4; 60 were still pending.
+  EXPECT_DOUBLE_EQ(cancelled_remaining, 60.0);
+  EXPECT_EQ(sim.active_flows(r), 0);
+}
+
+TEST(Engine, CancelCreditsPartialVolume) {
+  // The volume a cancelled flow already moved stays in completed_volume,
+  // so busy-time utilization accounting remains consistent.
+  Simulator sim;
+  const ResourceId r = sim.add_resource("fs", 10.0);
+  const FlowId f = sim.start_flow(r, 100.0, [] {});
+  sim.schedule_at(4.0, [&] { sim.cancel_flow(f); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.completed_volume(r), 40.0);
+  EXPECT_NEAR(sim.busy_seconds(r), 4.0, 1e-12);
+  EXPECT_NEAR(sim.utilization(r), 1.0, 1e-12);
+}
+
+TEST(Engine, CancelCallbackDoesNotFireOnCompletion) {
+  Simulator sim;
+  const ResourceId r = sim.add_resource("fs", 10.0);
+  bool completed = false, cancelled = false;
+  const FlowId f = sim.start_flow(
+      r, 50.0, [&] { completed = true; },
+      [&](double) { cancelled = true; });
+  sim.run();
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(cancelled);
+  // Cancelling after completion is a no-op; the callback stays unfired.
+  sim.cancel_flow(f);
+  EXPECT_FALSE(cancelled);
+}
+
+TEST(Engine, ScheduleAtToleratesRoundingAtLargeTimes) {
+  // Regression: an absolute 1e-12 past-tolerance made schedule_at throw
+  // spuriously at facility-scale simulated times, where one ulp of `now`
+  // is ~1e-7 s.  The tolerance is relative now.
+  Simulator sim;
+  double fired_at = -1.0;
+  bool far_past_rejected = false;
+  sim.schedule_at(1e9, [&] {
+    // A caller-computed absolute time a hair below now() must be accepted
+    // and clamped to now().
+    sim.schedule_at(1e9 - 1e-4, [&] { fired_at = sim.now(); });
+    // A genuinely past time must still be rejected.
+    try {
+      sim.schedule_at(1e9 - 1.0, [] {});
+    } catch (const util::InvalidArgument&) {
+      far_past_rejected = true;
+    }
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1e9);
+  EXPECT_TRUE(far_past_rejected);
+}
+
+TEST(Engine, EventPayloadStorageIsReclaimed) {
+  // A long chain of sequential events must reuse callback slots instead
+  // of growing storage linearly with the total event count.
+  Simulator sim;
+  int remaining = 10000;
+  std::function<void()> tick = [&] {
+    if (--remaining > 0) sim.schedule_after(1.0, tick);
+  };
+  sim.schedule_after(0.0, tick);
+  sim.run();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_LE(sim.event_payload_slots(), 2u);
+}
+
+TEST(Engine, MassCancellationIsCleanAndReusesSlots) {
+  Simulator sim;
+  const ResourceId r = sim.add_resource("fs", 10.0);
+  std::vector<FlowId> ids;
+  for (int i = 0; i < 2000; ++i)
+    ids.push_back(sim.start_flow(r, 1e6 + i, [] {}));
+  for (FlowId id : ids) sim.cancel_flow(id);
+  EXPECT_EQ(sim.active_flows(r), 0);
+  EXPECT_EQ(sim.live_flows(), 0u);
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  // Fresh flows after mass cancellation reuse the reclaimed slots.
+  double done = -1.0;
+  sim.start_flow(r, 50.0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 5.0);
+}
+
+TEST(Engine, SimultaneousCompletionsFireInCreationOrder) {
+  Simulator sim;
+  const ResourceId r = sim.add_resource("fs", 100.0);
+  std::vector<int> order;
+  sim.start_flow(r, 500.0, [&] { order.push_back(1); });
+  sim.start_flow(r, 500.0, [&] { order.push_back(2); });
+  sim.start_flow(r, 500.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(Engine, FlowsOnDifferentResourcesAreIndependent) {

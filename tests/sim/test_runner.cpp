@@ -388,6 +388,82 @@ TEST(FailureInjection, OptionValidation) {
   EXPECT_THROW(run_workflow(g, test_machine(), opts), util::InvalidArgument);
 }
 
+TEST(FailureInjection, ExactlyMaxAttemptsBeforeAbort) {
+  // max_attempts = N allows exactly N work-phase attempts; the Nth
+  // failure aborts the run, naming the attempt count.
+  WorkflowGraph g("w");
+  g.add_task(compute_task("t", 1e12));
+  RunOptions opts;
+  opts.failure_probability = 0.999;  // practically always fails
+  opts.max_attempts = 3;
+  opts.seed = 1;
+  try {
+    run_workflow(g, test_machine(), opts);
+    FAIL() << "expected util::Error after exhausting attempts";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("failed 3 times"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FailureInjection, RetryRestartsFromOverheadPhase) {
+  // A failed attempt restarts from the overhead phase; every attempt's
+  // spans (the lost time) stay in the trace record.
+  WorkflowGraph g("w");
+  TaskSpec t = compute_task("t", 10e12);  // 10 s work per attempt
+  t.demand.overhead_seconds = 1.0;
+  g.add_task(t);
+  RunOptions opts;
+  opts.failure_probability = 0.6;
+  opts.max_attempts = 50;
+  trace::WorkflowTrace tr;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    opts.seed = seed;
+    tr = run_workflow(g, test_machine(), opts);
+    if (tr.record("t").attempts >= 2) break;
+  }
+  const trace::TaskRecord& r = tr.record("t");
+  ASSERT_GE(r.attempts, 2);
+  int overhead_spans = 0;
+  int work_spans = 0;
+  for (const trace::Span& s : r.spans) {
+    if (s.phase == trace::Phase::kOverhead) ++overhead_spans;
+    if (s.phase == trace::Phase::kWork) ++work_spans;
+  }
+  EXPECT_EQ(overhead_spans, r.attempts);
+  EXPECT_EQ(work_spans, r.attempts);
+  EXPECT_DOUBLE_EQ(r.time_in_phase(trace::Phase::kOverhead),
+                   1.0 * r.attempts);
+  EXPECT_DOUBLE_EQ(r.time_in_phase(trace::Phase::kWork), 10.0 * r.attempts);
+  EXPECT_DOUBLE_EQ(tr.makespan_seconds(), 11.0 * r.attempts);
+}
+
+TEST(FailureInjection, RetriesHoldTheNodeAllocation) {
+  // Task 'a' occupies the whole pool.  If a retry released and reacquired
+  // its nodes, the queued 1-node task 'b' would backfill into the gap and
+  // start before 'a' finished; instead 'b' must wait for 'a' to complete
+  // all its attempts.
+  WorkflowGraph g("w");
+  TaskSpec a = compute_task("a", 10e12, 100);
+  a.demand.overhead_seconds = 1.0;
+  g.add_task(a);
+  g.add_task(compute_task("b", 1e12, 1));
+  RunOptions opts;
+  opts.failure_probability = 0.6;
+  opts.max_attempts = 50;
+  RunResult rr;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    opts.seed = seed;
+    rr = run_workflow_detailed(g, test_machine(), opts);
+    if (rr.trace.record("a").attempts >= 2) break;
+  }
+  ASSERT_GE(rr.trace.record("a").attempts, 2);
+  EXPECT_DOUBLE_EQ(rr.trace.record("b").start_seconds,
+                   rr.trace.record("a").end_seconds);
+  EXPECT_EQ(rr.peak_nodes_used, 100);
+}
+
 TEST(FailureInjection, AttemptsSurviveJsonRoundTrip) {
   WorkflowGraph g("w");
   g.add_task(compute_task("t", 10e12));
