@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-sanitize/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("math")
+subdirs("dag")
+subdirs("trace")
+subdirs("sim")
+subdirs("core")
+subdirs("plot")
+subdirs("autotune")
+subdirs("analytical")
+subdirs("roofline")
+subdirs("archetypes")
+subdirs("workflows")
+subdirs("cli")

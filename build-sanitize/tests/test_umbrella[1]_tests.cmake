@@ -1,0 +1,3 @@
+add_test([=[Umbrella.EndToEndThroughSingleInclude]=]  /root/repo/build-sanitize/tests/test_umbrella [==[--gtest_filter=Umbrella.EndToEndThroughSingleInclude]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Umbrella.EndToEndThroughSingleInclude]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-sanitize/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_umbrella_TESTS Umbrella.EndToEndThroughSingleInclude)
