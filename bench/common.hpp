@@ -1,7 +1,9 @@
 #pragma once
 // Shared reporting helpers for the figure-reproduction benchmark binaries.
-// Every binary prints a "paper vs reproduced" table for its figure and
-// writes the corresponding SVG(s) under ./figures/.
+// Every binary prints a "paper vs reproduced" table for its figure,
+// writes the corresponding SVG(s) under ./figures/, and emits one
+// machine-readable NDJSON line per reproduced value (see bench/README.md
+// for the schema).
 
 #include <cmath>
 #include <cstdio>
@@ -9,14 +11,35 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace wfr::bench {
 
-/// Prints the figure banner.
+/// The id of the figure/table this binary reproduces, captured by
+/// banner() and stamped into every NDJSON result line.
+inline std::string& bench_id() {
+  static std::string id = "BENCH";
+  return id;
+}
+
+/// Prints the figure banner and records `id` for the NDJSON lines.
 inline void banner(const std::string& id, const std::string& title) {
+  bench_id() = id;
   std::printf("=== %s: %s ===\n", id.c_str(), title.c_str());
+}
+
+/// One machine-readable result line:
+///   {"bench":"FIG5","metric":"makespan","value":123.4,"unit":"s"}
+inline void emit_result_line(const std::string& metric, double value,
+                             const std::string& unit) {
+  util::JsonObject line;
+  line.set("bench", util::Json(bench_id()));
+  line.set("metric", util::Json(metric));
+  line.set("value", util::Json(value));
+  line.set("unit", util::Json(unit));
+  std::printf("%s\n", util::Json(std::move(line)).dump().c_str());
 }
 
 /// Collects paper-vs-reproduced rows and renders them with a deviation
@@ -41,6 +64,7 @@ class Report {
                     util::format("%.4g %s", reproduced, unit.c_str()),
                     util::format("%+.1f%%", 100.0 * dev),
                     ok ? "ok" : "DEVIATES"});
+    results_.push_back({label, reproduced, unit});
   }
 
   /// Qualitative comparison (e.g. "binding ceiling" = "external").
@@ -49,6 +73,7 @@ class Report {
     const bool ok = paper == reproduced;
     all_ok_ = all_ok_ && ok;
     table_.add_row({label, paper, reproduced, "", ok ? "ok" : "DEVIATES"});
+    results_.push_back({label, ok ? 1.0 : 0.0, "match"});
   }
 
   /// Informational row, no check.
@@ -58,15 +83,27 @@ class Report {
 
   bool all_ok() const { return all_ok_; }
 
-  /// Prints the table plus a verdict line.
+  /// Prints the table plus a verdict line, then the machine-readable
+  /// NDJSON result lines (one per checked row, plus "shape_holds").
   void print() const {
     std::printf("%s", table_.str().c_str());
     std::printf("shape %s\n\n",
                 all_ok_ ? "HOLDS" : "DEVIATES (see rows above)");
+    for (const ResultRow& row : results_) {
+      emit_result_line(row.metric, row.value, row.unit);
+    }
+    emit_result_line("shape_holds", all_ok_ ? 1.0 : 0.0, "bool");
   }
 
  private:
+  struct ResultRow {
+    std::string metric;
+    double value = 0.0;
+    std::string unit;
+  };
+
   util::TextTable table_;
+  std::vector<ResultRow> results_;
   bool all_ok_ = true;
 };
 

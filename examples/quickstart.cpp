@@ -3,26 +3,46 @@
 //
 // The workflow is a small fork-join data-analysis pipeline: four parallel
 // analysis tasks ingest detector data from outside the machine, then a
-// reducer merges their outputs.
+// reducer merges their outputs.  The run executes under observation, so
+// it can also export a Chrome/Perfetto trace and a metrics snapshot.
 //
 // Build & run:  ./build/examples/quickstart
+//               [--chrome-trace <out.json>] [--metrics <out.json>]
 
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/advisor.hpp"
 #include "core/characterization.hpp"
 #include "core/model.hpp"
 #include "core/system_spec.hpp"
 #include "dag/graph.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/observation.hpp"
 #include "plot/ascii.hpp"
 #include "plot/roofline_plot.hpp"
 #include "sim/runner.hpp"
 #include "trace/summary.hpp"
+#include "util/error.hpp"
 #include "util/units.hpp"
 
 using namespace wfr;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string chrome_trace_path;
+  std::string metrics_path;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag == "--chrome-trace") {
+      chrome_trace_path = argv[i + 1];
+    } else if (flag == "--metrics") {
+      metrics_path = argv[i + 1];
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      return 1;
+    }
+  }
   // 1. The system: 512 nodes, modest GPU nodes, a shared filesystem, and
   //    a 10 GB/s external ingest link.
   core::SystemSpec system;
@@ -54,10 +74,21 @@ int main() {
   dag::WorkflowGraph workflow =
       dag::make_fork_join("demo-analysis", analysis, 4, merge);
 
-  // 3. Execute on the simulator (shared channels contend fairly).
+  // 3. Execute on the simulator (shared channels contend fairly), under
+  //    observation: the registry collects engine/runner self-metrics and
+  //    the probe records the shared-resource time series.
+  obs::Observation observation;
+  sim::RunOptions run_options;
+  run_options.observe = &observation;
   const trace::WorkflowTrace trace =
-      sim::run_workflow(workflow, system.to_machine());
+      sim::run_workflow(workflow, system.to_machine(), run_options);
   std::cout << trace::describe_trace(trace) << "\n";
+
+  for (const obs::ResourceSummary& s : observation.probe.summaries()) {
+    std::cout << "resource " << s.name << ": p95 utilization "
+              << static_cast<int>(100.0 * s.p95_utilization) << "%, "
+              << util::format_bytes(s.delivered_bytes) << " delivered\n";
+  }
 
   // 4. Characterize and build the Workflow Roofline.
   core::WorkflowCharacterization c =
@@ -71,5 +102,20 @@ int main() {
 
   plot::write_roofline_svg(model, "quickstart_roofline.svg");
   std::cout << "wrote quickstart_roofline.svg\n";
+
+  // 6. Optional observability exports (what `wfr run` does for any
+  //    workflow description).
+  if (!chrome_trace_path.empty()) {
+    obs::write_chrome_trace(chrome_trace_path, trace,
+                            observation.probe.series());
+    std::cout << "wrote " << chrome_trace_path
+              << " (open at https://ui.perfetto.dev)\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::binary);
+    if (!out) throw util::Error("cannot write '" + metrics_path + "'");
+    out << observation.to_json().pretty() << "\n";
+    std::cout << "wrote " << metrics_path << "\n";
+  }
   return 0;
 }

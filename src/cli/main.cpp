@@ -15,6 +15,16 @@
 //   wfr simulate --system <spec.json|preset> --workflow <wf.json>
 //                [--gantt <out.svg>] [--json <trace.json>]
 //       Execute the workflow on the simulator and print the trace.
+//   wfr run      --system <spec.json|preset> --workflow <wf.json>
+//                [--chrome-trace <out.json>] [--metrics <out.json>]
+//                [--svg <out.svg>] [--gantt <out.svg>]
+//       Execute the workflow with full observation: per-phase spans and
+//       per-resource counter tracks export as a Chrome/Perfetto
+//       trace_event file (open at https://ui.perfetto.dev), engine and
+//       runner self-metrics plus p50/p95 shared-resource utilization
+//       export as a metrics snapshot, and --svg renders the roofline
+//       with the *measured* operating point placed next to the analytic
+//       ceilings.
 //   wfr compare  --system <spec.json|preset> --before <c.json>
 //                --after <c.json>
 //       Compare two characterizations of the same workflow (before/after
@@ -40,6 +50,8 @@
 
 #include "archetypes/generators.hpp"
 #include "core/advisor.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/observation.hpp"
 #include "core/characterization.hpp"
 #include "core/compare.hpp"
 #include "core/model.hpp"
@@ -54,6 +66,7 @@
 #include "trace/summary.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/table.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -121,6 +134,9 @@ void print_usage() {
       "               [--svg <out.svg>] [--ascii]\n"
       "  wfr simulate --system <spec|preset> --workflow <wf.json>\n"
       "               [--gantt <out.svg>] [--json <trace.json>]\n"
+      "  wfr run      --system <spec|preset> --workflow <wf.json>\n"
+      "               [--chrome-trace <out.json>] [--metrics <out.json>]\n"
+      "               [--svg <out.svg>] [--gantt <out.svg>]\n"
       "  wfr compare  --system <spec|preset> --before <c.json>\n"
       "               --after <c.json>\n"
       "  wfr archetype --kind <ensemble|pipeline|fork-join|map-reduce|\n"
@@ -201,6 +217,70 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+int cmd_run(const Args& args) {
+  const core::SystemSpec system = load_system(args.get("system"));
+  const dag::WorkflowGraph graph =
+      dag::load_workflow(read_file(args.get("workflow")));
+
+  obs::Observation observation;
+  sim::RunOptions options;
+  options.observe = &observation;
+  const sim::RunResult result =
+      sim::run_workflow_detailed(graph, system.to_machine(), options);
+
+  std::cout << trace::describe_trace(result.trace) << "\n";
+
+  if (!result.resource_summaries.empty()) {
+    util::TextTable table({"resource", "capacity", "busy", "delivered",
+                           "p50 util", "p95 util", "max util",
+                           "peak flows"});
+    for (int column = 1; column <= 7; ++column)
+      table.set_align(column, util::Align::kRight);
+    for (const obs::ResourceSummary& s : result.resource_summaries) {
+      table.add_row({s.name, util::format_rate(s.capacity),
+                     util::format_seconds(s.busy_seconds),
+                     util::format_bytes(s.delivered_bytes),
+                     util::format("%.0f%%", 100.0 * s.p50_utilization),
+                     util::format("%.0f%%", 100.0 * s.p95_utilization),
+                     util::format("%.0f%%", 100.0 * s.max_utilization),
+                     std::to_string(s.peak_active_flows)});
+    }
+    std::cout << "shared-resource utilization (time-weighted):\n"
+              << table.str() << "\n";
+  }
+
+  const roofline::OperatingPoint point =
+      roofline::measured_operating_point(result);
+  std::cout << point.summary << "\n";
+
+  if (auto path = args.get_optional("chrome-trace")) {
+    obs::write_chrome_trace(*path, result.trace,
+                            observation.probe.series());
+    std::cout << "wrote " << *path
+              << " (open at https://ui.perfetto.dev or chrome://tracing)\n";
+  }
+  if (auto path = args.get_optional("metrics")) {
+    std::ofstream out(*path, std::ios::binary);
+    if (!out) throw util::Error("cannot write '" + *path + "'");
+    out << observation.to_json().pretty() << "\n";
+    std::cout << "wrote " << *path << "\n";
+  }
+  if (auto gantt = args.get_optional("gantt")) {
+    plot::write_gantt_svg(result.trace, *gantt);
+    std::cout << "wrote " << *gantt << "\n";
+  }
+  if (auto svg = args.get_optional("svg")) {
+    core::WorkflowCharacterization c =
+        core::characterize_trace(graph, result.trace);
+    core::RooflineModel model = core::build_model(system, c);
+    model.add_measured_dot();
+    roofline::add_operating_point(&model, point);
+    plot::write_roofline_svg(model, *svg);
+    std::cout << "wrote " << *svg << "\n";
+  }
+  return 0;
+}
+
 int cmd_compare(const Args& args) {
   const core::SystemSpec system = load_system(args.get("system"));
   auto load = [&](const std::string& option) {
@@ -270,6 +350,7 @@ int main(int argc, char** argv) {
     if (args.command == "analyze") return cmd_analyze(args);
     if (args.command == "model") return cmd_model(args);
     if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "run") return cmd_run(args);
     if (args.command == "compare") return cmd_compare(args);
     if (args.command == "archetype") return cmd_archetype(args);
     if (args.command == "presets") return cmd_presets();

@@ -1,0 +1,34 @@
+#pragma once
+// The bundle a caller hands to the runner (RunOptions::observe) to turn
+// observation on: a metrics registry for engine/runner self-metrics and a
+// resource probe for the time-resolved shared-resource series.  Both stay
+// owned by the caller so they outlive the run and can be exported,
+// merged, or compared across runs.
+
+#include "obs/probe.hpp"
+#include "obs/registry.hpp"
+
+namespace wfr::obs {
+
+struct Observation {
+  MetricsRegistry registry;
+  ResourceProbe probe;
+  /// Record the shared-resource time series (the registry metrics are
+  /// always collected when observation is attached).
+  bool sample_resources = true;
+
+  /// Combined export: {"metrics": <registry snapshot>,
+  ///                   "resources": [<per-resource summary>, ...]}.
+  /// This is what `wfr run --metrics` writes.
+  util::Json to_json() const {
+    util::JsonObject root;
+    root.set("metrics", registry.snapshot());
+    util::JsonArray resources;
+    for (const ResourceSummary& s : probe.summaries())
+      resources.push_back(s.to_json());
+    root.set("resources", util::Json(std::move(resources)));
+    return util::Json(std::move(root));
+  }
+};
+
+}  // namespace wfr::obs

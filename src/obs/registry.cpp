@@ -1,0 +1,184 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::obs {
+
+void Counter::increment(double delta) {
+  util::require(delta >= 0.0, "counter increments must be >= 0");
+  value_ += delta;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    util::require(bounds_[i - 1] < bounds_[i],
+                  "histogram bucket bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
+double Histogram::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const {
+  util::require(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      if (i == counts_.size() - 1) return max_;  // overflow bucket
+      // Linear interpolation inside the bucket, clamped to observed range.
+      const double lo = i == 0 ? min_ : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac =
+          (target - cumulative) / static_cast<double>(counts_[i]);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        int count) {
+  util::require(start > 0.0, "bucket start must be > 0");
+  util::require(factor > 1.0, "bucket factor must be > 1");
+  util::require(count >= 1, "bucket count must be >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> default_seconds_buckets() {
+  return exponential_buckets(1e-3, 10.0, 9);  // 1 ms .. 1e5 s
+}
+
+void MetricsRegistry::check_unique(std::string_view name,
+                                   const char* kind) const {
+  int holders = 0;
+  const char* held_as = nullptr;
+  if (counters_.find(name) != counters_.end()) {
+    ++holders;
+    held_as = "counter";
+  }
+  if (gauges_.find(name) != gauges_.end()) {
+    ++holders;
+    held_as = "gauge";
+  }
+  if (histograms_.find(name) != histograms_.end()) {
+    ++holders;
+    held_as = "histogram";
+  }
+  util::require(
+      holders == 0 || std::string_view(held_as) == kind,
+      util::format("metric '%s' already registered as a %s, requested as "
+                   "a %s",
+                   std::string(name).c_str(), held_as, kind));
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  check_unique(name, "counter");
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  check_unique(name, "gauge");
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  check_unique(name, "histogram");
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_
+      .emplace(std::string(name), Histogram(std::move(upper_bounds)))
+      .first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+util::Json MetricsRegistry::snapshot() const {
+  util::JsonObject counters;
+  for (const auto& [name, counter] : counters_)
+    counters.set(name, counter.value());
+  util::JsonObject gauges;
+  for (const auto& [name, gauge] : gauges_) gauges.set(name, gauge.value());
+  util::JsonObject histograms;
+  for (const auto& [name, h] : histograms_) {
+    util::JsonObject entry;
+    entry.set("count", static_cast<double>(h.count()));
+    entry.set("sum", h.sum());
+    entry.set("mean", h.mean());
+    entry.set("min", h.min());
+    entry.set("max", h.max());
+    entry.set("p50", h.quantile(0.50));
+    entry.set("p95", h.quantile(0.95));
+    util::JsonArray buckets;
+    const auto& bounds = h.upper_bounds();
+    const auto& counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      util::JsonObject bucket;
+      if (i < bounds.size()) {
+        bucket.set("le", bounds[i]);
+      } else {
+        bucket.set("le", "inf");
+      }
+      bucket.set("count", static_cast<double>(counts[i]));
+      buckets.push_back(util::Json(std::move(bucket)));
+    }
+    entry.set("buckets", util::Json(std::move(buckets)));
+    histograms.set(name, util::Json(std::move(entry)));
+  }
+  util::JsonObject root;
+  root.set("counters", util::Json(std::move(counters)));
+  root.set("gauges", util::Json(std::move(gauges)));
+  root.set("histograms", util::Json(std::move(histograms)));
+  return util::Json(std::move(root));
+}
+
+}  // namespace wfr::obs

@@ -35,6 +35,7 @@ struct Palette {
   std::string target = "#0b0b0b";         // dashed target lines
   std::string dot_measured = "#2a78d6";   // filled measured dots
   std::string dot_projected = "#52514e";  // open projected dots
+  std::string dot_observed = "#eb6834";   // simulator operating points
 
   // Fig. 2a zone tints (soft fills; labels carry the meaning).
   std::string zone_good_good = "#d9efe2";

@@ -306,6 +306,15 @@ std::string render_roofline(const RooflineModel& model,
       svg.circle(cx, cy, 6.0,
                  Style{.stroke = p.dot_projected, .stroke_width = 2.0,
                        .fill = p.surface});
+    } else if (d.style == "observed") {
+      // Simulator operating point: a ringed diamond, visually distinct
+      // from both measured (solid) and projected (open) dots.
+      svg.circle(cx, cy, 9.0, Style{.fill = p.surface});
+      svg.polygon({{cx, cy - 7.0},
+                   {cx + 7.0, cy},
+                   {cx, cy + 7.0},
+                   {cx - 7.0, cy}},
+                  Style{.fill = p.dot_observed});
     } else {
       // 2px surface ring so overlapping dots stay distinguishable.
       svg.circle(cx, cy, 8.0, Style{.fill = p.surface});

@@ -1,5 +1,7 @@
 #include "roofline/drilldown.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -46,6 +48,56 @@ DrillDown drill_down(const core::RooflineModel& model,
     result.node_roofline.add_kernel(std::move(kernel));
   }
   return result;
+}
+
+OperatingPoint measured_operating_point(const sim::RunResult& result) {
+  const trace::WorkflowTrace& trace = result.trace;
+  util::require(!trace.empty(),
+                "measured_operating_point needs a non-empty trace");
+  const double makespan = trace.makespan_seconds();
+  util::require(makespan > 0.0,
+                "measured_operating_point needs a positive makespan");
+
+  OperatingPoint point;
+  point.achieved_tps =
+      static_cast<double>(trace.records().size()) / makespan;
+  point.fs_busy_fraction = result.filesystem.busy_seconds / makespan;
+  point.external_busy_fraction = result.external.busy_seconds / makespan;
+  point.fs_utilization = result.filesystem.utilization;
+  point.external_utilization = result.external.utilization;
+
+  point.dot.parallel_tasks =
+      std::max(1, trace.peak_concurrency());
+  point.dot.tps = point.achieved_tps;
+  point.dot.style = "observed";
+  point.dot.label = util::format("observed (fs busy %.0f%%, ext busy %.0f%%)",
+                                 100.0 * point.fs_busy_fraction,
+                                 100.0 * point.external_busy_fraction);
+
+  const double busier = std::max(point.fs_busy_fraction,
+                                 point.external_busy_fraction);
+  const char* channel =
+      point.fs_busy_fraction >= point.external_busy_fraction ? "filesystem"
+                                                             : "external";
+  if (busier >= 0.5) {
+    point.summary = util::format(
+        "achieved %.3g tasks/s; the %s channel was occupied %.0f%% of the "
+        "makespan — the measured point sits against that ceiling",
+        point.achieved_tps, channel, 100.0 * busier);
+  } else {
+    point.summary = util::format(
+        "achieved %.3g tasks/s with every shared channel occupied less "
+        "than %.0f%% of the makespan — the gap to the ceilings is "
+        "scheduling or node-local time, not shared-channel saturation",
+        point.achieved_tps, 100.0 * std::max(busier, 0.01));
+  }
+  return point;
+}
+
+void add_operating_point(core::RooflineModel* model,
+                         const OperatingPoint& point) {
+  util::require(model != nullptr, "add_operating_point needs a model");
+  model->add_dot(point.dot);
 }
 
 }  // namespace wfr::roofline

@@ -8,6 +8,7 @@
 #include "core/taskview.hpp"
 #include "dag/graph.hpp"
 #include "roofline/node_roofline.hpp"
+#include "sim/runner.hpp"
 #include "trace/timeline.hpp"
 
 namespace wfr::roofline {
@@ -31,5 +32,37 @@ struct DrillDown {
 DrillDown drill_down(const core::RooflineModel& model,
                      const dag::WorkflowGraph& graph,
                      const trace::WorkflowTrace& trace);
+
+/// The *measured* operating point of a simulated run: where the workflow
+/// actually landed relative to the analytic ceilings, plus how busy each
+/// shared channel was while getting there.  This is the Ridgeline-style
+/// "plot the measurement next to the model" step: achieved throughput
+/// below a ceiling with a low busy fraction points at scheduling gaps,
+/// while a busy fraction near 1 confirms the channel is the bottleneck.
+struct OperatingPoint {
+  /// The dot (style "observed"): measured peak concurrency on x, achieved
+  /// task throughput on y, labelled with the busy fractions.
+  core::Dot dot;
+  double achieved_tps = 0.0;
+  /// Fraction of the makespan each shared channel had workflow flows in
+  /// flight (0 when the channel is absent or unused).
+  double fs_busy_fraction = 0.0;
+  double external_busy_fraction = 0.0;
+  /// Delivered / (capacity x busy time) per channel, < 1 under background
+  /// contention.
+  double fs_utilization = 0.0;
+  double external_utilization = 0.0;
+  /// One-sentence reading of the measurement.
+  std::string summary;
+};
+
+/// Derives the operating point from a detailed run.  Throws
+/// InvalidArgument when the trace is empty or has zero makespan.
+OperatingPoint measured_operating_point(const sim::RunResult& result);
+
+/// Adds the operating point to `model` as an "observed" dot so that
+/// renderers place the measurement next to the analytic ceilings.
+void add_operating_point(core::RooflineModel* model,
+                         const OperatingPoint& point);
 
 }  // namespace wfr::roofline

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/probe.hpp"
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -35,12 +37,46 @@ ResourceId Simulator::add_resource(std::string name, double capacity) {
   r.name = std::move(name);
   r.capacity = capacity;
   resources_.push_back(std::move(r));
-  return static_cast<ResourceId>(resources_.size() - 1);
+  const auto id = static_cast<ResourceId>(resources_.size() - 1);
+  if (probe_ != nullptr)
+    probe_->register_resource(id, resources_.back().name, capacity);
+  return id;
 }
 
 void Simulator::set_capacity(ResourceId resource, double capacity) {
   util::require(capacity > 0.0, "resource capacity must be > 0");
   resource_ref(resource).capacity = capacity;
+  if (probe_ != nullptr) probe_->set_capacity(resource, capacity);
+}
+
+void Simulator::attach_probe(obs::ResourceProbe* probe) {
+  probe_ = probe;
+  if (probe_ == nullptr) return;
+  for (std::size_t i = 0; i < resources_.size(); ++i) {
+    probe_->register_resource(static_cast<ResourceId>(i),
+                              resources_[i].name, resources_[i].capacity);
+  }
+}
+
+void Simulator::export_metrics(obs::MetricsRegistry& registry) const {
+  auto set_counter = [&registry](const char* name, std::uint64_t value) {
+    obs::Counter& c = registry.counter(name);
+    const double delta = static_cast<double>(value) - c.value();
+    if (delta > 0.0) c.increment(delta);
+  };
+  set_counter("engine.events_scheduled", stats_.events_scheduled);
+  set_counter("engine.events_processed", stats_.events_processed);
+  set_counter("engine.flows_started", stats_.flows_started);
+  set_counter("engine.background_flows_started",
+              stats_.background_flows_started);
+  set_counter("engine.flows_completed", stats_.flows_completed);
+  set_counter("engine.flows_cancelled", stats_.flows_cancelled);
+  set_counter("engine.heap_compactions", stats_.heap_compactions);
+  registry.gauge("engine.event_payload_slots")
+      .set(static_cast<double>(event_payload_slots()));
+  registry.gauge("engine.live_flows")
+      .set(static_cast<double>(live_flows()));
+  registry.gauge("engine.now_seconds").set(now_);
 }
 
 double Simulator::capacity(ResourceId resource) const {
@@ -71,6 +107,7 @@ void Simulator::schedule_at(double time, Callback callback) {
     slot = events_payload_.size() - 1;
   }
   events_.push(TimedEvent{std::max(time, now_), next_sequence_++, slot});
+  ++stats_.events_scheduled;
 }
 
 void Simulator::schedule_after(double delay, Callback callback) {
@@ -120,6 +157,7 @@ FlowId Simulator::start_flow(ResourceId resource, double volume,
   ++r.finite_count;
   r.heap.push_back(FlowHeapEntry{st.finish_virtual, st.id, slot});
   std::push_heap(r.heap.begin(), r.heap.end(), FlowHeapLater{});
+  ++stats_.flows_started;
   return st.id;
 }
 
@@ -134,6 +172,7 @@ FlowId Simulator::start_background_flow(ResourceId resource) {
   st.background = true;
   flow_index_.emplace(st.id, slot);
   ++r.flow_count;
+  ++stats_.background_flows_started;
   return st.id;
 }
 
@@ -157,6 +196,7 @@ void Simulator::cancel_flow(FlowId flow) {
   flow_index_.erase(it);
   free_flow_slot(slot);
   maybe_compact_heap(r);
+  ++stats_.flows_cancelled;
   // Fired last: the engine is in a consistent state, so the callback may
   // start flows or schedule events.
   if (!background && on_cancel) on_cancel(remaining);
@@ -181,6 +221,7 @@ void Simulator::maybe_compact_heap(Resource& r) {
   });
   std::make_heap(r.heap.begin(), r.heap.end(), FlowHeapLater{});
   r.stale_heap_entries = 0;
+  ++stats_.heap_compactions;
 }
 
 double Simulator::next_completion_dt(Resource& r) {
@@ -194,13 +235,20 @@ double Simulator::next_completion_dt(Resource& r) {
 void Simulator::advance(double dt) {
   util::ensure(dt >= 0.0, "simulator attempted to move time backwards");
   if (dt <= 0.0) return;
-  for (Resource& r : resources_) {
+  for (std::size_t i = 0; i < resources_.size(); ++i) {
+    Resource& r = resources_[i];
     if (r.flow_count == 0) continue;
     const double rate = r.share_rate();
     r.virtual_time += rate * dt;
+    double delivered = 0.0;
     if (r.finite_count > 0) {
       r.busy_seconds += dt;
-      r.completed_volume += rate * dt * static_cast<double>(r.finite_count);
+      delivered = rate * dt * static_cast<double>(r.finite_count);
+      r.completed_volume += delivered;
+    }
+    if (probe_ != nullptr) {
+      probe_->record(static_cast<ResourceId>(i), now_, dt, r.flow_count,
+                     r.finite_count, rate, delivered);
     }
   }
   now_ += dt;
@@ -224,6 +272,7 @@ void Simulator::complete_finished_flows() {
       callbacks.push_back(std::move(st.on_complete));
       --r.flow_count;
       --r.finite_count;
+      ++stats_.flows_completed;
       flow_index_.erase(top.id);
       free_flow_slot(top.slot);
     }
@@ -249,6 +298,7 @@ bool Simulator::step() {
     Callback cb = std::move(events_payload_[ev.payload]);
     events_payload_[ev.payload] = nullptr;
     free_event_slots_.push_back(ev.payload);
+    ++stats_.events_processed;
     if (cb) cb();
   } else {
     advance(dt_flow);

@@ -32,6 +32,11 @@
 #include <unordered_map>
 #include <vector>
 
+namespace wfr::obs {
+class MetricsRegistry;
+class ResourceProbe;
+}  // namespace wfr::obs
+
 namespace wfr::sim {
 
 using Callback = std::function<void()>;
@@ -45,6 +50,19 @@ using ResourceId = std::uint32_t;
 using FlowId = std::uint64_t;
 
 inline constexpr FlowId kInvalidFlow = 0;
+
+/// Engine self-metrics, counted unconditionally (plain integer adds on
+/// paths that already touch the same cache lines, so the cost is noise).
+/// export_metrics() publishes them into an obs::MetricsRegistry.
+struct EngineStats {
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t flows_started = 0;
+  std::uint64_t background_flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t flows_cancelled = 0;
+  std::uint64_t heap_compactions = 0;
+};
 
 class Simulator {
  public:
@@ -127,6 +145,24 @@ class Simulator {
   /// Introspection for tests/benchmarks: flows currently registered
   /// (finite + background, across all resources).
   std::size_t live_flows() const { return flow_index_.size(); }
+
+  // --- Observation ------------------------------------------------------------
+  /// Engine self-metric counters (always collected).
+  const EngineStats& stats() const { return stats_; }
+
+  /// Attaches a shared-resource sampler: existing resources are
+  /// registered with it immediately, later add_resource()/set_capacity()
+  /// calls keep it in sync, and every advance records one interval per
+  /// resource that had flows.  The probe observes state the engine has
+  /// already computed, so event order and results are identical with or
+  /// without it.  Pass nullptr to detach.  The probe must outlive the
+  /// simulator (or be detached first).
+  void attach_probe(obs::ResourceProbe* probe);
+
+  /// Publishes the engine self-metrics into `registry` under "engine.*":
+  /// the EngineStats counters plus gauges for the event-slab high-water
+  /// mark and currently live flows.
+  void export_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   /// Registry entry for one live flow; stored in a slab, slots reused.
@@ -212,6 +248,8 @@ class Simulator {
   void complete_finished_flows();
 
   double now_ = 0.0;
+  EngineStats stats_;
+  obs::ResourceProbe* probe_ = nullptr;
   std::uint64_t next_flow_id_ = 1;
   std::uint64_t next_sequence_ = 0;
   std::vector<Resource> resources_;

@@ -1,6 +1,7 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 
 #include "sim/cluster.hpp"
@@ -95,6 +96,22 @@ class Runner {
       // Fail fast on demands for missing channels.
       (void)uncontended_task_seconds(t, machine_);
     }
+    if (options_.observe != nullptr) {
+      obs::Observation& ob = *options_.observe;
+      if (ob.sample_resources) sim_.attach_probe(&ob.probe);
+      queue_wait_ = &ob.registry.histogram("runner.queue_wait_seconds",
+                                           obs::default_seconds_buckets());
+      for (trace::Phase phase :
+           {trace::Phase::kOverhead, trace::Phase::kExternalIn,
+            trace::Phase::kFsRead, trace::Phase::kWork,
+            trace::Phase::kFsWrite}) {
+        phase_hist_[static_cast<std::size_t>(phase)] =
+            &ob.registry.histogram(
+                std::string("runner.phase_seconds.") +
+                    trace::phase_name(phase),
+                obs::default_seconds_buckets());
+      }
+    }
   }
 
   // Fills shared-channel statistics after run(); valid once run returned.
@@ -108,6 +125,8 @@ class Runner {
     fill(fs_, &result->filesystem);
     fill(external_, &result->external);
     result->peak_nodes_used = cluster_.peak_used_nodes();
+    if (options_.observe != nullptr && options_.observe->sample_resources)
+      result->resource_summaries = options_.observe->probe.summaries();
   }
 
   trace::WorkflowTrace run() {
@@ -128,6 +147,7 @@ class Runner {
                               "completed",
                               graph_.name().c_str(), completed_,
                               graph_.task_count()));
+    if (options_.observe != nullptr) export_run_metrics();
     return std::move(trace_);
   }
 
@@ -136,8 +156,23 @@ class Runner {
     int waiting_deps = 0;
     bool started = false;
     double phase_start = 0.0;
+    /// When the task's dependencies were satisfied (for queue-wait).
+    double ready_seconds = 0.0;
     trace::TaskRecord record;
   };
+
+  /// Final self-metric export once the schedule is complete: engine
+  /// counters plus run-level workflow gauges.
+  void export_run_metrics() {
+    obs::Observation& ob = *options_.observe;
+    sim_.export_metrics(ob.registry);
+    ob.registry.gauge("runner.makespan_seconds")
+        .set(trace_.makespan_seconds());
+    ob.registry.gauge("runner.peak_nodes_used")
+        .set(cluster_.peak_used_nodes());
+    ob.registry.counter("runner.tasks_completed")
+        .increment(static_cast<double>(completed_));
+  }
 
   void install_background_loads() {
     for (const BackgroundLoad& load : options_.background) {
@@ -186,6 +221,10 @@ class Runner {
   void begin_task(dag::TaskId id) {
     TaskState& st = states_[id];
     const dag::TaskSpec& t = graph_.task(id);
+    if (options_.observe != nullptr) {
+      options_.observe->registry.counter("runner.tasks_started").increment();
+      queue_wait_->observe(sim_.now() - st.ready_seconds);
+    }
     st.started = true;
     st.record.task = id;
     st.record.name = t.name;
@@ -202,6 +241,9 @@ class Runner {
     if (sim_.now() > st.phase_start) {
       st.record.spans.push_back(
           trace::Span{phase, st.phase_start, sim_.now()});
+      if (options_.observe != nullptr)
+        phase_hist_[static_cast<std::size_t>(phase)]->observe(
+            sim_.now() - st.phase_start);
     }
     st.phase_start = sim_.now();
   }
@@ -305,6 +347,8 @@ class Runner {
     }
     ++st.record.attempts;
     st.phase_start = sim_.now();
+    if (options_.observe != nullptr)
+      options_.observe->registry.counter("runner.tasks_retried").increment();
     run_overhead(id);  // restart from the top
     return true;
   }
@@ -316,7 +360,10 @@ class Runner {
     ++completed_;
     cluster_.release(graph_.task(id).nodes);
     for (dag::TaskId next : graph_.successors(id)) {
-      if (--states_[next].waiting_deps == 0) ready_.push_back(next);
+      if (--states_[next].waiting_deps == 0) {
+        states_[next].ready_seconds = sim_.now();
+        ready_.push_back(next);
+      }
     }
     launch_ready_tasks();
   }
@@ -335,6 +382,11 @@ class Runner {
   std::vector<dag::TaskId> ready_;
   std::size_t completed_ = 0;
   trace::WorkflowTrace trace_;
+  // Observation instruments, resolved once in the constructor so the hot
+  // path pays a pointer indirection, not a registry lookup.  Null when
+  // not observing.
+  obs::Histogram* queue_wait_ = nullptr;
+  std::array<obs::Histogram*, 5> phase_hist_{};
 };
 
 }  // namespace

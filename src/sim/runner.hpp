@@ -26,6 +26,7 @@
 
 #include "dag/graph.hpp"
 #include "math/rng.hpp"
+#include "obs/observation.hpp"
 #include "sim/machine.hpp"
 #include "trace/timeline.hpp"
 
@@ -64,6 +65,14 @@ struct RunOptions {
   std::uint64_t seed = 0;
   /// Hard wall on simulated time; guards against configuration errors.
   double time_limit_seconds = 1e12;
+  /// Observation sink (owned by the caller; must outlive the run).  When
+  /// set, the runner reports workflow metrics into its registry (tasks
+  /// started/completed/retried, queue-wait and per-phase duration
+  /// histograms), the engine exports its self-metrics, and — unless
+  /// observe->sample_resources is off — the shared-resource time series
+  /// is recorded into its probe.  Observation never changes the simulated
+  /// schedule; results are identical with it on or off.
+  obs::Observation* observe = nullptr;
 };
 
 /// Derived, contention-free duration of one task's work phase on `machine`
@@ -100,6 +109,9 @@ struct RunResult {
   ChannelStats filesystem;
   ChannelStats external;
   int peak_nodes_used = 0;
+  /// Per-resource utilization summaries (p50/p95/max); filled only when
+  /// the run observed with resource sampling enabled.
+  std::vector<obs::ResourceSummary> resource_summaries;
 };
 
 RunResult run_workflow_detailed(const dag::WorkflowGraph& graph,

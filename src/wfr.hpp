@@ -26,6 +26,12 @@
 #include "trace/summary.hpp"   // IWYU pragma: export
 #include "trace/timeline.hpp"  // IWYU pragma: export
 
+// Observability: metrics, resource probes, Chrome/Perfetto export.
+#include "obs/chrome_trace.hpp"  // IWYU pragma: export
+#include "obs/observation.hpp"   // IWYU pragma: export
+#include "obs/probe.hpp"         // IWYU pragma: export
+#include "obs/registry.hpp"      // IWYU pragma: export
+
 #include "sim/cluster.hpp"  // IWYU pragma: export
 #include "sim/engine.hpp"   // IWYU pragma: export
 #include "sim/machine.hpp"  // IWYU pragma: export

@@ -1,0 +1,178 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wfr::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0.0);
+  c.increment();
+  EXPECT_EQ(c.value(), 1.0);
+  c.increment(2.5);
+  EXPECT_EQ(c.value(), 3.5);
+  c.increment(0.0);  // zero delta is allowed
+  EXPECT_EQ(c.value(), 3.5);
+}
+
+TEST(Counter, NegativeDeltaThrows) {
+  Counter c;
+  EXPECT_THROW(c.increment(-1.0), util::InvalidArgument);
+  EXPECT_EQ(c.value(), 0.0);
+}
+
+TEST(Gauge, HoldsLastWrittenValue) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(42.0);
+  EXPECT_EQ(g.value(), 42.0);
+  g.set(-7.0);  // gauges may go down
+  EXPECT_EQ(g.value(), -7.0);
+}
+
+TEST(HistogramTest, RequiresStrictlyIncreasingBounds) {
+  EXPECT_NO_THROW(Histogram({1.0, 2.0, 3.0}));
+  EXPECT_NO_THROW(Histogram({}));  // only the +inf bucket
+  EXPECT_THROW(Histogram({1.0, 1.0}), util::InvalidArgument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), util::InvalidArgument);
+}
+
+TEST(HistogramTest, BucketsCountObservationsAtOrBelowBound) {
+  Histogram h({1.0, 10.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (bounds are inclusive)
+  h.observe(5.0);   // <= 10
+  h.observe(100.0);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 106.5 / 4.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.observe(0.5);  // all in the first bucket
+  // Rank targets fall inside [0, 1]; interpolation stays in the bucket.
+  EXPECT_GE(h.quantile(0.5), 0.0);
+  EXPECT_LE(h.quantile(0.5), 1.0);
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.9));
+}
+
+TEST(HistogramTest, OverflowQuantileReportsLargestObserved) {
+  Histogram h({1.0});
+  h.observe(50.0);
+  h.observe(75.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 75.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Buckets, ExponentialLayout) {
+  const std::vector<double> b = exponential_buckets(1.0, 10.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 10.0);
+  EXPECT_DOUBLE_EQ(b[2], 100.0);
+  EXPECT_DOUBLE_EQ(b[3], 1000.0);
+}
+
+TEST(Buckets, DefaultSecondsLayoutIsIncreasing) {
+  const std::vector<double> b = default_seconds_buckets();
+  ASSERT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.front(), 1e-3);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+TEST(Registry, CreatesOnFirstAccessAndReturnsSameInstrument) {
+  MetricsRegistry r;
+  EXPECT_TRUE(r.empty());
+  Counter& a = r.counter("x");
+  a.increment(3.0);
+  EXPECT_EQ(&r.counter("x"), &a);
+  EXPECT_EQ(r.counter("x").value(), 3.0);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Registry, HistogramBoundsApplyOnCreationOnly) {
+  MetricsRegistry r;
+  Histogram& h = r.histogram("lat", {1.0, 2.0});
+  // Re-request with different bounds: the existing instrument wins.
+  Histogram& again = r.histogram("lat", {50.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.upper_bounds().size(), 2u);
+}
+
+TEST(Registry, NameBoundToOneKind) {
+  MetricsRegistry r;
+  r.counter("n");
+  EXPECT_THROW(r.gauge("n"), util::InvalidArgument);
+  EXPECT_THROW(r.histogram("n", {1.0}), util::InvalidArgument);
+  r.gauge("g");
+  EXPECT_THROW(r.counter("g"), util::InvalidArgument);
+}
+
+TEST(Registry, FindDoesNotCreate) {
+  MetricsRegistry r;
+  EXPECT_EQ(r.find_counter("missing"), nullptr);
+  EXPECT_EQ(r.find_gauge("missing"), nullptr);
+  EXPECT_EQ(r.find_histogram("missing"), nullptr);
+  r.counter("present").increment();
+  ASSERT_NE(r.find_counter("present"), nullptr);
+  EXPECT_EQ(r.find_counter("present")->value(), 1.0);
+  EXPECT_TRUE(r.empty() == false && r.size() == 1u);
+}
+
+TEST(Registry, SnapshotIsDeterministicAcrossInsertionOrder) {
+  MetricsRegistry first;
+  first.counter("a").increment(1.0);
+  first.counter("b").increment(2.0);
+  first.gauge("g").set(3.0);
+  first.histogram("h", {1.0, 2.0}).observe(1.5);
+
+  MetricsRegistry second;  // same instruments, reverse creation order
+  second.histogram("h", {1.0, 2.0}).observe(1.5);
+  second.gauge("g").set(3.0);
+  second.counter("b").increment(2.0);
+  second.counter("a").increment(1.0);
+
+  EXPECT_EQ(first.snapshot().dump(), second.snapshot().dump());
+}
+
+TEST(Registry, SnapshotShape) {
+  MetricsRegistry r;
+  r.counter("c").increment(4.0);
+  r.gauge("g").set(5.0);
+  Histogram& h = r.histogram("h", {1.0});
+  h.observe(0.5);
+  h.observe(9.0);
+
+  const util::Json snap = r.snapshot();
+  EXPECT_DOUBLE_EQ(snap.at("counters").at("c").as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(snap.at("gauges").at("g").as_number(), 5.0);
+  const util::Json& hist = snap.at("histograms").at("h");
+  EXPECT_EQ(hist.at("count").as_int(), 2);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_number(), 9.5);
+  const util::JsonArray& buckets = hist.at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].at("le").as_number(), 1.0);
+  EXPECT_EQ(buckets[0].at("count").as_int(), 1);
+  EXPECT_EQ(buckets[1].at("le").as_string(), "inf");
+  EXPECT_EQ(buckets[1].at("count").as_int(), 1);
+}
+
+}  // namespace
+}  // namespace wfr::obs

@@ -482,5 +482,120 @@ TEST(FailureInjection, AttemptsSurviveJsonRoundTrip) {
   EXPECT_GE(back.record("t").attempts, 2);
 }
 
+
+// A fork-join pushing volume through both shared channels, used by the
+// observation tests below.
+WorkflowGraph observed_workflow() {
+  WorkflowGraph g("obs-wf");
+  std::vector<dag::TaskId> stages;
+  for (int i = 0; i < 3; ++i) {
+    TaskSpec t = compute_task("stage" + std::to_string(i), 1e12);
+    t.demand.external_in_bytes = 10e9;  // 2 s uncontended at 5 GB/s
+    t.demand.fs_write_bytes = 1e12;     // 1 s at 1 TB/s
+    stages.push_back(g.add_task(t));
+  }
+  TaskSpec merge = compute_task("merge", 0.0);
+  merge.demand.fs_read_bytes = 3e12;
+  const dag::TaskId m = g.add_task(merge);
+  for (const dag::TaskId s : stages) g.add_dependency(s, m);
+  return g;
+}
+
+TEST(Observation, ResourceSeriesConservesDeliveredVolume) {
+  obs::Observation observation;
+  RunOptions opts;
+  opts.observe = &observation;
+  const RunResult r =
+      run_workflow_detailed(observed_workflow(), test_machine(), opts);
+
+  // The probe accumulates the exact `delivered` term the engine adds to
+  // completed_volume each advance, so the totals agree bit for bit.
+  const obs::ResourceTimeSeries* fs = observation.probe.find("fs");
+  const obs::ResourceTimeSeries* external = observation.probe.find("external");
+  ASSERT_NE(fs, nullptr);
+  ASSERT_NE(external, nullptr);
+  EXPECT_DOUBLE_EQ(fs->delivered_bytes(), r.filesystem.volume_bytes);
+  EXPECT_DOUBLE_EQ(external->delivered_bytes(), r.external.volume_bytes);
+  EXPECT_NEAR(fs->delivered_bytes(), 6e12, 1e-3);   // 3 writes + merge read
+  EXPECT_NEAR(external->delivered_bytes(), 30e9, 1e-3);
+
+  // Busy time integrates to the channel stats as well.
+  double fs_busy = 0.0;
+  for (const obs::ResourceSample& s : fs->samples())
+    if (s.finite_flows > 0) fs_busy += s.duration_seconds;
+  EXPECT_NEAR(fs_busy, r.filesystem.busy_seconds, 1e-9);
+}
+
+TEST(Observation, RunnerReportsWorkflowMetrics) {
+  obs::Observation observation;
+  RunOptions opts;
+  opts.observe = &observation;
+  run_workflow_detailed(observed_workflow(), test_machine(), opts);
+
+  const obs::MetricsRegistry& reg = observation.registry;
+  ASSERT_NE(reg.find_counter("runner.tasks_started"), nullptr);
+  EXPECT_EQ(reg.find_counter("runner.tasks_started")->value(), 4.0);
+  EXPECT_EQ(reg.find_counter("runner.tasks_completed")->value(), 4.0);
+  ASSERT_NE(reg.find_histogram("runner.queue_wait_seconds"), nullptr);
+  EXPECT_EQ(reg.find_histogram("runner.queue_wait_seconds")->count(), 4u);
+  // The three stages had a work phase; merge (0 flops) produced none.
+  ASSERT_NE(reg.find_histogram("runner.phase_seconds.work"), nullptr);
+  EXPECT_EQ(reg.find_histogram("runner.phase_seconds.work")->count(), 3u);
+  EXPECT_EQ(reg.find_histogram("runner.phase_seconds.external_in")->count(),
+            3u);
+  EXPECT_EQ(reg.find_histogram("runner.phase_seconds.fs_read")->count(), 1u);
+  // Engine self-metrics arrive through the same registry.
+  ASSERT_NE(reg.find_counter("engine.events_processed"), nullptr);
+  EXPECT_GT(reg.find_counter("engine.events_processed")->value(), 0.0);
+  ASSERT_NE(reg.find_gauge("runner.makespan_seconds"), nullptr);
+  EXPECT_GT(reg.find_gauge("runner.makespan_seconds")->value(), 0.0);
+}
+
+TEST(Observation, DoesNotPerturbTheSchedule) {
+  const RunResult bare =
+      run_workflow_detailed(observed_workflow(), test_machine());
+  obs::Observation observation;
+  RunOptions opts;
+  opts.observe = &observation;
+  const RunResult observed =
+      run_workflow_detailed(observed_workflow(), test_machine(), opts);
+  EXPECT_DOUBLE_EQ(bare.trace.makespan_seconds(),
+                   observed.trace.makespan_seconds());
+  EXPECT_DOUBLE_EQ(bare.filesystem.volume_bytes,
+                   observed.filesystem.volume_bytes);
+  EXPECT_DOUBLE_EQ(bare.filesystem.busy_seconds,
+                   observed.filesystem.busy_seconds);
+}
+
+TEST(Observation, ResourceSamplingCanBeDisabled) {
+  obs::Observation observation;
+  observation.sample_resources = false;
+  RunOptions opts;
+  opts.observe = &observation;
+  const RunResult r =
+      run_workflow_detailed(observed_workflow(), test_machine(), opts);
+  EXPECT_TRUE(observation.probe.series().empty());
+  EXPECT_TRUE(r.resource_summaries.empty());
+  // Metrics still flow.
+  EXPECT_EQ(observation.registry.find_counter("runner.tasks_started")->value(),
+            4.0);
+}
+
+TEST(Observation, SummariesExposedOnRunResult) {
+  obs::Observation observation;
+  RunOptions opts;
+  opts.observe = &observation;
+  const RunResult r =
+      run_workflow_detailed(observed_workflow(), test_machine(), opts);
+  ASSERT_EQ(r.resource_summaries.size(), 2u);
+  for (const obs::ResourceSummary& s : r.resource_summaries) {
+    EXPECT_TRUE(s.name == "fs" || s.name == "external");
+    EXPECT_GT(s.busy_seconds, 0.0);
+    EXPECT_GT(s.delivered_bytes, 0.0);
+    EXPECT_GT(s.p95_utilization, 0.0);
+    EXPECT_LE(s.max_utilization, 1.0 + 1e-12);
+  }
+}
+
 }  // namespace
 }  // namespace wfr::sim

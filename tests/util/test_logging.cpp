@@ -43,6 +43,38 @@ TEST_F(LoggingTest, OffSilencesEverything) {
   EXPECT_NO_THROW(log(LogLevel::kOff, "never emitted"));
 }
 
+TEST(LogLevelParsing, AcceptsNamesAnyCaseAndDigits) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("4"), LogLevel::kOff);
+}
+
+TEST(LogLevelParsing, RejectsUnknownNames) {
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("5"), std::nullopt);
+  EXPECT_EQ(parse_log_level(" info"), std::nullopt);
+}
+
+TEST(LogLevelParsing, NamesRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+}
+
+TEST(LogClock, UptimeIsMonotonic) {
+  const double first = log_uptime_seconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(log_uptime_seconds(), first);
+}
+
 TEST(ErrorHelpers, RequireThrowsInvalidArgument) {
   EXPECT_NO_THROW(require(true, "fine"));
   EXPECT_THROW(require(false, "nope"), InvalidArgument);
