@@ -2,7 +2,9 @@
 // through the full pipeline — simulate, characterize, model, classify,
 // pipeline-view — on one mid-sized system, demonstrating that the
 // Workflow Roofline's verdicts track each archetype's structural
-// bottleneck.
+// bottleneck.  The five archetype simulations are independent, so they
+// fan out over exec::parallel_map; the table is assembled serially in
+// entry order, keeping the output byte-identical for any job count.
 
 #include <functional>
 
@@ -10,6 +12,7 @@
 #include "common.hpp"
 #include "core/advisor.hpp"
 #include "core/pipeline.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/runner.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -56,30 +59,45 @@ int main() {
        "node-bound", "critical-path-limited"},
   };
 
+  struct GalleryResult {
+    sim::RunResult run;
+    core::WorkflowCharacterization characterization;
+    core::BoundClass bound = core::BoundClass::kNodeBound;
+    core::PipelineReport pipe;
+  };
+  exec::ThreadPool pool;
+  const std::vector<GalleryResult> results =
+      exec::parallel_map<GalleryResult>(
+          pool, std::size(entries), [&](std::size_t i) {
+            const dag::WorkflowGraph g = entries[i].make();
+            GalleryResult r;
+            r.run = sim::run_workflow_detailed(g, system.to_machine());
+            r.characterization = core::characterize_trace(g, r.run.trace);
+            const core::RooflineModel model =
+                core::build_model(system, r.characterization);
+            r.bound = model.classify(model.dots().front());
+            r.pipe = core::pipeline_report(g, r.run.trace);
+            return r;
+          });
+
   bench::Report report;
   util::TextTable table({"archetype", "P", "makespan", "bound",
                          "fs util", "pipeline verdict"});
-  for (const Entry& e : entries) {
-    const dag::WorkflowGraph g = e.make();
-    const sim::RunResult run =
-        sim::run_workflow_detailed(g, system.to_machine());
-    const core::WorkflowCharacterization c =
-        core::characterize_trace(g, run.trace);
-    const core::RooflineModel model = core::build_model(system, c);
-    const core::BoundClass bound = model.classify(model.dots().front());
-    const core::PipelineReport pipe = core::pipeline_report(g, run.trace);
+  for (std::size_t i = 0; i < std::size(entries); ++i) {
+    const Entry& e = entries[i];
+    const GalleryResult& r = results[i];
 
     table.add_row(
-        {e.name, util::format("%d", c.parallel_tasks),
-         util::format_seconds(run.trace.makespan_seconds()),
-         core::bound_class_name(bound),
-         util::format("%.0f%%", 100.0 * run.filesystem.utilization),
-         pipe.verdict.substr(0, pipe.verdict.find(':'))});
+        {e.name, util::format("%d", r.characterization.parallel_tasks),
+         util::format_seconds(r.run.trace.makespan_seconds()),
+         core::bound_class_name(r.bound),
+         util::format("%.0f%%", 100.0 * r.run.filesystem.utilization),
+         r.pipe.verdict.substr(0, r.pipe.verdict.find(':'))});
 
     report.add_shape(std::string(e.name) + " bound", e.expected_bound,
-                     core::bound_class_name(bound));
+                     core::bound_class_name(r.bound));
     report.add_shape(std::string(e.name) + " pipeline", e.expected_pipeline,
-                     pipe.verdict.substr(0, pipe.verdict.find(':')));
+                     r.pipe.verdict.substr(0, r.pipe.verdict.find(':')));
   }
   report.print();
   std::printf("%s", table.str().c_str());

@@ -8,6 +8,7 @@
 
 #include "autotune/control_flow.hpp"
 #include "common.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/units.hpp"
 
 using namespace wfr;
@@ -15,17 +16,25 @@ using namespace wfr;
 int main() {
   bench::banner("FIG9", "GPTune control-flow skeletons (RCI vs Spawn)");
 
-  autotune::SuperluSurface surface(4960);
   autotune::CampaignConfig cfg;
   cfg.tuner.total_samples = 40;
   cfg.tuner.seed = 1;
 
-  cfg.mode = autotune::ControlFlowMode::kRci;
-  const autotune::CampaignResult rci = autotune::run_campaign(surface, cfg);
-  autotune::SuperluSurface surface2(4960);
-  cfg.mode = autotune::ControlFlowMode::kSpawn;
-  const autotune::CampaignResult spawn =
-      autotune::run_campaign(surface2, cfg);
+  // The two campaigns are independent (each gets its own surface), so
+  // they run concurrently; results land by index (RCI then Spawn).
+  const autotune::ControlFlowMode modes[] = {autotune::ControlFlowMode::kRci,
+                                             autotune::ControlFlowMode::kSpawn};
+  exec::ThreadPool pool;
+  const std::vector<autotune::CampaignResult> campaigns =
+      exec::parallel_map<autotune::CampaignResult>(
+          pool, std::size(modes), [&](std::size_t i) {
+            autotune::SuperluSurface surface(4960);
+            autotune::CampaignConfig campaign = cfg;
+            campaign.mode = modes[i];
+            return autotune::run_campaign(surface, campaign);
+          });
+  const autotune::CampaignResult& rci = campaigns[0];
+  const autotune::CampaignResult& spawn = campaigns[1];
 
   bench::Report report;
   report.add("RCI filesystem ops (load+store per iteration)", 80,

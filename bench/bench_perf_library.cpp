@@ -13,6 +13,7 @@
 #include "common.hpp"
 #include "core/model.hpp"
 #include "dag/schedule.hpp"
+#include "exec/sweep.hpp"
 #include "math/rng.hpp"
 #include "obs/observation.hpp"
 #include "plot/roofline_plot.hpp"
@@ -218,6 +219,55 @@ void BM_RenderRooflineSvg(benchmark::State& state) {
 }
 BENCHMARK(BM_RenderRooflineSvg);
 
+// Sweep scaling: the 64-point capacity-planning grid (8 efficiencies x
+// 8 intra-task-parallelism factors) fanned across 1/2/4/8 jobs with a
+// simulation-backed evaluator, so each point carries real work and the
+// arg sweep measures parallel sweep throughput.  items/sec = grid
+// points/sec; compare Arg(8) vs Arg(1) for the speedup (the recorded
+// baseline bench/baselines/BENCH_sweep.json also stamps
+// sweep/hardware_jobs — on a 1-core builder the args just measure pool
+// overhead).  A fresh runner per iteration keeps the memo cache from
+// collapsing the 64 distinct points.
+void BM_SweepScaling(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  core::SystemSpec system = core::SystemSpec::perlmutter_gpu();
+  core::WorkflowCharacterization base = bgw64();
+  base.nodes_per_task = 8;  // factors below must yield whole node counts
+  const std::vector<exec::ParamAxis> axes{
+      {"efficiency", {1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3}},
+      {"nodes_per_task", {0.25, 0.5, 0.75, 1.0, 2.0, 3.0, 4.0, 8.0}}};
+  const std::vector<exec::Scenario> grid =
+      exec::expand_grid(system, base, axes);
+
+  // The simulation each point pays for: a fork-join shaped like the
+  // capacity-planning study, scaled by the point's node count.
+  auto eval = [](const exec::Scenario& point) {
+    dag::TaskSpec member;
+    member.name = "member";
+    member.nodes = point.workflow.nodes_per_task;
+    member.demand.flops_per_node = 1e13;
+    member.demand.fs_read_bytes = 1e10;
+    dag::TaskSpec merge;
+    merge.name = "merge";
+    merge.demand.fs_read_bytes = 1e9;
+    const dag::WorkflowGraph g = dag::make_fork_join("cap", member, 16, merge);
+    const trace::WorkflowTrace t =
+        sim::run_workflow(g, sim::perlmutter_cpu());
+    benchmark::DoNotOptimize(t.makespan_seconds());
+    return exec::evaluate_model_scenario(point);
+  };
+
+  for (auto _ : state) {
+    exec::SweepRunner runner({jobs});
+    const std::vector<exec::ScenarioResult> results =
+        runner.run<exec::ScenarioResult>(grid, eval);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(grid.size()));
+}
+BENCHMARK(BM_SweepScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 void BM_JsonParseWorkflow(benchmark::State& state) {
   std::string text = R"({"name":"w","tasks":[)";
   for (int i = 0; i < 64; ++i) {
@@ -265,6 +315,10 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   wfr::bench::bench_id() = "PERF";
+  // Stamp the builder's core count so BENCH_sweep.json baselines are
+  // interpretable: BM_SweepScaling cannot beat hardware_jobs.
+  wfr::bench::emit_result_line("sweep/hardware_jobs",
+                               wfr::exec::hardware_jobs(), "jobs");
   JsonLineReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

@@ -3,12 +3,17 @@
 // task halves the parallelism wall and (under perfect scaling) doubles the
 // node ceiling — making makespan targets easier and throughput targets
 // harder.  Imperfect scaling erodes the makespan win.
+//
+// The 2x5 grid fans out over exec::SweepRunner: every (efficiency,
+// nodes-per-task) point is evaluated concurrently, and the printed tables
+// are byte-identical to the serial version for any job count
+// (docs/PARALLELISM.md).
 
 #include <iostream>
 
 #include "analytical/bgw_model.hpp"
-#include "core/advisor.hpp"
 #include "core/model.hpp"
+#include "exec/sweep.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -27,29 +32,33 @@ int main() {
   std::cout << "Intra-task parallelism sweep for a 56-run BGW campaign on "
             << system.name << "\n\n";
 
-  for (double efficiency : {1.0, 0.8}) {
+  // Row-major grid: efficiency varies slowest, so the results arrive as
+  // one contiguous block of factors per efficiency table.
+  const std::vector<double> efficiencies{1.0, 0.8};
+  const std::vector<double> factors{0.5, 1.0, 2.0, 4.0, 8.0};
+  const std::vector<exec::Scenario> scenarios = exec::expand_grid(
+      system, base,
+      {{"efficiency", efficiencies}, {"nodes_per_task", factors}});
+
+  exec::SweepRunner runner;
+  const std::vector<exec::ScenarioResult> results =
+      runner.run_models(scenarios);
+
+  std::size_t next = 0;
+  for (double efficiency : efficiencies) {
     std::cout << util::format("strong-scaling efficiency %.0f%%:\n",
                               100.0 * efficiency);
     util::TextTable table({"nodes/task", "wall", "node ceiling (1 task)",
                            "best throughput", "campaign makespan"});
     table.set_align(1, util::Align::kRight);
-    for (double factor : {0.5, 1.0, 2.0, 4.0, 8.0}) {
-      const core::WorkflowCharacterization scaled =
-          core::scale_intra_task_parallelism(base, factor, efficiency);
-      const core::RooflineModel model = core::build_model(system, scaled);
-      const int wall = model.parallelism_wall();
-      const double slot_seconds =
-          model.binding_ceiling(1.0).seconds_per_task;
-      const double best_tps = model.attainable_tps(wall);
-      // Campaign makespan at the ceiling: waves of `wall` slots, each
-      // processing tasks_per_slot tasks.
-      const double campaign_makespan =
-          static_cast<double>(scaled.total_tasks) / best_tps;
-      table.add_row({util::format("%d", scaled.nodes_per_task),
-                     util::format("%d", wall),
-                     util::format_seconds(slot_seconds),
-                     util::format("%.3g tasks/s", best_tps),
-                     util::format_seconds(campaign_makespan)});
+    for (std::size_t i = 0; i < factors.size(); ++i, ++next) {
+      const exec::ScenarioResult& r = results[next];
+      table.add_row(
+          {util::format("%d", r.scenario.workflow.nodes_per_task),
+           util::format("%d", r.parallelism_wall),
+           util::format_seconds(r.slot_seconds),
+           util::format("%.3g tasks/s", r.attainable_tps_at_wall),
+           util::format_seconds(r.campaign_makespan_seconds)});
     }
     std::cout << table.str() << "\n";
   }

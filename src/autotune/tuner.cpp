@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "autotune/acquisition.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/error.hpp"
 
 namespace wfr::autotune {
@@ -45,13 +46,24 @@ History tune(const Objective& objective, std::size_t dim,
   History history;
   history.samples.reserve(static_cast<std::size_t>(config.total_samples));
 
-  // Warm-up: uniform random samples.
-  for (int i = 0; i < config.warmup_samples && i < config.total_samples; ++i) {
+  // Warm-up: uniform random samples.  Params are all drawn first (one rng
+  // stream, one fixed order), then the independent evaluations fan out
+  // over a pool when config.jobs != 1; results land by sample index, so
+  // the history is byte-identical for any job count.
+  const int warmup = std::min(config.warmup_samples, config.total_samples);
+  for (int i = 0; i < warmup; ++i) {
     Sample s;
     s.params.resize(dim);
     for (double& p : s.params) p = rng.uniform();
-    s.value = objective(s.params);
     history.samples.push_back(std::move(s));
+  }
+  if (config.jobs == 1 || warmup == 1) {
+    for (Sample& s : history.samples) s.value = objective(s.params);
+  } else {
+    exec::ThreadPool pool(config.jobs);
+    exec::parallel_for(pool, history.samples.size(), [&](std::size_t i) {
+      history.samples[i].value = objective(history.samples[i].params);
+    });
   }
 
   // BO iterations: fit GP on everything seen, propose by EI, evaluate.

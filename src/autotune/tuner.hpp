@@ -39,6 +39,13 @@ struct TunerConfig {
   /// small grid by marginal likelihood (type-II ML).  Off by default to
   /// keep the paper-calibrated campaigns byte-stable.
   bool adapt_length_scale = false;
+  /// Worker threads for the warm-up batch (the only phase whose samples
+  /// are independent; BO iterations stay serialized, as in the paper).
+  /// All warm-up params are drawn up front from the single rng stream and
+  /// results land by sample index, so the history is byte-identical for
+  /// any value.  Values != 1 require a thread-safe objective.  0 resolves
+  /// via exec::resolve_jobs (WFR_JOBS, then hardware concurrency).
+  int jobs = 1;
 
   void validate() const;
 };

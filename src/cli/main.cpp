@@ -25,6 +25,17 @@
 //       export as a metrics snapshot, and --svg renders the roofline
 //       with the *measured* operating point placed next to the analytic
 //       ceilings.
+//   wfr sweep    --system <spec.json|preset>
+//                (--characterization <c.json> | --workflow <wf.json>)
+//                [--param name=v1,v2,...]... [--jobs <n>] [--ndjson <out>]
+//                [--svg <out.svg>] [--metrics <out.json>]
+//       Fan a what-if parameter grid (cross product of every --param
+//       axis) across the scenario thread pool and tabulate each point's
+//       parallelism wall, attainable throughput, and binding ceiling.
+//       Emits one NDJSON line per point; --svg renders a multi-curve
+//       roofline overlaying every scenario's binding ceiling.  --jobs
+//       (then WFR_JOBS, then the hardware) sets the worker count; output
+//       is bit-for-bit identical for any job count.
 //   wfr compare  --system <spec.json|preset> --before <c.json>
 //                --after <c.json>
 //       Compare two characterizations of the same workflow (before/after
@@ -39,13 +50,16 @@
 //
 // System presets: perlmutter-gpu, perlmutter-cpu, cori-haswell.
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "archetypes/generators.hpp"
@@ -58,6 +72,7 @@
 #include "core/pipeline.hpp"
 #include "core/system_spec.hpp"
 #include "dag/wdl.hpp"
+#include "exec/sweep.hpp"
 #include "plot/ascii.hpp"
 #include "plot/gantt_plot.hpp"
 #include "plot/roofline_plot.hpp"
@@ -90,18 +105,29 @@ core::SystemSpec load_system(const std::string& arg) {
 
 struct Args {
   std::string command;
-  std::map<std::string, std::string> options;
-  bool flag(const std::string& name) const { return options.count(name) > 0; }
+  /// Options in command-line order; a flag may repeat (e.g. --param).
+  std::vector<std::pair<std::string, std::string>> options;
+  bool flag(const std::string& name) const {
+    for (const auto& [key, value] : options)
+      if (key == name) return true;
+    return false;
+  }
   std::string get(const std::string& name) const {
-    auto it = options.find(name);
-    if (it == options.end())
-      throw util::InvalidArgument("missing required option --" + name);
-    return it->second;
+    auto value = get_optional(name);
+    if (!value) throw util::InvalidArgument("missing required option --" + name);
+    return *value;
   }
   std::optional<std::string> get_optional(const std::string& name) const {
-    auto it = options.find(name);
-    if (it == options.end()) return std::nullopt;
-    return it->second;
+    for (const auto& [key, value] : options)
+      if (key == name) return value;
+    return std::nullopt;
+  }
+  /// Every value of a repeated option, in command-line order.
+  std::vector<std::string> get_all(const std::string& name) const {
+    std::vector<std::string> values;
+    for (const auto& [key, value] : options)
+      if (key == name) values.push_back(value);
+    return values;
   }
 };
 
@@ -115,12 +141,54 @@ Args parse_args(int argc, char** argv) {
       throw util::InvalidArgument("unexpected argument '" + token + "'");
     token = token.substr(2);
     if (i + 1 < argc && !util::starts_with(argv[i + 1], "--")) {
-      args.options[token] = argv[++i];
+      args.options.emplace_back(token, argv[++i]);
     } else {
-      args.options[token] = "";
+      args.options.emplace_back(token, "");
     }
   }
   return args;
+}
+
+// --- Numeric flag parsing ----------------------------------------------------
+// Raw std::stol/std::stod calls turn a typo into an uncaught
+// std::invalid_argument ("stol"); these helpers consume the whole token and
+// report the offending flag and text instead.
+
+[[noreturn]] void bad_flag_value(const std::string& flag,
+                                 const std::string& text) {
+  throw util::InvalidArgument("bad value for --" + flag + ": '" + text + "'");
+}
+
+long parse_long_flag(const std::string& flag, const std::string& text) {
+  const std::string trimmed = util::trim(text);
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(trimmed.c_str(), &end, 10);
+  if (trimmed.empty() || end == nullptr || *end != '\0' || errno == ERANGE)
+    bad_flag_value(flag, text);
+  return value;
+}
+
+std::uint64_t parse_u64_flag(const std::string& flag,
+                             const std::string& text) {
+  const std::string trimmed = util::trim(text);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(trimmed.c_str(), &end, 10);
+  if (trimmed.empty() || trimmed.front() == '-' || end == nullptr ||
+      *end != '\0' || errno == ERANGE)
+    bad_flag_value(flag, text);
+  return static_cast<std::uint64_t>(value);
+}
+
+double parse_double_flag(const std::string& flag, const std::string& text) {
+  const std::string trimmed = util::trim(text);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  if (trimmed.empty() || end == nullptr || *end != '\0' || errno == ERANGE)
+    bad_flag_value(flag, text);
+  return value;
 }
 
 void print_usage() {
@@ -137,6 +205,11 @@ void print_usage() {
       "  wfr run      --system <spec|preset> --workflow <wf.json>\n"
       "               [--chrome-trace <out.json>] [--metrics <out.json>]\n"
       "               [--svg <out.svg>] [--gantt <out.svg>]\n"
+      "  wfr sweep    --system <spec|preset>\n"
+      "               (--characterization <c.json> | --workflow <wf.json>)\n"
+      "               [--param name=v1,v2,...]... [--jobs <n>]\n"
+      "               [--target <seconds>] [--ndjson <out>] [--svg <out.svg>]\n"
+      "               [--metrics <out.json>]\n"
       "  wfr compare  --system <spec|preset> --before <c.json>\n"
       "               --after <c.json>\n"
       "  wfr archetype --kind <ensemble|pipeline|fork-join|map-reduce|\n"
@@ -144,7 +217,10 @@ void print_usage() {
       "                [--nodes <n>] [--seed <n>]\n"
       "  wfr presets\n"
       "\n"
-      "presets: perlmutter-gpu, perlmutter-cpu, cori-haswell\n";
+      "presets: perlmutter-gpu, perlmutter-cpu, cori-haswell\n"
+      "sweep axes: nodes_per_task (factor), efficiency, parallel_tasks,\n"
+      "  total_tasks, total_nodes, fs_gbs, external_gbs, nic_gbs, peak_flops\n"
+      "jobs resolution: --jobs > WFR_JOBS > hardware concurrency\n";
 }
 
 void emit_model_outputs(const core::RooflineModel& model, const Args& args) {
@@ -281,6 +357,121 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+// wfr sweep — fan a parameter grid across the thread pool and tabulate
+// the resulting ceilings.  Scenario fan-out follows the determinism
+// contract (docs/PARALLELISM.md): output bytes are identical at --jobs 1
+// and --jobs N, and repeated grid points are served from the
+// characterization cache.
+int cmd_sweep(const Args& args) {
+  const core::SystemSpec system = load_system(args.get("system"));
+
+  core::WorkflowCharacterization base;
+  if (auto path = args.get_optional("characterization")) {
+    base = core::WorkflowCharacterization::from_json(
+        util::Json::parse(read_file(*path)));
+  } else if (auto path = args.get_optional("workflow")) {
+    // Characterize by one serial simulation; the sweep then explores the
+    // model around that measured point.
+    const dag::WorkflowGraph graph = dag::load_workflow(read_file(*path));
+    base = core::characterize_trace(
+        graph, sim::run_workflow(graph, system.to_machine()));
+  } else {
+    throw util::InvalidArgument(
+        "sweep needs --characterization or --workflow");
+  }
+  if (auto target = args.get_optional("target"))
+    base.target_makespan_seconds = util::parse_seconds(*target);
+
+  std::vector<exec::ParamAxis> axes;
+  for (const std::string& spec : args.get_all("param")) {
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw util::InvalidArgument("bad --param '" + spec +
+                                  "' (want name=v1,v2,...)");
+    exec::ParamAxis axis;
+    axis.name = spec.substr(0, eq);
+    for (const std::string& token : util::split(spec.substr(eq + 1), ','))
+      axis.values.push_back(parse_double_flag("param " + axis.name, token));
+    axes.push_back(std::move(axis));
+  }
+
+  exec::SweepOptions options;
+  if (auto jobs = args.get_optional("jobs"))
+    options.jobs = static_cast<int>(parse_long_flag("jobs", *jobs));
+
+  const std::vector<exec::Scenario> scenarios =
+      exec::expand_grid(system, base, axes);
+  exec::SweepRunner runner(options);
+  const std::vector<exec::ScenarioResult> results =
+      runner.run_models(scenarios);
+
+  util::TextTable table({"scenario", "wall", "attainable", "binding ceiling",
+                         "slot latency", "campaign makespan"});
+  for (int column = 1; column <= 2; ++column)
+    table.set_align(column, util::Align::kRight);
+  for (const exec::ScenarioResult& r : results) {
+    table.add_row({r.label, util::format("%d", r.parallelism_wall),
+                   util::format("%.3g tasks/s", r.attainable_tps_at_wall),
+                   r.binding_label,
+                   r.slot_seconds > 0.0
+                       ? util::format_seconds(r.slot_seconds)
+                       : "-",
+                   util::format_seconds(r.campaign_makespan_seconds)});
+  }
+  std::cout << util::format(
+      "sweep of '%s' on '%s': %d points, %d evaluated, %d cache hits\n\n",
+      base.name.c_str(), system.name.c_str(),
+      static_cast<int>(results.size()),
+      static_cast<int>(runner.stats().cache_misses),
+      static_cast<int>(runner.stats().cache_hits));
+  std::cout << table.str() << "\n";
+
+  std::string ndjson;
+  for (const exec::ScenarioResult& r : results)
+    ndjson += exec::scenario_result_line(r) + "\n";
+  std::cout << ndjson;
+  if (auto path = args.get_optional("ndjson")) {
+    std::ofstream out(*path, std::ios::binary);
+    if (!out) throw util::Error("cannot write '" + *path + "'");
+    out << ndjson;
+    std::cout << "wrote " << *path << "\n";
+  }
+
+  if (auto path = args.get_optional("metrics")) {
+    obs::MetricsRegistry registry;
+    runner.export_metrics(registry);
+    std::ofstream out(*path, std::ios::binary);
+    if (!out) throw util::Error("cannot write '" + *path + "'");
+    out << registry.snapshot().pretty() << "\n";
+    std::cout << "wrote " << *path << "\n";
+  }
+
+  if (auto svg = args.get_optional("svg")) {
+    // Multi-curve roofline: the first scenario's full model carries the
+    // axes; every other scenario contributes its binding ceiling as an
+    // extra labeled curve, and each point lands as a projected dot at its
+    // parallelism wall.
+    core::RooflineModel model = *results.front().model;
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      core::Ceiling ceiling = results[i].model->binding_ceiling(
+          static_cast<double>(results[i].parallelism_wall));
+      ceiling.label = results[i].label + ": " + ceiling.label;
+      model.add_ceiling(std::move(ceiling));
+    }
+    for (const exec::ScenarioResult& r : results) {
+      core::Dot dot;
+      dot.label = r.label;
+      dot.parallel_tasks = static_cast<double>(r.parallelism_wall);
+      dot.tps = r.attainable_tps_at_wall;
+      dot.style = "projected";
+      model.add_dot(std::move(dot));
+    }
+    plot::write_roofline_svg(model, *svg);
+    std::cout << "wrote " << *svg << "\n";
+  }
+  return 0;
+}
+
 int cmd_compare(const Args& args) {
   const core::SystemSpec system = load_system(args.get("system"));
   auto load = [&](const std::string& option) {
@@ -297,12 +488,13 @@ int cmd_compare(const Args& args) {
 int cmd_archetype(const Args& args) {
   const std::string kind = args.get("kind");
   const int size = static_cast<int>(
-      args.get_optional("size") ? std::stol(*args.get_optional("size")) : 8);
+      args.get_optional("size") ? parse_long_flag("size", *args.get_optional("size"))
+                                : 8);
   archetypes::ArchetypeParams params;
   if (auto scale = args.get_optional("scale"))
-    params.scale = std::stod(*scale);
+    params.scale = parse_double_flag("scale", *scale);
   if (auto nodes = args.get_optional("nodes"))
-    params.nodes_per_task = static_cast<int>(std::stol(*nodes));
+    params.nodes_per_task = static_cast<int>(parse_long_flag("nodes", *nodes));
 
   dag::WorkflowGraph graph;
   if (kind == "ensemble") {
@@ -320,7 +512,7 @@ int cmd_archetype(const Args& args) {
     rnd.tasks = size;
     rnd.base = params;
     if (auto seed = args.get_optional("seed"))
-      rnd.seed = static_cast<std::uint64_t>(std::stoull(*seed));
+      rnd.seed = parse_u64_flag("seed", *seed);
     graph = archetypes::random_dag(rnd);
   } else {
     throw util::InvalidArgument("unknown archetype kind '" + kind + "'");
@@ -351,6 +543,7 @@ int main(int argc, char** argv) {
     if (args.command == "model") return cmd_model(args);
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "run") return cmd_run(args);
+    if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "compare") return cmd_compare(args);
     if (args.command == "archetype") return cmd_archetype(args);
     if (args.command == "presets") return cmd_presets();

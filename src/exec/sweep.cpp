@@ -1,0 +1,180 @@
+#include "exec/sweep.hpp"
+
+#include <cmath>
+
+#include "core/advisor.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::exec {
+
+std::string scenario_key(const Scenario& scenario) {
+  // Canonical parameters: the JSON serializations are produced by fixed
+  // insertion-order emitters, so equal inputs yield equal bytes.  The
+  // label and grid coordinates are presentation-only and excluded.
+  return scenario.system.to_json().dump() + "\x1f" +
+         scenario.workflow.to_json().dump() + "\x1f" +
+         std::to_string(scenario.seed);
+}
+
+ScenarioResult evaluate_model_scenario(const Scenario& scenario) {
+  ScenarioResult result;
+  result.label = scenario.label;
+  result.scenario = scenario;
+  auto model = std::make_shared<core::RooflineModel>(
+      core::build_model(scenario.system, scenario.workflow));
+  result.parallelism_wall = model->parallelism_wall();
+  const double wall = static_cast<double>(result.parallelism_wall);
+  result.attainable_tps_at_wall = model->attainable_tps(wall);
+  const core::Ceiling& binding = model->binding_ceiling(wall);
+  result.binding_label = binding.label;
+  result.binding_channel = core::channel_name(binding.channel);
+  result.slot_seconds = model->binding_ceiling(1.0).seconds_per_task;
+  result.campaign_makespan_seconds =
+      static_cast<double>(scenario.workflow.total_tasks) /
+      result.attainable_tps_at_wall;
+  result.model = std::move(model);
+  return result;
+}
+
+std::vector<ScenarioResult> SweepRunner::run_models(
+    const std::vector<Scenario>& scenarios) {
+  std::vector<ScenarioResult> results = run<ScenarioResult>(
+      scenarios, [](const Scenario& s) { return evaluate_model_scenario(s); });
+  // Cache hits carry the first-evaluated point's labeling; restore each
+  // requested point's own presentation metadata (the model stays shared).
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    results[i].label = scenarios[i].label;
+    results[i].scenario = scenarios[i];
+  }
+  return results;
+}
+
+void SweepRunner::export_metrics(obs::MetricsRegistry& registry) const {
+  registry.counter("sweep.scenarios")
+      .increment(static_cast<double>(stats_.scenarios));
+  registry.counter("sweep.cache_hits")
+      .increment(static_cast<double>(stats_.cache_hits));
+  registry.counter("sweep.cache_misses")
+      .increment(static_cast<double>(stats_.cache_misses));
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : pool_(options.jobs) {}
+
+std::string scenario_result_line(const ScenarioResult& result) {
+  util::JsonObject line;
+  line.set("sweep", util::Json(result.label));
+  if (!result.scenario.params.empty()) {
+    util::JsonObject params;
+    for (const auto& [name, value] : result.scenario.params)
+      params.set(name, util::Json(value));
+    line.set("params", util::Json(std::move(params)));
+  }
+  line.set("wall", util::Json(result.parallelism_wall));
+  line.set("attainable_tps", util::Json(result.attainable_tps_at_wall));
+  line.set("binding", util::Json(result.binding_label));
+  line.set("channel", util::Json(result.binding_channel));
+  line.set("slot_seconds", util::Json(result.slot_seconds));
+  line.set("campaign_makespan_s",
+           util::Json(result.campaign_makespan_seconds));
+  return util::Json(std::move(line)).dump();
+}
+
+namespace {
+
+/// The grid axis names expand_grid understands.
+constexpr const char* kKnownAxes[] = {
+    "nodes_per_task", "efficiency",   "parallel_tasks", "total_tasks",
+    "total_nodes",    "fs_gbs",       "external_gbs",   "nic_gbs",
+    "peak_flops",
+};
+
+bool known_axis(const std::string& name) {
+  for (const char* axis : kKnownAxes)
+    if (name == axis) return true;
+  return false;
+}
+
+int positive_int_param(const std::string& name, double value) {
+  const int rounded = static_cast<int>(std::llround(value));
+  util::require(rounded >= 1 && std::abs(value - rounded) < 1e-9,
+                "sweep axis '" + name + "' needs positive integers, got " +
+                    util::format("%g", value));
+  return rounded;
+}
+
+}  // namespace
+
+std::vector<Scenario> expand_grid(const core::SystemSpec& base_system,
+                                  const core::WorkflowCharacterization& base,
+                                  const std::vector<ParamAxis>& axes) {
+  std::size_t points = 1;
+  for (const ParamAxis& axis : axes) {
+    util::require(known_axis(axis.name),
+                  "unknown sweep axis '" + axis.name + "'");
+    util::require(!axis.values.empty(),
+                  "sweep axis '" + axis.name + "' has no values");
+    points *= axis.values.size();
+  }
+
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(points);
+  // Row-major cross product: the first axis varies slowest.
+  for (std::size_t flat = 0; flat < points; ++flat) {
+    Scenario scenario;
+    scenario.system = base_system;
+    scenario.workflow = base;
+
+    std::size_t remainder = flat;
+    std::size_t stride = points;
+    for (const ParamAxis& axis : axes) {
+      stride /= axis.values.size();
+      const double value = axis.values[remainder / stride];
+      remainder %= stride;
+      scenario.params.emplace_back(axis.name, value);
+    }
+
+    double intra_factor = 1.0;
+    double efficiency = 1.0;
+    bool scale_intra = false;
+    for (const auto& [name, value] : scenario.params) {
+      if (name == "nodes_per_task") {
+        intra_factor = value;
+        scale_intra = true;
+      } else if (name == "efficiency") {
+        efficiency = value;
+        scale_intra = true;
+      } else if (name == "parallel_tasks") {
+        scenario.workflow.parallel_tasks = positive_int_param(name, value);
+      } else if (name == "total_tasks") {
+        scenario.workflow.total_tasks = positive_int_param(name, value);
+      } else if (name == "total_nodes") {
+        scenario.system.total_nodes = positive_int_param(name, value);
+      } else if (name == "fs_gbs") {
+        scenario.system.fs_gbs = value;
+      } else if (name == "external_gbs") {
+        scenario.system.external_gbs = value;
+      } else if (name == "nic_gbs") {
+        scenario.system.node.nic_gbs = value;
+      } else if (name == "peak_flops") {
+        scenario.system.node.peak_flops = value;
+      }
+    }
+    if (scale_intra) {
+      scenario.workflow = core::scale_intra_task_parallelism(
+          scenario.workflow, intra_factor, efficiency);
+    }
+
+    std::string label;
+    for (const auto& [name, value] : scenario.params) {
+      if (!label.empty()) label += " ";
+      label += name + "=" + util::format("%g", value);
+    }
+    scenario.label = label.empty() ? base.name : label;
+    scenarios.push_back(std::move(scenario));
+  }
+  return scenarios;
+}
+
+}  // namespace wfr::exec

@@ -1,0 +1,190 @@
+#pragma once
+// SweepRunner: fan a list (or parameter grid) of what-if scenarios across
+// the thread pool, memoizing repeated points so identical (system,
+// workflow, seed) configurations are evaluated exactly once per runner.
+//
+// This is the engine behind `wfr sweep`, the capacity-planning and LCLS
+// what-if examples, and the sweep-scaling benchmark.  The determinism
+// contract of exec::parallel_for applies: results land in slots by
+// scenario index and every output is bit-for-bit identical at --jobs 1
+// and --jobs N (docs/PARALLELISM.md).
+//
+// The memo cache is keyed on the canonicalized scenario parameters — the
+// JSON serialization of the system spec and workflow characterization
+// plus the scenario seed (never the label) — so repeated sweep points hit
+// the cache even when labeled differently.  Cache hit/miss totals are
+// exported through obs::MetricsRegistry.
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeinfo>
+#include <utility>
+#include <vector>
+
+#include "core/model.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/registry.hpp"
+
+namespace wfr::exec {
+
+/// One sweep point: a complete model input plus bookkeeping.
+struct Scenario {
+  /// Display label; NOT part of the cache key.
+  std::string label;
+  core::SystemSpec system;
+  core::WorkflowCharacterization workflow;
+  /// Seed for stochastic evaluators (simulation jitter, noise).  Part of
+  /// the cache key: two points with equal parameters and equal seeds are
+  /// one evaluation.  Derive per-point seeds with scenario_seed(base, i)
+  /// when points must draw independent streams (this forgoes dedup).
+  std::uint64_t seed = 0;
+  /// The grid coordinates that produced this point (name, value), in axis
+  /// order.  Filled by expand_grid; carried into NDJSON output.
+  std::vector<std::pair<std::string, double>> params;
+};
+
+/// Canonical cache key of a scenario (system + workflow + seed, no label).
+std::string scenario_key(const Scenario& scenario);
+
+/// The model-based evaluation of one scenario (SweepRunner::run_models).
+struct ScenarioResult {
+  std::string label;
+  Scenario scenario;
+  /// The assembled model (shared across cache hits).
+  std::shared_ptr<const core::RooflineModel> model;
+  int parallelism_wall = 0;
+  /// min over ceilings at the wall — the best attainable throughput.
+  double attainable_tps_at_wall = 0.0;
+  /// Label and channel of the ceiling binding at the wall.
+  std::string binding_label;
+  std::string binding_channel;
+  /// Per-slot latency: binding_ceiling(1).seconds_per_task (0 when a
+  /// horizontal ceiling binds even at one task).
+  double slot_seconds = 0.0;
+  /// total_tasks / attainable_tps_at_wall.
+  double campaign_makespan_seconds = 0.0;
+};
+
+/// One NDJSON line for a result:
+///   {"sweep":<label>,"params":{...},"wall":N,"attainable_tps":...,
+///    "binding":...,"slot_seconds":...,"campaign_makespan_s":...}
+/// Deterministic bytes: field order fixed, params in axis order.
+std::string scenario_result_line(const ScenarioResult& result);
+
+/// One axis of a parameter grid (see expand_grid for the known names).
+struct ParamAxis {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Expands a parameter grid into scenarios: the cross product of the axes
+/// in row-major order (first axis slowest).  Known axis names:
+///   nodes_per_task — intra-task-parallelism factor applied via
+///                    core::scale_intra_task_parallelism;
+///   efficiency     — strong-scaling efficiency used by nodes_per_task
+///                    (default 1.0; an axis of its own);
+///   parallel_tasks, total_tasks, total_nodes — absolute integers;
+///   fs_gbs, external_gbs, nic_gbs, peak_flops — absolute rates.
+/// Throws InvalidArgument on an unknown name or an empty axis.
+std::vector<Scenario> expand_grid(const core::SystemSpec& base_system,
+                                  const core::WorkflowCharacterization& base,
+                                  const std::vector<ParamAxis>& axes);
+
+struct SweepOptions {
+  /// Worker threads; 0 = resolve_jobs() (WFR_JOBS, then hardware).
+  int jobs = 0;
+};
+
+/// Cache statistics of one runner.
+struct SweepStats {
+  std::uint64_t scenarios = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+/// Evaluates scenarios on a pool with memoization.  A runner's cache
+/// persists across run() calls; evaluators must be pure functions of the
+/// scenario (plus its seed), or the cache would lie.  Do not call run()
+/// from inside an evaluator.
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  int jobs() const { return pool_.jobs(); }
+
+  /// Fans `scenarios` across the pool through `eval`; returns results in
+  /// scenario order.  R must be default-constructible and copyable.  An
+  /// evaluator exception propagates (lowest failing index first) and is
+  /// also replayed to every cache hit of the same key.
+  template <typename R>
+  std::vector<R> run(const std::vector<Scenario>& scenarios,
+                     const std::function<R(const Scenario&)>& eval) {
+    std::vector<R> results(scenarios.size());
+    parallel_for(pool_, scenarios.size(), [&](std::size_t i) {
+      R value = evaluate_cached<R>(scenarios[i], eval);
+      results[i] = std::move(value);
+    });
+    return results;
+  }
+
+  /// The standard sweep: build the roofline model of each scenario and
+  /// derive the wall / attainable-throughput / binding-ceiling summary.
+  std::vector<ScenarioResult> run_models(
+      const std::vector<Scenario>& scenarios);
+
+  const SweepStats& stats() const { return stats_; }
+
+  /// Adds this runner's lifetime totals to `registry` as the counters
+  /// sweep.scenarios, sweep.cache_hits, sweep.cache_misses.
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  template <typename R>
+  R evaluate_cached(const Scenario& scenario,
+                    const std::function<R(const Scenario&)>& eval) {
+    const std::string key =
+        scenario_key(scenario) + "\x1f" + typeid(R).name();
+    std::shared_future<R> future;
+    std::promise<R> promise;
+    bool owner = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++stats_.scenarios;
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++stats_.cache_hits;
+        future = std::any_cast<std::shared_future<R>>(it->second);
+      } else {
+        ++stats_.cache_misses;
+        future = promise.get_future().share();
+        cache_.emplace(key, future);
+        owner = true;
+      }
+    }
+    if (owner) {
+      try {
+        promise.set_value(eval(scenario));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    }
+    return future.get();
+  }
+
+  ThreadPool pool_;
+  std::mutex mutex_;
+  std::map<std::string, std::any> cache_;
+  SweepStats stats_;
+};
+
+/// Evaluates one scenario through core::build_model (the run_models
+/// evaluator, exposed for tests and serial baselines).
+ScenarioResult evaluate_model_scenario(const Scenario& scenario);
+
+}  // namespace wfr::exec

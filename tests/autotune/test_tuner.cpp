@@ -130,5 +130,30 @@ TEST(Tuner, AdaptiveLengthScaleStillConvergesAndIsDeterministic) {
   EXPECT_LT(a.best().value, surface.default_value());
 }
 
+TEST(Tuner, ParallelWarmupMatchesSerialBitForBit) {
+  // config.jobs only fans out the independent warm-up evaluations; the
+  // history — params and values — must be byte-identical to jobs=1
+  // because warm-up params are pre-drawn from the single rng stream and
+  // results land by sample index.
+  SuperluSurface surface(4960);
+  TunerConfig cfg;
+  cfg.total_samples = 20;
+  cfg.warmup_samples = 8;
+  cfg.seed = 11;
+  auto objective = [&surface](std::span<const double> x) {
+    return surface.evaluate(x);
+  };
+  const History serial = tune(objective, surface.dim(), cfg);
+  for (int jobs : {2, 8}) {
+    cfg.jobs = jobs;
+    const History parallel = tune(objective, surface.dim(), cfg);
+    ASSERT_EQ(parallel.samples.size(), serial.samples.size());
+    for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+      EXPECT_EQ(parallel.samples[i].params, serial.samples[i].params);
+      EXPECT_EQ(parallel.samples[i].value, serial.samples[i].value);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace wfr::autotune

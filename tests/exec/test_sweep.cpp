@@ -1,0 +1,219 @@
+// Tests for SweepRunner: grid expansion, memoization (hit/miss counts and
+// metrics export), and the bit-for-bit determinism of sweep results and
+// their NDJSON serialization across job counts.
+
+#include "exec/sweep.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/registry.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace wfr::exec {
+namespace {
+
+core::SystemSpec test_system() {
+  core::SystemSpec system;
+  system.name = "sweep-test-system";
+  system.total_nodes = 128;
+  system.node.peak_flops = 10.0 * util::kTFLOPS;
+  system.node.dram_gbs = 200.0 * util::kGBs;
+  system.node.nic_gbs = 25.0 * util::kGBs;
+  system.fs_gbs = 500.0 * util::kGBs;
+  system.external_gbs = 5.0 * util::kGBs;
+  return system;
+}
+
+core::WorkflowCharacterization test_workflow() {
+  core::WorkflowCharacterization wf;
+  wf.name = "sweep-test-workflow";
+  wf.total_tasks = 56;
+  wf.parallel_tasks = 28;
+  wf.nodes_per_task = 2;  // factor 0.5 must still give whole nodes
+  wf.flops_per_node = 4.4e15;
+  wf.dram_bytes_per_node = 2.0e13;
+  wf.network_bytes_per_task = 1.0e11;
+  wf.fs_bytes_per_task = 2.5e11;
+  return wf;
+}
+
+TEST(ScenarioKeyTest, LabelIsNotPartOfTheKey) {
+  Scenario a;
+  a.system = test_system();
+  a.workflow = test_workflow();
+  Scenario b = a;
+  b.label = "something else";
+  b.params = {{"x", 1.0}};  // presentation-only, like the label
+  EXPECT_EQ(scenario_key(a), scenario_key(b));
+
+  Scenario c = a;
+  c.seed = 7;
+  EXPECT_NE(scenario_key(a), scenario_key(c));
+  Scenario d = a;
+  d.workflow.total_tasks += 1;
+  EXPECT_NE(scenario_key(a), scenario_key(d));
+}
+
+TEST(ExpandGridTest, RowMajorCrossProduct) {
+  const std::vector<Scenario> grid =
+      expand_grid(test_system(), test_workflow(),
+                  {{"efficiency", {1.0, 0.8}},
+                   {"nodes_per_task", {1.0, 2.0, 4.0}}});
+  ASSERT_EQ(grid.size(), 6u);
+  // First axis slowest: efficiency=1 covers the first three points.
+  EXPECT_EQ(grid[0].label, "efficiency=1 nodes_per_task=1");
+  EXPECT_EQ(grid[1].label, "efficiency=1 nodes_per_task=2");
+  EXPECT_EQ(grid[3].label, "efficiency=0.8 nodes_per_task=1");
+  ASSERT_EQ(grid[4].params.size(), 2u);
+  EXPECT_EQ(grid[4].params[0].first, "efficiency");
+  EXPECT_DOUBLE_EQ(grid[4].params[1].second, 2.0);
+  // nodes_per_task=2 doubles the per-task node count (base is 2).
+  EXPECT_EQ(grid[1].workflow.nodes_per_task, 4);
+}
+
+TEST(ExpandGridTest, AbsoluteAxesOverrideSystemAndWorkflow) {
+  const std::vector<Scenario> grid =
+      expand_grid(test_system(), test_workflow(),
+                  {{"total_nodes", {64.0}},
+                   {"fs_gbs", {100.0 * util::kGBs}},
+                   {"total_tasks", {7.0}}});
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid[0].system.total_nodes, 64);
+  EXPECT_DOUBLE_EQ(grid[0].system.fs_gbs, 100.0 * util::kGBs);
+  EXPECT_EQ(grid[0].workflow.total_tasks, 7);
+}
+
+TEST(ExpandGridTest, RejectsUnknownAxisAndEmptyAxis) {
+  EXPECT_THROW(expand_grid(test_system(), test_workflow(),
+                           {{"warp_factor", {9.0}}}),
+               util::InvalidArgument);
+  EXPECT_THROW(
+      expand_grid(test_system(), test_workflow(), {{"efficiency", {}}}),
+      util::InvalidArgument);
+}
+
+TEST(SweepRunnerTest, RunModelsIsJobCountInvariant) {
+  const std::vector<Scenario> grid =
+      expand_grid(test_system(), test_workflow(),
+                  {{"efficiency", {1.0, 0.8}},
+                   {"nodes_per_task", {0.5, 1.0, 2.0, 4.0, 8.0}}});
+  auto sweep = [&grid](int jobs) {
+    SweepRunner runner({jobs});
+    std::vector<std::string> lines;
+    for (const ScenarioResult& r : runner.run_models(grid))
+      lines.push_back(scenario_result_line(r));
+    return lines;
+  };
+  const std::vector<std::string> serial = sweep(1);
+  ASSERT_EQ(serial.size(), grid.size());
+  // NDJSON bytes — not just values — must match across job counts.
+  EXPECT_EQ(serial, sweep(2));
+  EXPECT_EQ(serial, sweep(8));
+}
+
+TEST(SweepRunnerTest, ResultsCarryLabelsAndDerivedQuantities) {
+  const std::vector<Scenario> grid =
+      expand_grid(test_system(), test_workflow(), {{"efficiency", {1.0}}});
+  SweepRunner runner({2});
+  const std::vector<ScenarioResult> results = runner.run_models(grid);
+  ASSERT_EQ(results.size(), 1u);
+  const ScenarioResult& r = results[0];
+  EXPECT_EQ(r.label, "efficiency=1");
+  EXPECT_EQ(r.scenario.label, r.label);
+  ASSERT_NE(r.model, nullptr);
+  EXPECT_GE(r.parallelism_wall, 1);
+  EXPECT_GT(r.attainable_tps_at_wall, 0.0);
+  EXPECT_FALSE(r.binding_label.empty());
+  EXPECT_NEAR(r.campaign_makespan_seconds,
+              r.scenario.workflow.total_tasks / r.attainable_tps_at_wall,
+              1e-9);
+}
+
+TEST(SweepRunnerTest, CacheDeduplicatesIdenticalScenarios) {
+  Scenario point;
+  point.label = "a";
+  point.system = test_system();
+  point.workflow = test_workflow();
+  Scenario again = point;
+  again.label = "b";  // label excluded from the key -> cache hit
+  Scenario distinct = point;
+  distinct.workflow.parallel_tasks = 14;
+
+  std::atomic<int> evaluations{0};
+  SweepRunner runner({4});
+  const std::vector<int> out = runner.run<int>(
+      {point, again, distinct, point},
+      [&evaluations](const Scenario& s) {
+        evaluations.fetch_add(1);
+        return s.workflow.parallel_tasks;
+      });
+  EXPECT_EQ(out, (std::vector<int>{28, 28, 14, 28}));
+  EXPECT_EQ(evaluations.load(), 2);
+  EXPECT_EQ(runner.stats().scenarios, 4u);
+  EXPECT_EQ(runner.stats().cache_misses, 2u);
+  EXPECT_EQ(runner.stats().cache_hits, 2u);
+}
+
+TEST(SweepRunnerTest, CachePersistsAcrossRuns) {
+  Scenario point;
+  point.system = test_system();
+  point.workflow = test_workflow();
+  SweepRunner runner({1});
+  std::atomic<int> evaluations{0};
+  auto eval = [&evaluations](const Scenario&) {
+    evaluations.fetch_add(1);
+    return 1;
+  };
+  runner.run<int>({point}, eval);
+  runner.run<int>({point}, eval);
+  EXPECT_EQ(evaluations.load(), 1);
+  EXPECT_EQ(runner.stats().cache_hits, 1u);
+}
+
+TEST(SweepRunnerTest, ExportMetricsFillsTheRegistry) {
+  const std::vector<Scenario> grid =
+      expand_grid(test_system(), test_workflow(),
+                  {{"efficiency", {1.0, 1.0}}});  // duplicate -> one hit
+  SweepRunner runner({2});
+  runner.run_models(grid);
+  obs::MetricsRegistry registry;
+  runner.export_metrics(registry);
+  ASSERT_NE(registry.find_counter("sweep.scenarios"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.find_counter("sweep.scenarios")->value(), 2.0);
+  EXPECT_DOUBLE_EQ(registry.find_counter("sweep.cache_hits")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.find_counter("sweep.cache_misses")->value(), 1.0);
+}
+
+TEST(SweepRunnerTest, EvaluatorExceptionReachesEveryWaiter) {
+  Scenario point;
+  point.system = test_system();
+  point.workflow = test_workflow();
+  SweepRunner runner({2});
+  auto boom = [](const Scenario&) -> int {
+    throw std::runtime_error("evaluator failed");
+  };
+  EXPECT_THROW(runner.run<int>({point, point}, boom), std::runtime_error);
+  // The failure is cached too: a later hit on the same key replays it.
+  EXPECT_THROW(runner.run<int>({point}, boom), std::runtime_error);
+}
+
+TEST(ScenarioResultLineTest, StableFieldOrderWithParams) {
+  const std::vector<Scenario> grid = expand_grid(
+      test_system(), test_workflow(), {{"nodes_per_task", {2.0}}});
+  SweepRunner runner({1});
+  const std::vector<ScenarioResult> results = runner.run_models(grid);
+  const std::string line = scenario_result_line(results[0]);
+  EXPECT_EQ(line.find("{\"sweep\":\"nodes_per_task=2\""), 0u);
+  EXPECT_NE(line.find("\"params\":{\"nodes_per_task\":2}"),
+            std::string::npos);
+  EXPECT_NE(line.find("\"wall\":"), std::string::npos);
+  EXPECT_NE(line.find("\"campaign_makespan_s\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfr::exec
