@@ -1,0 +1,145 @@
+// Loopback throughput benchmark for `wfr serve` (docs/SERVER.md): an
+// in-process Server + App on an ephemeral port, hammered with keep-alive
+// POST /v1/roofline requests from concurrent clients at 1/2/8 workers.
+//
+// Emits one PERF NDJSON line per worker count (req/s and mean latency)
+// plus a byte_identical check: every response collected across all worker
+// counts and clients must be the same byte sequence — the serving-layer
+// determinism contract.  The process exits nonzero if byte-identity is
+// violated (a correctness bug, not a perf regression), while throughput
+// itself is judged against bench/baselines/BENCH_serve.json by
+// scripts/check_bench.py.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "exec/thread_pool.hpp"
+#include "serve/app.hpp"
+#include "serve/loopback_client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace wfr;
+
+constexpr const char* kRooflineBody = R"({
+  "system": "perlmutter-gpu",
+  "workflow": {
+    "name": "bench",
+    "total_tasks": 600,
+    "parallel_tasks": 120,
+    "flops_per_node": 1.0e15,
+    "fs_bytes_per_task": 2.0e11,
+    "makespan_seconds": 1800
+  }
+})";
+
+struct RunResult {
+  double requests_per_second = 0.0;
+  double mean_latency_us = 0.0;
+};
+
+/// One measurement: `clients` concurrent keep-alive connections each
+/// issuing `requests_per_client` POST /v1/roofline requests against a
+/// fresh server with `jobs` workers.  All raw response bytes land in
+/// `raws` for the cross-configuration identity check.
+RunResult run_config(int jobs, int clients, int requests_per_client,
+                     std::set<std::string>& raws) {
+  serve::ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.jobs = jobs;
+  serve::App app;
+  serve::Server server(options);
+  app.bind(server);
+  const int port = server.start();
+  std::thread serve_thread([&server] { server.serve_forever(); });
+
+  const std::string wire =
+      serve::LoopbackClient::format_request("POST", "/v1/roofline",
+                                            kRooflineBody);
+  std::mutex collect_mutex;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, requests_per_client] {
+      serve::LoopbackClient client(port);
+      std::set<std::string> local;
+      for (int i = 0; i < requests_per_client; ++i) {
+        client.send_raw(wire);
+        local.insert(client.read_response().raw);
+      }
+      std::unique_lock<std::mutex> lock(collect_mutex);
+      raws.insert(local.begin(), local.end());
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  server.request_stop();
+  serve_thread.join();
+
+  const double total = static_cast<double>(clients) * requests_per_client;
+  RunResult result;
+  result.requests_per_second = total / seconds;
+  // Aggregate latency seen by one client slot (clients run concurrently).
+  result.mean_latency_us =
+      1e6 * seconds / (total / static_cast<double>(clients));
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("SERVE",
+                "wfr serve loopback throughput (POST /v1/roofline)");
+  bench::emit_result_line("serve/hardware_jobs", exec::hardware_jobs(),
+                          "jobs");
+
+  const int clients = 4;
+  const int requests_per_client = 500;
+  // Absolute floor, not a baseline comparison: the service must sustain
+  // four-digit request rates even on a 1-core builder.
+  const double min_req_per_s = 1000.0;
+  std::set<std::string> raws;
+  double slowest = 0.0;
+
+  std::printf("%-8s %12s %14s\n", "jobs", "req/s", "latency");
+  for (const int jobs : {1, 2, 8}) {
+    const RunResult result =
+        run_config(jobs, clients, requests_per_client, raws);
+    slowest = slowest == 0.0
+                  ? result.requests_per_second
+                  : std::min(slowest, result.requests_per_second);
+    std::printf("%-8d %12.0f %11.1f us\n", jobs, result.requests_per_second,
+                result.mean_latency_us);
+    const std::string tag = "roofline/jobs" + std::to_string(jobs);
+    bench::emit_result_line(tag + "/req_per_s", result.requests_per_second,
+                            "req/s");
+    bench::emit_result_line(tag + "/client_latency",
+                            result.mean_latency_us, "us");
+  }
+
+  // The determinism contract: one byte sequence across 3 worker counts x
+  // 4 clients x 500 requests.
+  const bool identical = raws.size() == 1;
+  std::printf("responses %s across worker counts (%zu distinct)\n",
+              identical ? "byte-identical" : "DIVERGED", raws.size());
+  bench::emit_result_line("byte_identical", identical ? 1.0 : 0.0, "bool");
+
+  const bool fast_enough = slowest >= min_req_per_s;
+  std::printf("throughput floor %s: slowest config %.0f req/s vs %.0f "
+              "required\n",
+              fast_enough ? "met" : "MISSED", slowest, min_req_per_s);
+  bench::emit_result_line("throughput_floor_met", fast_enough ? 1.0 : 0.0,
+                          "bool");
+  return identical && fast_enough ? 0 : 1;
+}

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Gate benchmark results against recorded baselines.
+
+Reads the NDJSON result lines the bench binaries print (schema in
+bench/README.md) and compares every metric recorded in
+bench/baselines/BENCH_*.json against the current run:
+
+  * lower-is-better units (``ns/op``, ``us``, ``ms``, ``s/op`` ...) fail
+    when the current value exceeds baseline * (1 + tolerance);
+  * higher-is-better units (``items/s``, ``req/s``, any ``.../s``) fail
+    when the current value drops below baseline * (1 - tolerance);
+  * ``bool`` / ``match`` metrics must not regress from 1 to 0;
+  * ``jobs`` stamps are informational and never compared.
+
+Baselines are machine-aware: a baseline whose ``machine.hardware_jobs``
+differs from the current run's ``*/hardware_jobs`` stamp is skipped with
+a warning instead of producing nonsense comparisons (perf baselines are
+only comparable on like-for-like core counts).  Re-record with
+scripts/record_bench.py.
+
+Usage:
+  check_bench.py RESULTS.ndjson [--baselines DIR] [--tolerance 0.25]
+
+Exits nonzero when any compared metric regresses or is missing.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+LOWER_IS_BETTER_UNITS = {"ns", "us", "ms", "s"}
+
+ANSI_ESCAPES = re.compile(r"\x1b\[[0-9;]*m")
+
+
+def parse_results(path):
+    """NDJSON result lines -> {(bench, metric): (value, unit)}.
+
+    Bench stdout mixes human tables with NDJSON; non-JSON lines are
+    skipped, as are JSON lines that are not result lines.  ANSI color
+    codes (google-benchmark's console reporter) are stripped first.
+    """
+    results = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = ANSI_ESCAPES.sub("", line).strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not all(k in row for k in ("bench", "metric", "value", "unit")):
+                continue
+            results[(row["bench"], row["metric"])] = (row["value"], row["unit"])
+    return results
+
+
+def current_hardware_jobs(results):
+    for (_, metric), (value, unit) in results.items():
+        if unit == "jobs" and metric.endswith("hardware_jobs"):
+            return int(value)
+    return None
+
+
+def direction(unit):
+    """'lower', 'higher', 'exact', 'skip', or 'symmetric' for a unit."""
+    if unit == "jobs":
+        return "skip"
+    if unit in ("bool", "match"):
+        return "exact"
+    if unit.endswith("/op") or unit in LOWER_IS_BETTER_UNITS:
+        return "lower"
+    if unit.endswith("/s"):
+        return "higher"
+    return "symmetric"
+
+
+def check_metric(name, baseline, current, unit, tolerance):
+    """Returns (ok, message)."""
+    kind = direction(unit)
+    if kind == "skip":
+        return True, None
+    if kind == "exact":
+        ok = current >= baseline
+        return ok, None if ok else (
+            f"{name}: {current:g} {unit} regressed from {baseline:g}")
+    if baseline == 0:
+        return True, None  # nothing meaningful to compare against
+    ratio = current / baseline
+    if kind == "lower" and ratio > 1 + tolerance:
+        return False, (f"{name}: {current:g} {unit} is {100 * (ratio - 1):.1f}% "
+                       f"slower than baseline {baseline:g}")
+    if kind == "higher" and ratio < 1 - tolerance:
+        return False, (f"{name}: {current:g} {unit} is {100 * (1 - ratio):.1f}% "
+                       f"below baseline {baseline:g}")
+    if kind == "symmetric" and abs(ratio - 1) > tolerance:
+        return False, (f"{name}: {current:g} {unit} deviates "
+                       f"{100 * (ratio - 1):+.1f}% from baseline {baseline:g}")
+    return True, None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="NDJSON bench output to check")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory of BENCH_*.json baselines")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative regression tolerance (default 0.25)")
+    args = parser.parse_args()
+
+    results = parse_results(args.results)
+    if not results:
+        print(f"check_bench: no result lines found in {args.results}",
+              file=sys.stderr)
+        return 1
+    hardware_jobs = current_hardware_jobs(results)
+
+    baseline_files = sorted(
+        glob.glob(os.path.join(args.baselines, "BENCH_*.json")))
+    if not baseline_files:
+        print(f"check_bench: no baselines under {args.baselines}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    compared = 0
+    skipped = 0
+    for path in baseline_files:
+        with open(path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        label = baseline.get("bench", os.path.basename(path))
+        # A baseline may widen its own tolerance (noisy measurements,
+        # e.g. oversubscribed worker counts on small builders).
+        tolerance = max(args.tolerance, baseline.get("tolerance", 0.0))
+        machine_jobs = baseline.get("machine", {}).get("hardware_jobs")
+        if (machine_jobs is not None and hardware_jobs is not None
+                and machine_jobs != hardware_jobs):
+            print(f"check_bench: SKIP {label}: baseline recorded at "
+                  f"hardware_jobs={machine_jobs}, current run has "
+                  f"{hardware_jobs} (re-record with scripts/record_bench.py)")
+            skipped += 1
+            continue
+        for row in baseline.get("results", []):
+            key = (row["bench"], row["metric"])
+            name = f"{label}:{row['metric']}"
+            if key not in results:
+                failures.append(f"{name}: metric missing from current run")
+                continue
+            value, unit = results[key]
+            compared += 1
+            ok, message = check_metric(name, row["value"], value, unit,
+                                       tolerance)
+            if not ok:
+                failures.append(message)
+
+    print(f"check_bench: compared {compared} metrics against "
+          f"{len(baseline_files) - skipped} baseline(s) "
+          f"(tolerance {args.tolerance:.0%}, {skipped} skipped)")
+    if failures:
+        for message in failures:
+            print(f"check_bench: FAIL {message}", file=sys.stderr)
+        return 1
+    print("check_bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

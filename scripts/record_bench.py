@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Record a benchmark baseline from NDJSON result lines.
+
+Filters the result lines of one bench id out of a run's stdout and writes
+a bench/baselines/BENCH_*.json file in the format scripts/check_bench.py
+consumes, stamped with the recording machine's core count (taken from the
+run's ``*/hardware_jobs`` line) so the gate can skip the baseline on
+mismatched hardware.
+
+Usage:
+  record_bench.py RESULTS.ndjson --bench SERVE \
+      --out bench/baselines/BENCH_serve.json [--note "..."]
+"""
+
+import argparse
+import datetime
+import json
+import sys
+
+from check_bench import current_hardware_jobs, parse_results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="NDJSON bench output to record")
+    parser.add_argument("--bench", required=True,
+                        help="bench id to record (the lines' 'bench' field, "
+                             "e.g. SERVE or PERF)")
+    parser.add_argument("--out", required=True, help="baseline file to write")
+    parser.add_argument("--note", default="",
+                        help="free-form note stored with the machine stamp")
+    parser.add_argument("--metric-prefix", default="",
+                        help="record only metrics starting with this prefix "
+                             "(e.g. BM_SweepScaling)")
+    parser.add_argument("--name", default="",
+                        help="baseline id to store (default BENCH_<bench>)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="per-baseline tolerance override stored in the "
+                             "file (check_bench uses max(this, its default))")
+    args = parser.parse_args()
+
+    results = parse_results(args.results)
+    rows = [
+        {"bench": bench, "metric": metric, "value": value, "unit": unit}
+        for (bench, metric), (value, unit) in results.items()
+        if bench == args.bench and unit != "jobs"
+        and metric.startswith(args.metric_prefix)
+    ]
+    if not rows:
+        print(f"record_bench: no '{args.bench}' result lines in "
+              f"{args.results}", file=sys.stderr)
+        return 1
+
+    machine = {"hardware_jobs": current_hardware_jobs(results)}
+    if args.note:
+        machine["note"] = args.note
+    baseline = {
+        "bench": args.name or f"BENCH_{args.bench.lower()}",
+        "recorded": datetime.date.today().isoformat(),
+        "machine": machine,
+        "results": rows,
+    }
+    if args.tolerance is not None:
+        baseline["tolerance"] = args.tolerance
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    print(f"record_bench: wrote {args.out} ({len(rows)} metrics, "
+          f"hardware_jobs={machine['hardware_jobs']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

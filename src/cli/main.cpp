@@ -77,9 +77,12 @@
 #include "plot/gantt_plot.hpp"
 #include "plot/roofline_plot.hpp"
 #include "roofline/drilldown.hpp"
+#include "serve/app.hpp"
+#include "serve/server.hpp"
 #include "sim/runner.hpp"
 #include "trace/summary.hpp"
 #include "util/error.hpp"
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -149,47 +152,13 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
-// --- Numeric flag parsing ----------------------------------------------------
-// Raw std::stol/std::stod calls turn a typo into an uncaught
-// std::invalid_argument ("stol"); these helpers consume the whole token and
-// report the offending flag and text instead.
-
-[[noreturn]] void bad_flag_value(const std::string& flag,
-                                 const std::string& text) {
-  throw util::InvalidArgument("bad value for --" + flag + ": '" + text + "'");
-}
-
-long parse_long_flag(const std::string& flag, const std::string& text) {
-  const std::string trimmed = util::trim(text);
-  char* end = nullptr;
-  errno = 0;
-  const long value = std::strtol(trimmed.c_str(), &end, 10);
-  if (trimmed.empty() || end == nullptr || *end != '\0' || errno == ERANGE)
-    bad_flag_value(flag, text);
-  return value;
-}
-
-std::uint64_t parse_u64_flag(const std::string& flag,
-                             const std::string& text) {
-  const std::string trimmed = util::trim(text);
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long value = std::strtoull(trimmed.c_str(), &end, 10);
-  if (trimmed.empty() || trimmed.front() == '-' || end == nullptr ||
-      *end != '\0' || errno == ERANGE)
-    bad_flag_value(flag, text);
-  return static_cast<std::uint64_t>(value);
-}
-
-double parse_double_flag(const std::string& flag, const std::string& text) {
-  const std::string trimmed = util::trim(text);
-  char* end = nullptr;
-  errno = 0;
-  const double value = std::strtod(trimmed.c_str(), &end);
-  if (trimmed.empty() || end == nullptr || *end != '\0' || errno == ERANGE)
-    bad_flag_value(flag, text);
-  return value;
-}
+// Numeric flags parse through util::parse_*_flag (util/parse.hpp): the
+// whole token must be consumed, so typos like "--port 80x" are rejected
+// with the flag name and offending text instead of being prefix-parsed.
+using util::parse_double_flag;
+using util::parse_long_flag;
+using util::parse_long_flag_in;
+using util::parse_u64_flag;
 
 void print_usage() {
   std::cout <<
@@ -210,6 +179,9 @@ void print_usage() {
       "               [--param name=v1,v2,...]... [--jobs <n>]\n"
       "               [--target <seconds>] [--ndjson <out>] [--svg <out.svg>]\n"
       "               [--metrics <out.json>]\n"
+      "  wfr serve    [--port <n>] [--host <addr>] [--jobs <n>]\n"
+      "               [--max-queue <n>] [--max-body <bytes>]\n"
+      "               [--sweep-jobs <n>]\n"
       "  wfr compare  --system <spec|preset> --before <c.json>\n"
       "               --after <c.json>\n"
       "  wfr archetype --kind <ensemble|pipeline|fork-join|map-reduce|\n"
@@ -472,6 +444,47 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+// wfr serve — the roofline-as-a-service daemon (docs/SERVER.md): a
+// blocking-socket HTTP/1.1 JSON server that answers model and sweep
+// queries, renders SVGs, and exposes Prometheus metrics.  SIGINT/SIGTERM
+// drain in-flight requests before the process exits 0.
+int cmd_serve(const Args& args) {
+  serve::ServerOptions options;
+  if (auto host = args.get_optional("host")) options.host = *host;
+  if (auto port = args.get_optional("port"))
+    options.port = static_cast<int>(parse_long_flag_in("port", *port, 0, 65535));
+  if (auto jobs = args.get_optional("jobs"))
+    options.jobs = static_cast<int>(parse_long_flag_in("jobs", *jobs, 1, 1 << 16));
+  if (auto queue = args.get_optional("max-queue"))
+    options.max_queue =
+        static_cast<int>(parse_long_flag_in("max-queue", *queue, 1, 1 << 20));
+  if (auto body = args.get_optional("max-body"))
+    options.max_body_bytes =
+        static_cast<std::size_t>(parse_u64_flag("max-body", *body));
+
+  serve::AppOptions app_options;
+  if (auto jobs = args.get_optional("sweep-jobs"))
+    app_options.sweep_jobs =
+        static_cast<int>(parse_long_flag_in("sweep-jobs", *jobs, 1, 1 << 16));
+
+  serve::App app(app_options);
+  serve::Server server(options);
+  app.bind(server);
+  const int port = server.start();
+  server.install_signal_handlers();
+  // Flush before blocking so supervisors (and the serve-smoke CI job) can
+  // wait for readiness on this line.
+  std::cout << "wfr serve: listening on http://" << options.host << ":"
+            << port << " (" << server.jobs() << " workers, max queue "
+            << options.max_queue << ")" << std::endl;
+  server.serve_forever();
+  const auto& stats = server.stats();
+  std::cout << "wfr serve: drained; served " << stats.requests.load()
+            << " requests on " << stats.accepted.load() << " connections ("
+            << stats.shed.load() << " shed)" << std::endl;
+  return 0;
+}
+
 int cmd_compare(const Args& args) {
   const core::SystemSpec system = load_system(args.get("system"));
   auto load = [&](const std::string& option) {
@@ -544,6 +557,7 @@ int main(int argc, char** argv) {
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "run") return cmd_run(args);
     if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "serve") return cmd_serve(args);
     if (args.command == "compare") return cmd_compare(args);
     if (args.command == "archetype") return cmd_archetype(args);
     if (args.command == "presets") return cmd_presets();

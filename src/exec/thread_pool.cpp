@@ -78,6 +78,28 @@ void ThreadPool::submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+void ThreadPool::set_queue_limit(std::size_t limit) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_limit_ = limit;
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+  util::require(static_cast<bool>(task), "ThreadPool::try_submit needs a task");
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    util::require(!stopping_, "ThreadPool is shutting down");
+    if (queue_limit_ != 0 && queue_.size() >= queue_limit_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && busy_workers_ == 0; });

@@ -65,17 +65,32 @@ class ThreadPool {
   /// Enqueues a task.  Throws InvalidArgument on an empty function.
   void submit(std::function<void()> task);
 
+  /// Bounds the pending-task queue for try_submit (0 = unbounded, the
+  /// default).  submit() is never bounded — the deterministic fan-out
+  /// primitives must not shed work.
+  void set_queue_limit(std::size_t limit);
+
+  /// Load-shedding submit: enqueues and returns true unless the queue
+  /// already holds queue-limit pending tasks, in which case the task is
+  /// rejected (returns false, task dropped).  This is the bounded accept
+  /// queue behind `wfr serve`'s 503 responses (docs/SERVER.md).
+  bool try_submit(std::function<void()> task);
+
+  /// Number of tasks waiting in the queue (excludes running tasks).
+  std::size_t queue_depth() const;
+
   /// Blocks until the queue is empty and every worker is idle.
   void wait_idle();
 
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  std::size_t queue_limit_ = 0;
   int busy_workers_ = 0;
   bool stopping_ = false;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -140,6 +141,67 @@ const Histogram* MetricsRegistry::find_histogram(
     std::string_view name) const {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Prometheus sample value: integers without a decimal point, everything
+/// else with the fewest digits that round-trip (so bucket labels read
+/// le="1e-05", not le="1.0000000000000001e-05").
+std::string format_sample(double value) {
+  if (value == std::nearbyint(value) && std::fabs(value) < 1e15)
+    return util::format("%.0f", value);
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::string text = util::format("%.*g", precision, value);
+    if (std::strtod(text.c_str(), nullptr) == value) return text;
+  }
+  return util::format("%.17g", value);
+}
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9'))
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string metric = sanitize_metric_name(name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + format_sample(counter.value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string metric = sanitize_metric_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + format_sample(gauge.value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string metric = sanitize_metric_name(name);
+    out += "# TYPE " + metric + " histogram\n";
+    const auto& bounds = h.upper_bounds();
+    const auto& counts = h.bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      const std::string le =
+          i < bounds.size() ? format_sample(bounds[i]) : "+Inf";
+      out += metric + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += metric + "_sum " + format_sample(h.sum()) + "\n";
+    out += metric + "_count " + std::to_string(h.count()) + "\n";
+  }
+  return out;
 }
 
 util::Json MetricsRegistry::snapshot() const {

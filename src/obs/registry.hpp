@@ -125,6 +125,15 @@ class MetricsRegistry {
   ///                        buckets: [{"le": bound, "count": n}, ...]}}}
   util::Json snapshot() const;
 
+  /// Prometheus text exposition format (version 0.0.4), deterministic for
+  /// a given registry state: one `# TYPE` block per instrument, sorted by
+  /// name within kind (counters, then gauges, then histograms).  Metric
+  /// names are sanitized to [a-zA-Z0-9_:] ('.' and other invalid bytes
+  /// become '_').  Histograms emit cumulative `_bucket{le="..."}` series
+  /// (Prometheus convention; the registry's own buckets are per-bucket)
+  /// plus `_sum` and `_count`.
+  std::string prometheus_text() const;
+
  private:
   void check_unique(std::string_view name, const char* kind) const;
 

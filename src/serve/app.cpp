@@ -1,0 +1,334 @@
+#include "serve/app.hpp"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "core/characterization.hpp"
+#include "core/model.hpp"
+#include "core/system_spec.hpp"
+#include "plot/roofline_plot.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/parse.hpp"
+#include "util/units.hpp"
+
+namespace wfr::serve {
+
+namespace {
+
+/// System field of a request: a preset name or an inline spec object.
+/// The server never reads files on behalf of a client.
+core::SystemSpec parse_system(const util::Json& json) {
+  if (json.is_string()) {
+    const std::string& name = json.as_string();
+    if (name == "perlmutter-gpu") return core::SystemSpec::perlmutter_gpu();
+    if (name == "perlmutter-cpu") return core::SystemSpec::perlmutter_cpu();
+    if (name == "cori-haswell") return core::SystemSpec::cori_haswell();
+    throw util::InvalidArgument("unknown system preset '" + name + "'");
+  }
+  return core::SystemSpec::from_json(json);
+}
+
+/// Builds the one scenario a /v1/roofline or /v1/svg body describes.
+exec::Scenario parse_scenario(const util::Json& body) {
+  util::require(body.is_object(), "request body must be a JSON object");
+  exec::Scenario scenario;
+  scenario.system = parse_system(body.at("system"));
+  scenario.workflow =
+      core::WorkflowCharacterization::from_json(body.at("workflow"));
+  if (const util::Json* target = body.as_object().find("target_makespan")) {
+    scenario.workflow.target_makespan_seconds =
+        target->is_string() ? util::parse_seconds(target->as_string())
+                            : target->as_number();
+  }
+  scenario.label = scenario.workflow.name;
+  return scenario;
+}
+
+const char* ceiling_kind_name(core::CeilingKind kind) {
+  switch (kind) {
+    case core::CeilingKind::kDiagonal: return "diagonal";
+    case core::CeilingKind::kHorizontal: return "horizontal";
+    case core::CeilingKind::kWall: return "wall";
+  }
+  return "unknown";
+}
+
+std::vector<double> latency_buckets() {
+  // 10 us .. 10 s in decade steps: loopback handlers live at the low end,
+  // sweep fan-outs at the high end.
+  return obs::exponential_buckets(1e-5, 10.0, 7);
+}
+
+util::Json ceilings_json(const core::RooflineModel& model, int wall) {
+  util::JsonArray ceilings;
+  for (const core::Ceiling& ceiling : model.ceilings()) {
+    util::JsonObject entry;
+    entry.set("kind", util::Json(ceiling_kind_name(ceiling.kind)));
+    entry.set("channel", util::Json(core::channel_name(ceiling.channel)));
+    entry.set("label", util::Json(ceiling.label));
+    switch (ceiling.kind) {
+      case core::CeilingKind::kDiagonal:
+        entry.set("seconds_per_task", util::Json(ceiling.seconds_per_task));
+        entry.set("tasks_per_instance",
+                  util::Json(ceiling.tasks_per_instance));
+        entry.set("tps_at_wall",
+                  util::Json(ceiling.tps_at(static_cast<double>(wall))));
+        break;
+      case core::CeilingKind::kHorizontal:
+        entry.set("tps_limit", util::Json(ceiling.tps_limit));
+        entry.set("tps_at_wall", util::Json(ceiling.tps_limit));
+        break;
+      case core::CeilingKind::kWall:
+        entry.set("max_parallel_tasks",
+                  util::Json(ceiling.max_parallel_tasks));
+        break;
+    }
+    ceilings.push_back(util::Json(std::move(entry)));
+  }
+  return util::Json(std::move(ceilings));
+}
+
+}  // namespace
+
+App::App(AppOptions options)
+    : options_(options), runner_(exec::SweepOptions{options.sweep_jobs}) {}
+
+void App::bind(Server& server) {
+  server_ = &server;
+  const auto handle = [this](const char* name,
+                             util::HttpResponse (App::*handler)(
+                                 const util::HttpRequest&)) -> Handler {
+    return [this, name, handler](const util::HttpRequest& request) {
+      return observed(name, handler, request);
+    };
+  };
+  server.route("POST", "/v1/roofline", handle("roofline", &App::handle_roofline));
+  server.route("POST", "/v1/sweep", handle("sweep", &App::handle_sweep));
+  server.route("GET", "/v1/svg", handle("svg", &App::handle_svg));
+  server.route("POST", "/v1/svg", handle("svg", &App::handle_svg));
+  server.route("GET", "/healthz", handle("healthz", &App::handle_healthz));
+  server.route("GET", "/metrics", handle("metrics", &App::handle_metrics));
+}
+
+util::HttpResponse App::observed(
+    const char* name,
+    util::HttpResponse (App::*handler)(const util::HttpRequest&),
+    const util::HttpRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  util::HttpResponse response;
+  try {
+    response = (this->*handler)(request);
+  } catch (const util::ParseError& e) {
+    response = util::http_error(400, e.what());
+  } catch (const util::InvalidArgument& e) {
+    response = util::http_error(400, e.what());
+  } catch (const util::NotFound& e) {
+    response = util::http_error(400, e.what());
+  } catch (const std::exception& e) {
+    response = util::http_error(500, e.what());
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  {
+    std::unique_lock<std::mutex> lock(metrics_mutex_);
+    registry_.counter(std::string("serve.requests.") + name).increment();
+    const char* klass = response.status >= 500   ? "serve.responses.5xx"
+                        : response.status >= 400 ? "serve.responses.4xx"
+                                                 : "serve.responses.2xx";
+    registry_.counter(klass).increment();
+    registry_
+        .histogram(std::string("serve.latency_seconds.") + name,
+                   latency_buckets())
+        .observe(seconds);
+  }
+  return response;
+}
+
+util::HttpResponse App::handle_roofline(const util::HttpRequest& request) {
+  const util::Json body = util::Json::parse(request.body);
+  const exec::Scenario scenario = parse_scenario(body);
+  const exec::ScenarioResult result = runner_.run_models({scenario}).front();
+
+  util::JsonObject out;
+  out.set("workflow", util::Json(scenario.workflow.name));
+  out.set("system", util::Json(scenario.system.name));
+  out.set("parallelism_wall", util::Json(result.parallelism_wall));
+  out.set("attainable_tps_at_wall", util::Json(result.attainable_tps_at_wall));
+  util::JsonObject binding;
+  binding.set("label", util::Json(result.binding_label));
+  binding.set("channel", util::Json(result.binding_channel));
+  out.set("binding", util::Json(std::move(binding)));
+  out.set("slot_seconds", util::Json(result.slot_seconds));
+  out.set("campaign_makespan_seconds",
+          util::Json(result.campaign_makespan_seconds));
+  out.set("ceilings", ceilings_json(*result.model, result.parallelism_wall));
+
+  if (scenario.workflow.has_measurement()) {
+    core::RooflineModel model = *result.model;
+    model.add_measured_dot();
+    const core::Dot& dot = model.dots().back();
+    util::JsonObject measured;
+    measured.set("parallel_tasks", util::Json(dot.parallel_tasks));
+    measured.set("tps", util::Json(dot.tps));
+    measured.set("efficiency", util::Json(model.efficiency(dot)));
+    measured.set("bound_class",
+                 util::Json(core::bound_class_name(model.classify(dot))));
+    if (model.has_targets())
+      measured.set("zone", util::Json(core::zone_name(model.zone_of(dot))));
+    out.set("measured", util::Json(std::move(measured)));
+  }
+
+  util::HttpResponse response;
+  response.body = util::Json(std::move(out)).dump() + "\n";
+  return response;
+}
+
+util::HttpResponse App::handle_sweep(const util::HttpRequest& request) {
+  const util::Json body = util::Json::parse(request.body);
+  util::require(body.is_object(), "request body must be a JSON object");
+  const core::SystemSpec system = parse_system(body.at("system"));
+  core::WorkflowCharacterization base =
+      core::WorkflowCharacterization::from_json(body.at("workflow"));
+  if (const util::Json* target = body.as_object().find("target_makespan")) {
+    base.target_makespan_seconds =
+        target->is_string() ? util::parse_seconds(target->as_string())
+                            : target->as_number();
+  }
+
+  // Axes: {"params": {"nodes_per_task": [1, 2], "efficiency": [1, 0.8]}}
+  // (axis order = member order; our JSON objects preserve it).
+  const util::Json& params = body.at("params");
+  util::require(params.is_object() && !params.as_object().empty(),
+                "params must be a non-empty object of name -> [values]");
+  std::vector<exec::ParamAxis> axes;
+  std::size_t points = 1;
+  for (const auto& [name, values] : params.as_object().members()) {
+    exec::ParamAxis axis;
+    axis.name = name;
+    for (const util::Json& value : values.as_array())
+      axis.values.push_back(value.as_number());
+    util::require(!axis.values.empty(),
+                  "axis '" + name + "' must list at least one value");
+    points *= axis.values.size();
+    util::require(points <= options_.max_sweep_points,
+                  "grid exceeds " + std::to_string(options_.max_sweep_points) +
+                      " points");
+    axes.push_back(std::move(axis));
+  }
+
+  const std::vector<exec::Scenario> scenarios =
+      exec::expand_grid(system, base, axes);
+  const std::vector<exec::ScenarioResult> results =
+      runner_.run_models(scenarios);
+
+  std::string format = body.as_object().contains("format")
+                           ? body.at("format").as_string()
+                           : "json";
+  for (const auto& [key, value] : util::parse_query(request.query()))
+    if (key == "format") format = value;
+  util::require(format == "json" || format == "ndjson",
+                "format must be 'json' or 'ndjson'");
+
+  util::HttpResponse response;
+  if (format == "ndjson") {
+    response.content_type = "application/x-ndjson";
+    for (const exec::ScenarioResult& result : results)
+      response.body += exec::scenario_result_line(result) + "\n";
+    return response;
+  }
+  util::JsonObject out;
+  out.set("workflow", util::Json(base.name));
+  out.set("system", util::Json(system.name));
+  util::JsonArray rows;
+  for (const exec::ScenarioResult& result : results)
+    rows.push_back(util::Json::parse(exec::scenario_result_line(result)));
+  out.set("points", util::Json(std::move(rows)));
+  response.body = util::Json(std::move(out)).dump() + "\n";
+  return response;
+}
+
+util::HttpResponse App::handle_svg(const util::HttpRequest& request) {
+  plot::RooflinePlotOptions plot_options;
+  exec::Scenario scenario;
+
+  if (request.method == "POST") {
+    const util::Json body = util::Json::parse(request.body);
+    scenario = parse_scenario(body);
+    plot_options.width = body.number_or("width", plot_options.width);
+    plot_options.height = body.number_or("height", plot_options.height);
+    plot_options.title = body.string_or("title", "");
+  } else {
+    // GET: the characterization arrives as query parameters over a preset
+    // system, e.g. /v1/svg?system=perlmutter-gpu&total_tasks=600&...
+    util::JsonObject workflow;
+    util::Json system;
+    for (const auto& [key, value] : util::parse_query(request.query())) {
+      if (key == "system") {
+        system = util::Json(value);
+      } else if (key == "name") {
+        workflow.set(key, util::Json(value));
+      } else if (key == "width" || key == "height") {
+        (key == "width" ? plot_options.width : plot_options.height) =
+            util::parse_double_flag(key, value);
+      } else if (key == "title") {
+        plot_options.title = value;
+      } else {
+        workflow.set(key, util::Json(util::parse_double_flag(key, value)));
+      }
+    }
+    util::require(system.is_string(),
+                  "GET /v1/svg requires a system=<preset> query parameter");
+    util::JsonObject body;
+    body.set("system", system);
+    body.set("workflow", util::Json(std::move(workflow)));
+    scenario = parse_scenario(util::Json(std::move(body)));
+  }
+
+  const exec::ScenarioResult result = runner_.run_models({scenario}).front();
+  core::RooflineModel model = *result.model;
+  if (scenario.workflow.has_measurement()) model.add_measured_dot();
+
+  util::HttpResponse response;
+  response.content_type = "image/svg+xml";
+  response.body = plot::render_roofline(model, plot_options);
+  return response;
+}
+
+util::HttpResponse App::handle_healthz(const util::HttpRequest&) {
+  util::HttpResponse response;
+  response.content_type = "text/plain";
+  response.body = "ok\n";
+  return response;
+}
+
+util::HttpResponse App::handle_metrics(const util::HttpRequest&) {
+  std::string text;
+  {
+    std::unique_lock<std::mutex> lock(metrics_mutex_);
+    if (server_ != nullptr) {
+      const Server::Stats& stats = server_->stats();
+      registry_.gauge("serve.connections.accepted")
+          .set(static_cast<double>(stats.accepted.load()));
+      registry_.gauge("serve.connections.shed")
+          .set(static_cast<double>(stats.shed.load()));
+      registry_.gauge("serve.requests.served")
+          .set(static_cast<double>(stats.requests.load()));
+    }
+    text = registry_.prometheus_text();
+  }
+  // The sweep runner keeps its own lifetime totals; export through a
+  // scratch registry so repeated scrapes never double-count.
+  obs::MetricsRegistry sweep_registry;
+  runner_.export_metrics(sweep_registry);
+  text += sweep_registry.prometheus_text();
+
+  util::HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = std::move(text);
+  return response;
+}
+
+}  // namespace wfr::serve

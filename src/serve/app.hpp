@@ -1,0 +1,81 @@
+#pragma once
+// The wfr service application: HTTP handlers that put the Workflow
+// Roofline model behind queryable endpoints (docs/SERVER.md).
+//
+// Endpoints (registered by bind()):
+//   POST /v1/roofline  system + workflow characterization JSON in;
+//                      ceilings, parallelism wall, binding-ceiling
+//                      classification, and the measured operating point
+//                      out.
+//   POST /v1/sweep     parameter grid in; one evaluated point per grid
+//                      cell out, as JSON rows or NDJSON
+//                      (?format=ndjson or "format" in the body).  All
+//                      requests share one SweepRunner, so repeated points
+//                      are served from the memo cache across requests.
+//   GET|POST /v1/svg   roofline render (image/svg+xml); GET takes query
+//                      parameters, POST the /v1/roofline body.
+//   GET /healthz       liveness probe ("ok").
+//   GET /metrics       Prometheus text exposition: per-endpoint request
+//                      counters and latency histograms, sweep cache
+//                      totals, and connection counters.
+//
+// Determinism: every /v1 handler is a pure function of the request, so
+// identical request bodies produce byte-identical response bodies at any
+// worker count.  /healthz is constant; /metrics is a live view and is
+// exempt from the byte-identity contract.
+//
+// Handlers map domain errors to statuses: malformed JSON / bad values to
+// 400, unknown presets to 400, oversized grids to 400; anything escaping
+// a handler becomes the Server's deterministic 500.
+
+#include <mutex>
+#include <string>
+
+#include "exec/sweep.hpp"
+#include "obs/registry.hpp"
+#include "serve/server.hpp"
+#include "util/http.hpp"
+
+namespace wfr::serve {
+
+struct AppOptions {
+  /// Worker threads of the shared SweepRunner pool (0 = resolve_jobs()).
+  /// Independent of the server's connection workers, so sweep results
+  /// stay deterministic regardless of how many connections are served.
+  int sweep_jobs = 0;
+  /// Reject grids whose cross product exceeds this many points (400).
+  std::size_t max_sweep_points = 10000;
+};
+
+class App {
+ public:
+  explicit App(AppOptions options = {});
+
+  /// Registers every endpoint on `server` and attaches its connection
+  /// counters to /metrics.
+  void bind(Server& server);
+
+  // Handlers are public so tests can exercise them without sockets.
+  util::HttpResponse handle_roofline(const util::HttpRequest& request);
+  util::HttpResponse handle_sweep(const util::HttpRequest& request);
+  util::HttpResponse handle_svg(const util::HttpRequest& request);
+  util::HttpResponse handle_healthz(const util::HttpRequest& request);
+  util::HttpResponse handle_metrics(const util::HttpRequest& request);
+
+ private:
+  /// Wraps a handler with per-endpoint observation: counts the request,
+  /// times it into serve.latency_seconds.<name>, and maps domain errors
+  /// (ParseError, InvalidArgument, NotFound) to a 400 response.
+  util::HttpResponse observed(
+      const char* name,
+      util::HttpResponse (App::*handler)(const util::HttpRequest&),
+      const util::HttpRequest& request);
+
+  AppOptions options_;
+  exec::SweepRunner runner_;
+  std::mutex metrics_mutex_;
+  obs::MetricsRegistry registry_;
+  const Server* server_ = nullptr;
+};
+
+}  // namespace wfr::serve

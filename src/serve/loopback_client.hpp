@@ -1,0 +1,144 @@
+#pragma once
+// A minimal blocking HTTP/1.1 client for exercising serve::Server over
+// loopback — used by the serve test suites and bench_serve.  Not a
+// general-purpose client: it assumes well-formed responses with
+// Content-Length bodies (exactly what serialize_response emits).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wfr::serve {
+
+/// One parsed response plus the raw bytes it was parsed from (`raw` is
+/// what byte-identity tests compare).
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+  std::string raw;
+};
+
+class LoopbackClient {
+ public:
+  /// Connects to 127.0.0.1:port.  Throws util::Error on failure.
+  explicit LoopbackClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) throw util::Error("client socket failed");
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw util::Error("connect to 127.0.0.1:" + std::to_string(port) +
+                        " failed: " + std::strerror(errno));
+    }
+  }
+
+  ~LoopbackClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  LoopbackClient(const LoopbackClient&) = delete;
+  LoopbackClient& operator=(const LoopbackClient&) = delete;
+
+  /// Sends raw bytes as-is (for malformed-input tests).
+  void send_raw(std::string_view data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw util::Error("send failed: " + std::string(std::strerror(errno)));
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Serializes one request (keep-alive unless `close`).
+  static std::string format_request(const std::string& method,
+                                    const std::string& target,
+                                    const std::string& body = "",
+                                    bool close = false) {
+    std::string out = method + " " + target + " HTTP/1.1\r\n";
+    out += "Host: 127.0.0.1\r\n";
+    if (!body.empty() || method == "POST" || method == "PUT") {
+      out += "Content-Type: application/json\r\n";
+      out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    if (close) out += "Connection: close\r\n";
+    out += "\r\n" + body;
+    return out;
+  }
+
+  /// Sends one request and reads its response (connection stays open).
+  ClientResponse request(const std::string& method, const std::string& target,
+                         const std::string& body = "") {
+    send_raw(format_request(method, target, body));
+    return read_response();
+  }
+
+  /// Reads exactly one response off the connection.  Throws on EOF before
+  /// a complete response.
+  ClientResponse read_response() {
+    // Head first.
+    std::size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos)
+      fill();
+    const std::string head = buffer_.substr(0, header_end);
+
+    ClientResponse response;
+    response.status = std::atoi(head.c_str() + head.find(' ') + 1);
+    std::size_t body_length = 0;
+    const std::size_t cl = head.find("Content-Length:");
+    if (cl != std::string::npos)
+      body_length = static_cast<std::size_t>(
+          std::atoll(head.c_str() + cl + std::strlen("Content-Length:")));
+
+    const std::size_t total = header_end + 4 + body_length;
+    while (buffer_.size() < total) fill();
+    response.raw = buffer_.substr(0, total);
+    response.body = buffer_.substr(header_end + 4, body_length);
+    buffer_.erase(0, total);
+    return response;
+  }
+
+  /// True when the server closed the connection and no buffered bytes
+  /// remain.
+  bool at_eof() {
+    if (!buffer_.empty()) return false;
+    char byte;
+    const ssize_t n = ::recv(fd_, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+    return n == 0;
+  }
+
+ private:
+  void fill() {
+    char chunk[16384];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) return;
+      throw util::Error("read failed: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0)
+      throw util::Error("connection closed before a complete response");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace wfr::serve

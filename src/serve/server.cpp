@@ -1,0 +1,264 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace wfr::serve {
+
+namespace {
+
+/// Self-pipe write end for the installed SIGINT/SIGTERM handlers; -1 when
+/// no server has handlers installed.  One server per process may install.
+std::atomic<int> g_signal_wake_fd{-1};
+
+extern "C" void wfr_serve_signal_handler(int) {
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd < 0) return;
+  const char byte = 's';
+  // A full pipe already guarantees a pending wake-up; ignore the result.
+  [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+}
+
+void close_if_open(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Writes the whole buffer, retrying on partial writes and EINTR.
+/// Returns false when the peer is gone (EPIPE/ECONNRESET).
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), pool_(options_.jobs) {
+  util::require(options_.max_queue >= 1, "max_queue must be >= 1");
+  util::require(options_.port >= 0 && options_.port <= 65535,
+                "port must be in [0, 65535]");
+  util::require(options_.poll_interval_ms >= 1,
+                "poll_interval_ms must be >= 1");
+  pool_.set_queue_limit(static_cast<std::size_t>(options_.max_queue));
+}
+
+Server::~Server() {
+  request_stop();
+  // Drain any connections still queued or in flight before the pool (a
+  // member) joins, so worker tasks never outlive the routes they use.
+  pool_.wait_idle();
+  if (g_signal_wake_fd.load(std::memory_order_relaxed) == wake_pipe_[1] &&
+      wake_pipe_[1] >= 0) {
+    g_signal_wake_fd.store(-1, std::memory_order_relaxed);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+  }
+  close_if_open(listen_fd_);
+  close_if_open(wake_pipe_[0]);
+  close_if_open(wake_pipe_[1]);
+}
+
+void Server::route(const std::string& method, const std::string& path,
+                   Handler handler) {
+  util::require(static_cast<bool>(handler), "route needs a handler");
+  util::require(listen_fd_ < 0, "routes must be registered before start()");
+  const bool inserted =
+      routes_.emplace(std::make_pair(method, path), std::move(handler))
+          .second;
+  util::require(inserted, "duplicate route " + method + " " + path);
+}
+
+int Server::start() {
+  util::require(listen_fd_ < 0, "server already started");
+  if (::pipe(wake_pipe_) != 0)
+    throw util::Error("pipe: " + std::string(std::strerror(errno)));
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0)
+    throw util::Error("socket: " + std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1)
+    throw util::InvalidArgument("bad host address '" + options_.host + "'");
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0)
+    throw util::Error("bind " + options_.host + ":" +
+                      std::to_string(options_.port) + ": " +
+                      std::strerror(errno));
+  if (::listen(listen_fd_, options_.max_queue + pool_.jobs()) != 0)
+    throw util::Error("listen: " + std::string(std::strerror(errno)));
+
+  sockaddr_in bound{};
+  socklen_t length = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &length) != 0)
+    throw util::Error("getsockname: " + std::string(std::strerror(errno)));
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  return port_;
+}
+
+void Server::request_stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::install_signal_handlers() {
+  util::require(wake_pipe_[1] >= 0,
+                "install_signal_handlers requires start() first");
+  int expected = -1;
+  util::require(g_signal_wake_fd.compare_exchange_strong(
+                    expected, wake_pipe_[1], std::memory_order_relaxed),
+                "another Server already installed signal handlers");
+  struct sigaction action{};
+  action.sa_handler = wfr_serve_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: accept's poll must wake
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+void Server::serve_forever() {
+  util::require(listen_fd_ >= 0, "call start() before serve_forever()");
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw util::Error("poll: " + std::string(std::strerror(errno)));
+    }
+    if (fds[1].revents != 0) break;  // request_stop or signal
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      util::log_warn("accept failed: " + std::string(std::strerror(errno)));
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    if (pool_.try_submit([this, fd] { handle_connection(fd); })) {
+      stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Bounded accept queue is full: shed load without occupying a
+      // worker.  The body is canned so shedding stays allocation-light.
+      stats_.shed.fetch_add(1, std::memory_order_relaxed);
+      util::HttpResponse overloaded =
+          util::http_error(503, "server is saturated; retry later");
+      overloaded.close = true;
+      send_all(fd, util::serialize_response(overloaded));
+      ::close(fd);
+    }
+  }
+
+  // Drain: stop accepting, then let every handed-off connection finish.
+  stop_.store(true, std::memory_order_release);
+  close_if_open(listen_fd_);
+  pool_.wait_idle();
+}
+
+util::HttpResponse Server::dispatch(const util::HttpRequest& request) const {
+  const auto it = routes_.find(std::make_pair(request.method, request.path()));
+  if (it != routes_.end()) {
+    try {
+      return it->second(request);
+    } catch (const std::exception& e) {
+      // Handlers map their own domain errors to 4xx; anything escaping is
+      // a server-side failure.  The message is a deterministic function
+      // of the request, preserving byte-identical responses.
+      return util::http_error(500, e.what());
+    }
+  }
+  for (const auto& [key, handler] : routes_) {
+    if (key.second == request.path())
+      return util::http_error(405, "method " + request.method +
+                                       " not allowed for " + request.path());
+  }
+  return util::http_error(404, "no route for " + request.path());
+}
+
+void Server::handle_connection(int fd) {
+  util::HttpLimits limits;
+  limits.max_body_bytes = options_.max_body_bytes;
+  util::HttpParser parser(limits);
+  char buffer[16384];
+
+  for (;;) {
+    // Serve everything already parseable (pipelined requests drain
+    // back-to-back without touching the socket).
+    bool close_connection = false;
+    for (;;) {
+      util::HttpRequest request;
+      const util::HttpParser::Status status = parser.next(&request);
+      if (status == util::HttpParser::Status::kNeedMore) break;
+      if (status == util::HttpParser::Status::kError) {
+        util::HttpResponse error = util::http_error(parser.error_status(),
+                                                    parser.error_message());
+        error.close = true;
+        send_all(fd, util::serialize_response(error));
+        close_connection = true;
+        break;
+      }
+      util::HttpResponse response = dispatch(request);
+      response.close = response.close || !request.keep_alive();
+      const bool sent = send_all(fd, util::serialize_response(response));
+      stats_.requests.fetch_add(1, std::memory_order_relaxed);
+      if (!sent || response.close) {
+        close_connection = true;
+        break;
+      }
+    }
+    if (close_connection) break;
+
+    // Need more bytes.  Poll in ticks so a stop request can close idle
+    // keep-alive connections; a partially received request gets one more
+    // tick to finish arriving before the drain closes it.
+    pollfd fds{fd, POLLIN, 0};
+    const int ready = ::poll(&fds, 1, options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n <= 0) break;  // EOF or error: client is done
+    parser.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+  }
+  ::close(fd);
+}
+
+}  // namespace wfr::serve

@@ -1,0 +1,120 @@
+#pragma once
+// A blocking-socket HTTP/1.1 server built on util::http and the
+// exec::ThreadPool worker pool — the serving surface behind `wfr serve`
+// (docs/SERVER.md).
+//
+// Threading model:
+//   * The caller of serve_forever() is the accept thread.  Each accepted
+//     connection becomes one pool task that owns the socket for the
+//     connection's whole keep-alive lifetime (request parsing, handler
+//     dispatch, response writes all happen on that worker).
+//   * The pool's pending queue is bounded by max_queue; when it is full
+//     the accept thread sheds load by writing a canned 503 (Connection:
+//     close) and dropping the socket without occupying a worker.
+//
+// Graceful shutdown (request_stop() or SIGINT/SIGTERM via
+// install_signal_handlers): the accept loop wakes through a self-pipe,
+// stops accepting, and closes the listen socket; workers finish every
+// request already received (queued connections included), give partially
+// received requests one poll tick to complete, then close.  serve_forever
+// returns only after all workers are idle — the drain contract the
+// serve-smoke CI job asserts.
+//
+// Determinism: handlers are pure functions of the request, and responses
+// carry no clocks or identifiers, so a given request body produces
+// byte-identical response bytes at any worker count (verified by
+// tests/serve and the bench_serve byte-identity check).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "exec/thread_pool.hpp"
+#include "util/http.hpp"
+
+namespace wfr::serve {
+
+struct ServerOptions {
+  /// Bind address.  The default stays loopback-only; expose deliberately.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral port (see port()).
+  int port = 8080;
+  /// Worker threads; 0 = exec::resolve_jobs() (WFR_JOBS, then hardware).
+  int jobs = 0;
+  /// Connections allowed to wait for a worker before the accept thread
+  /// sheds with 503.  Must be >= 1.
+  int max_queue = 64;
+  /// Request body limit (413 beyond it).
+  std::size_t max_body_bytes = 4 * 1024 * 1024;
+  /// Poll tick for worker reads and the accept loop: the upper bound on
+  /// how long shutdown waits for an idle keep-alive connection.
+  int poll_interval_ms = 250;
+};
+
+/// A request handler: pure function of the request.
+using Handler = std::function<util::HttpResponse(const util::HttpRequest&)>;
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers a handler for an exact (method, path) pair.  A request
+  /// whose path matches but method does not gets 405; an unknown path
+  /// gets 404.  Must be called before start().
+  void route(const std::string& method, const std::string& path,
+             Handler handler);
+
+  /// Binds and listens; returns the bound port (resolves port 0).
+  /// Throws util::Error on bind/listen failure.
+  int start();
+
+  /// Runs the accept loop until request_stop(), then drains in-flight
+  /// connections and returns.  Call start() first.
+  void serve_forever();
+
+  /// Signals the accept loop to stop (safe from any thread and from
+  /// signal handlers via the installed handlers).
+  void request_stop();
+
+  /// Routes SIGINT and SIGTERM to request_stop() of this server (one
+  /// server per process; throws if another Server already installed
+  /// handlers).
+  void install_signal_handlers();
+
+  /// The bound port; valid after start().
+  int port() const { return port_; }
+  int jobs() const { return pool_.jobs(); }
+
+  /// Lifetime totals, readable while serving.
+  struct Stats {
+    std::atomic<std::uint64_t> accepted{0};  // connections handed to workers
+    std::atomic<std::uint64_t> shed{0};      // connections answered 503
+    std::atomic<std::uint64_t> requests{0};  // requests fully served
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// True once request_stop() was called (handlers may consult it).
+  bool stopping() const { return stop_.load(std::memory_order_acquire); }
+
+ private:
+  void handle_connection(int fd);
+  util::HttpResponse dispatch(const util::HttpRequest& request) const;
+
+  ServerOptions options_;
+  exec::ThreadPool pool_;
+  std::map<std::pair<std::string, std::string>, Handler> routes_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  Stats stats_;
+};
+
+}  // namespace wfr::serve

@@ -1,0 +1,250 @@
+#include "util/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::util {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string percent_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%') {
+      if (i + 2 >= text.size()) throw ParseError("truncated %-escape in query");
+      const int hi = hex_digit(text[i + 1]);
+      const int lo = hex_digit(text[i + 2]);
+      if (hi < 0 || lo < 0)
+        throw ParseError("malformed %-escape in query: '" +
+                         std::string(text.substr(i, 3)) + "'");
+      out += static_cast<char>(hi * 16 + lo);
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers)
+    if (iequals(key, name)) return &value;
+  return nullptr;
+}
+
+std::string HttpRequest::path() const {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::string HttpRequest::query() const {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? std::string() : target.substr(q + 1);
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string* connection = header("Connection");
+  if (version == "HTTP/1.0")
+    return connection != nullptr && iequals(*connection, "keep-alive");
+  return connection == nullptr || !iequals(*connection, "close");
+}
+
+std::vector<std::pair<std::string, std::string>> parse_query(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> params;
+  if (query.empty()) return params;
+  for (const std::string& field : split(query, '&')) {
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      params.emplace_back(percent_decode(field), "");
+    } else {
+      params.emplace_back(percent_decode(field.substr(0, eq)),
+                          percent_decode(field.substr(eq + 1)));
+    }
+  }
+  return params;
+}
+
+const char* http_reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize_response(const HttpResponse& response) {
+  std::string out;
+  out.reserve(96 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += http_reason_phrase(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\n";
+  if (response.close) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpResponse http_error(int status, std::string_view message) {
+  HttpResponse response;
+  response.status = status;
+  // Reuse the JSON string escaper by serializing through Json would pull
+  // a dependency cycle; the error text here is plain ASCII from this
+  // library, so escape just quotes and backslashes.
+  std::string escaped;
+  escaped.reserve(message.size());
+  for (const char c : message) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    if (c == '\n') {
+      escaped += "\\n";
+      continue;
+    }
+    escaped += c;
+  }
+  response.body = "{\"error\":\"" + escaped + "\"}\n";
+  return response;
+}
+
+HttpParser::HttpParser(HttpLimits limits) : limits_(limits) {}
+
+void HttpParser::feed(std::string_view data) {
+  buffer_.append(data.data(), data.size());
+}
+
+HttpParser::Status HttpParser::fail(int status, std::string message) {
+  error_status_ = status;
+  error_message_ = std::move(message);
+  return Status::kError;
+}
+
+HttpParser::Status HttpParser::next(HttpRequest* out) {
+  if (error_status_ != 0) return Status::kError;
+
+  const std::size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (buffer_.size() > limits_.max_header_bytes)
+      return fail(431, "request headers exceed " +
+                           std::to_string(limits_.max_header_bytes) +
+                           " bytes");
+    return Status::kNeedMore;
+  }
+  if (header_end > limits_.max_header_bytes)
+    return fail(431, "request headers exceed " +
+                         std::to_string(limits_.max_header_bytes) + " bytes");
+
+  HttpRequest request;
+  const std::string_view head(buffer_.data(), header_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line = head.substr(0, line_end);
+
+  // Request line: METHOD SP request-target SP HTTP-version.
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 || sp2 + 1 >= request_line.size() ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos)
+    return fail(400, "malformed request line '" + std::string(request_line) +
+                         "'");
+  request.method = std::string(request_line.substr(0, sp1));
+  request.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.version = std::string(request_line.substr(sp2 + 1));
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0")
+    return fail(505, "unsupported version '" + request.version + "'");
+  if (request.target.empty() || request.target.front() != '/')
+    return fail(400, "request target must be absolute: '" + request.target +
+                         "'");
+
+  // Header fields.
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t end = head.find("\r\n", pos);
+    if (end == std::string_view::npos) end = head.size();
+    const std::string_view line = head.substr(pos, end - pos);
+    pos = end + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0)
+      return fail(400, "malformed header field '" + std::string(line) + "'");
+    std::string name(trim(line.substr(0, colon)));
+    if (name.size() != colon)  // whitespace before ':' is invalid framing
+      return fail(400, "malformed header field '" + std::string(line) + "'");
+    request.headers.emplace_back(std::move(name),
+                                 trim(line.substr(colon + 1)));
+  }
+
+  if (request.header("Transfer-Encoding") != nullptr)
+    return fail(501, "Transfer-Encoding is not supported");
+
+  // Body: Content-Length only.
+  std::size_t body_length = 0;
+  if (const std::string* length = request.header("Content-Length")) {
+    char* end = nullptr;
+    const std::string text = trim(*length);
+    const unsigned long long parsed =
+        std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || text.front() == '-' || end == nullptr || *end != '\0')
+      return fail(400, "malformed Content-Length '" + *length + "'");
+    if (parsed > limits_.max_body_bytes)
+      return fail(413, "request body of " + text + " bytes exceeds " +
+                           std::to_string(limits_.max_body_bytes) + " bytes");
+    body_length = static_cast<std::size_t>(parsed);
+  } else if (request.method == "POST" || request.method == "PUT") {
+    return fail(411, request.method + " requires Content-Length");
+  }
+
+  const std::size_t total = header_end + 4 + body_length;
+  if (buffer_.size() < total) return Status::kNeedMore;
+
+  request.body = buffer_.substr(header_end + 4, body_length);
+  buffer_.erase(0, total);
+  *out = std::move(request);
+  return Status::kComplete;
+}
+
+}  // namespace wfr::util

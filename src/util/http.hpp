@@ -1,0 +1,123 @@
+#pragma once
+// Minimal HTTP/1.1 message handling for `wfr serve` (docs/SERVER.md): an
+// incremental request parser and a deterministic response serializer.
+//
+// Scope: exactly what a loopback JSON service needs — request-line +
+// headers + Content-Length bodies, keep-alive and pipelining, and hard
+// limits that map to 4xx statuses.  No chunked transfer encoding (501),
+// no multipart, no TLS.
+//
+// Determinism: serialize_response emits a fixed header set in a fixed
+// order and never stamps clocks (no Date header), so a given
+// HttpResponse always serializes to the same bytes — the property behind
+// the serve layer's byte-identical-responses contract.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wfr::util {
+
+/// One parsed request.  Header names keep their wire spelling; lookup is
+/// case-insensitive per RFC 9110.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (uppercase on the wire)
+  std::string target;   // request-target as sent, e.g. "/v1/svg?system=x"
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent (first match
+  /// wins on duplicates).
+  const std::string* header(std::string_view name) const;
+
+  /// Request-target before '?'.
+  std::string path() const;
+  /// Request-target after '?' ("" when no query).
+  std::string query() const;
+
+  /// True when the connection should stay open after the response:
+  /// HTTP/1.1 unless "Connection: close"; HTTP/1.0 only with
+  /// "Connection: keep-alive".
+  bool keep_alive() const;
+};
+
+/// Splits a query string ("a=1&b=x%20y") into decoded (name, value) pairs
+/// in wire order.  '+' decodes to a space; malformed %-escapes throw
+/// ParseError.  Fields without '=' get an empty value.
+std::vector<std::pair<std::string, std::string>> parse_query(
+    std::string_view query);
+
+/// What a handler returns; the server serializes it.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Adds "Connection: close" and makes the server close afterwards.
+  bool close = false;
+};
+
+/// Canonical reason phrase ("OK", "Not Found", ...); "Unknown" for
+/// unlisted codes.
+const char* http_reason_phrase(int status);
+
+/// Serializes deterministically:
+///   HTTP/1.1 <status> <reason>\r\n
+///   Content-Type: <type>\r\n
+///   Content-Length: <n>\r\n
+///   [Connection: close\r\n]
+///   \r\n<body>
+std::string serialize_response(const HttpResponse& response);
+
+/// Builds the standard JSON error payload ({"error":"<message>"}) with
+/// Connection kept open (the request was well-framed, only bad content).
+HttpResponse http_error(int status, std::string_view message);
+
+/// Parser limits; exceeding one turns into the mapped error status.
+struct HttpLimits {
+  std::size_t max_header_bytes = 16 * 1024;        // 431 when exceeded
+  std::size_t max_body_bytes = 4 * 1024 * 1024;    // 413 when exceeded
+};
+
+/// Incremental parser for the request stream of one connection.  feed()
+/// appends raw bytes; next() extracts complete requests one at a time
+/// (pipelined requests queue up in the buffer and come out in order).
+///
+/// After kError the connection is unrecoverable (framing is lost): send
+/// error_status() with Connection: close and drop the socket.
+class HttpParser {
+ public:
+  explicit HttpParser(HttpLimits limits = {});
+
+  enum class Status { kNeedMore, kComplete, kError };
+
+  /// Appends bytes received from the socket.
+  void feed(std::string_view data);
+
+  /// Extracts the next complete request into *out.  kNeedMore when the
+  /// buffer holds only a partial request; kComplete consumes exactly that
+  /// request's bytes (call again for pipelined successors).
+  Status next(HttpRequest* out);
+
+  /// Valid after kError: the response status that describes the failure
+  /// (400 bad framing, 411 missing length, 413 body too large, 431
+  /// headers too large, 501 unsupported transfer-encoding, 505 version).
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// True when no unconsumed bytes are buffered (the connection is
+  /// between requests — safe to close on graceful shutdown).
+  bool buffer_empty() const { return buffer_.empty(); }
+
+ private:
+  Status fail(int status, std::string message);
+
+  HttpLimits limits_;
+  std::string buffer_;
+  int error_status_ = 0;
+  std::string error_message_;
+};
+
+}  // namespace wfr::util

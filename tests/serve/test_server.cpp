@@ -1,0 +1,389 @@
+// Socket-level coverage of serve::Server + serve::App over loopback:
+// routing and error statuses, keep-alive pipelining, load shedding,
+// graceful drain, /metrics, and the byte-identity contract across worker
+// counts (docs/SERVER.md).
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/app.hpp"
+#include "serve/loopback_client.hpp"
+#include "serve/server.hpp"
+
+namespace wfr::serve {
+namespace {
+
+/// An App-backed server on an ephemeral port with serve_forever running on
+/// its own thread; stops and drains on destruction.
+class AppServer {
+ public:
+  explicit AppServer(ServerOptions options = ephemeral()) {
+    options.port = 0;
+    server_ = std::make_unique<Server>(options);
+    app_.bind(*server_);
+    port_ = server_->start();
+    thread_ = std::thread([this] { server_->serve_forever(); });
+  }
+
+  ~AppServer() {
+    server_->request_stop();
+    thread_.join();
+  }
+
+  static ServerOptions ephemeral() {
+    ServerOptions options;
+    options.port = 0;
+    options.jobs = 2;
+    return options;
+  }
+
+  int port() const { return port_; }
+  Server& server() { return *server_; }
+
+ private:
+  App app_;  // must outlive server_: handlers reference it during drain
+  std::unique_ptr<Server> server_;
+  int port_ = 0;
+  std::thread thread_;
+};
+
+const char* kRooflineBody = R"({
+  "system": "perlmutter-gpu",
+  "workflow": {
+    "name": "unit",
+    "total_tasks": 600,
+    "parallel_tasks": 120,
+    "flops_per_node": 1.0e15,
+    "fs_bytes_per_task": 2.0e11,
+    "makespan_seconds": 1800
+  }
+})";
+
+const char* kSweepBody = R"({
+  "system": "perlmutter-gpu",
+  "workflow": {"name": "unit", "total_tasks": 600, "parallel_tasks": 120,
+               "flops_per_node": 1.0e15, "fs_bytes_per_task": 2.0e11},
+  "params": {"nodes_per_task": [1, 2], "efficiency": [1, 0.8]},
+  "format": "ndjson"
+})";
+
+TEST(ServeTest, HealthzServesOk) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const ClientResponse response = client.request("GET", "/healthz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "ok\n");
+}
+
+TEST(ServeTest, UnknownRouteIs404) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const ClientResponse response = client.request("GET", "/nope");
+  EXPECT_EQ(response.status, 404);
+  EXPECT_NE(response.body.find("no route for /nope"), std::string::npos);
+}
+
+TEST(ServeTest, WrongMethodIs405) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const ClientResponse response =
+      client.request("GET", "/v1/roofline");
+  EXPECT_EQ(response.status, 405);
+}
+
+TEST(ServeTest, MalformedJsonBodyIs400) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const ClientResponse response =
+      client.request("POST", "/v1/roofline", "{not json");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("error"), std::string::npos);
+}
+
+TEST(ServeTest, UnknownSystemPresetIs400) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const ClientResponse response = client.request(
+      "POST", "/v1/roofline",
+      R"({"system": "cray-1", "workflow": {"total_tasks": 1, "parallel_tasks": 1}})");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("unknown system preset"), std::string::npos);
+}
+
+TEST(ServeTest, OversizedBodyIs413AndCloses) {
+  ServerOptions options = AppServer::ephemeral();
+  options.max_body_bytes = 128;
+  AppServer server(options);
+  LoopbackClient client(server.port());
+  const std::string big(4096, 'x');
+  const ClientResponse response =
+      client.request("POST", "/v1/roofline", big);
+  EXPECT_EQ(response.status, 413);
+  // Framing errors are unrecoverable; the server closes the connection.
+  EXPECT_THROW(client.request("GET", "/healthz"), util::Error);
+}
+
+TEST(ServeTest, RooflineReportsBindingAndMeasurement) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const ClientResponse response =
+      client.request("POST", "/v1/roofline", kRooflineBody);
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"parallelism_wall\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"binding\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"ceilings\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"bound_class\""), std::string::npos);
+}
+
+TEST(ServeTest, SweepReturnsOnePointPerGridCell) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const ClientResponse response =
+      client.request("POST", "/v1/sweep", kSweepBody);
+  ASSERT_EQ(response.status, 200);
+  // 2 x 2 grid, NDJSON: one line per point.
+  std::size_t lines = 0;
+  for (const char c : response.body) lines += c == '\n';
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(ServeTest, PipelinedKeepAliveRequestsAnswerInOrder) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  client.send_raw(
+      LoopbackClient::format_request("GET", "/healthz") +
+      LoopbackClient::format_request("POST", "/v1/roofline", kRooflineBody) +
+      LoopbackClient::format_request("GET", "/healthz"));
+  const ClientResponse first = client.read_response();
+  const ClientResponse second = client.read_response();
+  const ClientResponse third = client.read_response();
+  EXPECT_EQ(first.body, "ok\n");
+  EXPECT_EQ(second.status, 200);
+  EXPECT_NE(second.body.find("\"parallelism_wall\""), std::string::npos);
+  EXPECT_EQ(third.body, "ok\n");
+}
+
+TEST(ServeTest, ConnectionCloseIsHonored) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  client.send_raw(LoopbackClient::format_request("GET", "/healthz", "",
+                                                 /*close=*/true));
+  const ClientResponse response = client.read_response();
+  EXPECT_EQ(response.status, 200);
+  // Wait for EOF (the worker closes after writing the response).
+  for (int i = 0; i < 200 && !client.at_eof(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST(ServeTest, ResponsesAreByteIdenticalAcrossWorkerCounts) {
+  // The determinism contract: identical request bodies produce identical
+  // response bytes at any worker count, even under concurrent clients.
+  std::set<std::string> roofline_bytes;
+  std::set<std::string> sweep_bytes;
+  std::mutex collect_mutex;
+
+  for (const int jobs : {1, 2, 8}) {
+    ServerOptions options = AppServer::ephemeral();
+    options.jobs = jobs;
+    AppServer server(options);
+
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+      clients.emplace_back([&server, &roofline_bytes, &sweep_bytes,
+                            &collect_mutex] {
+        LoopbackClient client(server.port());
+        for (int i = 0; i < 3; ++i) {
+          const ClientResponse roofline =
+              client.request("POST", "/v1/roofline", kRooflineBody);
+          const ClientResponse sweep =
+              client.request("POST", "/v1/sweep", kSweepBody);
+          std::unique_lock<std::mutex> lock(collect_mutex);
+          roofline_bytes.insert(roofline.raw);
+          sweep_bytes.insert(sweep.raw);
+        }
+      });
+    }
+    for (std::thread& thread : clients) thread.join();
+  }
+
+  // 3 server configurations x 4 clients x 3 iterations each, one unique
+  // byte sequence per endpoint.
+  EXPECT_EQ(roofline_bytes.size(), 1u);
+  EXPECT_EQ(sweep_bytes.size(), 1u);
+}
+
+/// A gate a blocking handler waits on, so tests control exactly when the
+/// single worker becomes free.
+class Gate {
+ public:
+  void open() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void wait_open() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  void mark_entered() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++entered_;
+    cv_.notify_all();
+  }
+  void wait_entered(int count) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this, count] { return entered_ >= count; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  int entered_ = 0;
+};
+
+TEST(ServeTest, ShedsWith503WhenAcceptQueueIsFull) {
+  Gate gate;
+  ServerOptions options;
+  options.port = 0;
+  options.jobs = 1;
+  options.max_queue = 1;
+  Server server(options);
+  server.route("GET", "/block", [&gate](const util::HttpRequest&) {
+    gate.mark_entered();
+    gate.wait_open();
+    util::HttpResponse response;
+    response.body = "done\n";
+    return response;
+  });
+  const int port = server.start();
+  std::thread serve_thread([&server] { server.serve_forever(); });
+
+  // Occupy the only worker; wait until its handler is running so the
+  // pending queue is observably empty.  Connection: close lets the worker
+  // move on to the queued connection once released.
+  LoopbackClient busy(port);
+  busy.send_raw(
+      LoopbackClient::format_request("GET", "/block", "", /*close=*/true));
+  gate.wait_entered(1);
+
+  // Fills the one queue slot (connections are queued on accept, before
+  // any request bytes are read).
+  LoopbackClient queued(port);
+  queued.send_raw(
+      LoopbackClient::format_request("GET", "/block", "", /*close=*/true));
+  // Wait until the accept thread has handed it to the pool.
+  for (int i = 0; i < 500 && server.stats().accepted.load() < 2; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(server.stats().accepted.load(), 2u);
+
+  // Third connection: queue full, shed with a canned 503.
+  LoopbackClient shed(port);
+  shed.send_raw(LoopbackClient::format_request("GET", "/block"));
+  const ClientResponse rejected = shed.read_response();
+  EXPECT_EQ(rejected.status, 503);
+  EXPECT_NE(rejected.raw.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(server.stats().shed.load(), 1u);
+
+  // Releasing the gate lets both accepted connections finish normally.
+  gate.open();
+  EXPECT_EQ(busy.read_response().body, "done\n");
+  EXPECT_EQ(queued.read_response().body, "done\n");
+
+  server.request_stop();
+  serve_thread.join();
+}
+
+TEST(ServeTest, GracefulStopDrainsInFlightRequests) {
+  Gate gate;
+  ServerOptions options;
+  options.port = 0;
+  options.jobs = 1;
+  options.poll_interval_ms = 20;
+  Server server(options);
+  server.route("GET", "/block", [&gate](const util::HttpRequest&) {
+    gate.mark_entered();
+    gate.wait_open();
+    util::HttpResponse response;
+    response.body = "drained\n";
+    return response;
+  });
+  const int port = server.start();
+  std::thread serve_thread([&server] { server.serve_forever(); });
+
+  LoopbackClient client(port);
+  client.send_raw(LoopbackClient::format_request("GET", "/block"));
+  gate.wait_entered(1);
+
+  // Stop while the request is in flight: the response must still arrive,
+  // and serve_forever must not return before the worker finished it.
+  server.request_stop();
+  gate.open();
+  const ClientResponse response = client.read_response();
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "drained\n");
+  serve_thread.join();
+  EXPECT_EQ(server.stats().requests.load(), 1u);
+}
+
+TEST(ServeTest, MetricsExposeRequestCountersAndLatencies) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  client.request("GET", "/healthz");
+  client.request("GET", "/healthz");
+  client.request("POST", "/v1/roofline", kRooflineBody);
+  client.request("POST", "/v1/sweep", kSweepBody);
+  client.request("POST", "/v1/sweep", kSweepBody);  // memo-cache replay
+
+  const ClientResponse metrics = client.request("GET", "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  const std::string& text = metrics.body;
+  EXPECT_NE(text.find("serve_requests_healthz 2\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_requests_roofline 1\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_requests_sweep 2\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_responses_2xx 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_latency_seconds_roofline histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_seconds_roofline_count 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_connections_accepted"), std::string::npos);
+  // Sweep runner lifetime totals ride along (exact counts asserted in
+  // SweepMemoCacheIsSharedAcrossRequests).
+  EXPECT_NE(text.find("sweep_cache_hits "), std::string::npos);
+}
+
+TEST(ServeTest, SweepMemoCacheIsSharedAcrossRequests) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  ASSERT_EQ(client.request("POST", "/v1/sweep", kSweepBody).status, 200);
+  ASSERT_EQ(client.request("POST", "/v1/sweep", kSweepBody).status, 200);
+  const std::string text = client.request("GET", "/metrics").body;
+  // First request: 4 misses; second request: 4 hits from the shared cache.
+  EXPECT_NE(text.find("sweep_cache_hits 4\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("sweep_cache_misses 4\n"), std::string::npos) << text;
+}
+
+TEST(ServeTest, SvgEndpointRendersFromQueryParameters) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const ClientResponse response = client.request(
+      "GET",
+      "/v1/svg?system=perlmutter-gpu&total_tasks=600&parallel_tasks=120"
+      "&flops_per_node=1e15&title=unit%20svg");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.raw.find("Content-Type: image/svg+xml"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("<svg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfr::serve

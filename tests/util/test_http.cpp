@@ -1,0 +1,240 @@
+// HTTP-layer unit coverage (util/http.hpp): framing, limits, pipelining,
+// and the deterministic response serializer the serve layer's
+// byte-identity contract rests on.
+
+#include "util/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wfr::util {
+namespace {
+
+HttpParser::Status parse_one(std::string_view wire, HttpRequest* out,
+                             HttpParser* parser) {
+  parser->feed(wire);
+  return parser->next(out);
+}
+
+TEST(HttpParserTest, ParsesASimpleGet) {
+  HttpParser parser;
+  HttpRequest request;
+  ASSERT_EQ(parse_one("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n", &request,
+                      &parser),
+            HttpParser::Status::kComplete);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_EQ(request.path(), "/healthz");
+  EXPECT_EQ(request.query(), "");
+  EXPECT_TRUE(request.body.empty());
+  EXPECT_TRUE(request.keep_alive());
+  EXPECT_TRUE(parser.buffer_empty());
+}
+
+TEST(HttpParserTest, ParsesPostBodyByContentLength) {
+  HttpParser parser;
+  HttpRequest request;
+  ASSERT_EQ(parse_one("POST /v1/roofline HTTP/1.1\r\n"
+                      "Content-Length: 11\r\n\r\n"
+                      "{\"a\": true}",
+                      &request, &parser),
+            HttpParser::Status::kComplete);
+  EXPECT_EQ(request.body, "{\"a\": true}");
+}
+
+TEST(HttpParserTest, HeaderLookupIsCaseInsensitive) {
+  HttpParser parser;
+  HttpRequest request;
+  ASSERT_EQ(parse_one("GET / HTTP/1.1\r\ncOnTeNt-TyPe: text/x\r\n\r\n",
+                      &request, &parser),
+            HttpParser::Status::kComplete);
+  ASSERT_NE(request.header("Content-Type"), nullptr);
+  EXPECT_EQ(*request.header("content-type"), "text/x");
+  EXPECT_EQ(request.header("X-Missing"), nullptr);
+}
+
+TEST(HttpParserTest, FeedsIncrementallyByteByByte) {
+  const std::string wire =
+      "POST /p HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+  HttpParser parser;
+  HttpRequest request;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    parser.feed(std::string_view(&wire[i], 1));
+    ASSERT_EQ(parser.next(&request), HttpParser::Status::kNeedMore)
+        << "completed early at byte " << i;
+  }
+  parser.feed(std::string_view(&wire.back(), 1));
+  ASSERT_EQ(parser.next(&request), HttpParser::Status::kComplete);
+  EXPECT_EQ(request.body, "hello");
+}
+
+TEST(HttpParserTest, ExtractsPipelinedRequestsInOrder) {
+  HttpParser parser;
+  parser.feed(
+      "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\none"
+      "POST /b HTTP/1.1\r\nContent-Length: 3\r\n\r\ntwo"
+      "GET /c HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next(&request), HttpParser::Status::kComplete);
+  EXPECT_EQ(request.target, "/a");
+  EXPECT_EQ(request.body, "one");
+  ASSERT_EQ(parser.next(&request), HttpParser::Status::kComplete);
+  EXPECT_EQ(request.target, "/b");
+  EXPECT_EQ(request.body, "two");
+  ASSERT_EQ(parser.next(&request), HttpParser::Status::kComplete);
+  EXPECT_EQ(request.target, "/c");
+  EXPECT_TRUE(parser.buffer_empty());
+  EXPECT_EQ(parser.next(&request), HttpParser::Status::kNeedMore);
+}
+
+TEST(HttpParserTest, TruncatedBodyStaysNeedMore) {
+  HttpParser parser;
+  HttpRequest request;
+  parser.feed("POST /p HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly-some");
+  EXPECT_EQ(parser.next(&request), HttpParser::Status::kNeedMore);
+  EXPECT_FALSE(parser.buffer_empty());
+}
+
+TEST(HttpParserTest, RejectsOversizedDeclaredBodyWith413) {
+  HttpLimits limits;
+  limits.max_body_bytes = 16;
+  HttpParser parser(limits);
+  HttpRequest request;
+  ASSERT_EQ(parse_one("POST /p HTTP/1.1\r\nContent-Length: 17\r\n\r\n",
+                      &request, &parser),
+            HttpParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, RejectsOversizedHeadersWith431) {
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  HttpParser parser(limits);
+  HttpRequest request;
+  parser.feed("GET / HTTP/1.1\r\nX-Pad: " + std::string(128, 'x'));
+  EXPECT_EQ(parser.next(&request), HttpParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, RejectsMalformedRequestLineWith400) {
+  for (const char* wire :
+       {"GARBAGE\r\n\r\n", "GET /\r\n\r\n", "GET  / HTTP/1.1\r\n\r\n",
+        "GET / HTTP/1.1 extra\r\n\r\n"}) {
+    HttpParser parser;
+    HttpRequest request;
+    EXPECT_EQ(parse_one(wire, &request, &parser), HttpParser::Status::kError)
+        << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+  }
+}
+
+TEST(HttpParserTest, RejectsRelativeTargetWith400) {
+  HttpParser parser;
+  HttpRequest request;
+  ASSERT_EQ(parse_one("GET healthz HTTP/1.1\r\n\r\n", &request, &parser),
+            HttpParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, RejectsBadContentLengthWith400) {
+  for (const char* length : {"12x", "-3", ""}) {
+    HttpParser parser;
+    HttpRequest request;
+    const std::string wire = "POST /p HTTP/1.1\r\nContent-Length: " +
+                             std::string(length) + "\r\n\r\n";
+    EXPECT_EQ(parse_one(wire, &request, &parser), HttpParser::Status::kError)
+        << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+  }
+}
+
+TEST(HttpParserTest, PostWithoutLengthIs411) {
+  HttpParser parser;
+  HttpRequest request;
+  ASSERT_EQ(parse_one("POST /p HTTP/1.1\r\n\r\n", &request, &parser),
+            HttpParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 411);
+}
+
+TEST(HttpParserTest, TransferEncodingIs501) {
+  HttpParser parser;
+  HttpRequest request;
+  ASSERT_EQ(parse_one("POST /p HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                      &request, &parser),
+            HttpParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParserTest, UnsupportedVersionIs505) {
+  HttpParser parser;
+  HttpRequest request;
+  ASSERT_EQ(parse_one("GET / HTTP/2\r\n\r\n", &request, &parser),
+            HttpParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(HttpRequestTest, KeepAliveFollowsVersionAndConnectionHeader) {
+  const auto parse = [](const char* wire) {
+    HttpParser parser;
+    HttpRequest request;
+    parser.feed(wire);
+    EXPECT_EQ(parser.next(&request), HttpParser::Status::kComplete);
+    return request;
+  };
+  EXPECT_TRUE(parse("GET / HTTP/1.1\r\n\r\n").keep_alive());
+  EXPECT_FALSE(parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                   .keep_alive());
+  EXPECT_FALSE(parse("GET / HTTP/1.0\r\n\r\n").keep_alive());
+  EXPECT_TRUE(parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                  .keep_alive());
+}
+
+TEST(HttpQueryTest, DecodesQueryParameters) {
+  HttpParser parser;
+  HttpRequest request;
+  ASSERT_EQ(parse_one("GET /v1/svg?system=x&title=a%20b+c&flag HTTP/1.1\r\n\r\n",
+                      &request, &parser),
+            HttpParser::Status::kComplete);
+  EXPECT_EQ(request.path(), "/v1/svg");
+  const auto params = parse_query(request.query());
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0], (std::pair<std::string, std::string>{"system", "x"}));
+  EXPECT_EQ(params[1], (std::pair<std::string, std::string>{"title", "a b c"}));
+  EXPECT_EQ(params[2], (std::pair<std::string, std::string>{"flag", ""}));
+}
+
+TEST(HttpQueryTest, ThrowsOnMalformedEscape) {
+  EXPECT_THROW(parse_query("a=%zz"), ParseError);
+  EXPECT_THROW(parse_query("a=%1"), ParseError);
+}
+
+TEST(HttpResponseTest, SerializesDeterministicBytes) {
+  HttpResponse response;
+  response.body = "{\"x\":1}\n";
+  EXPECT_EQ(serialize_response(response),
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: 8\r\n"
+            "\r\n"
+            "{\"x\":1}\n");
+  response.close = true;
+  response.status = 503;
+  EXPECT_EQ(serialize_response(response),
+            "HTTP/1.1 503 Service Unavailable\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: 8\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+            "{\"x\":1}\n");
+}
+
+TEST(HttpResponseTest, ErrorPayloadEscapesQuotes) {
+  const HttpResponse response = http_error(400, "bad \"thing\"");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_EQ(response.body, "{\"error\":\"bad \\\"thing\\\"\"}\n");
+}
+
+}  // namespace
+}  // namespace wfr::util
