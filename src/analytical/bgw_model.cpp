@@ -82,9 +82,6 @@ core::WorkflowCharacterization bgw_characterization(const BgwParams& params,
                                                     int nodes) {
   const dag::WorkflowGraph graph = bgw_graph(params, nodes);
   core::WorkflowCharacterization c = core::characterize_graph(graph);
-  // characterize_graph takes the max per-task network volume along the
-  // path; the paper's ceiling uses the full campaign volume per task slot.
-  c.network_bytes_per_task = params.network_bytes_total;
   c.makespan_seconds = nodes == kBgwSmallNodes ? params.measured_total_64
                                                : params.measured_total_1024;
   return c;

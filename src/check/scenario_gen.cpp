@@ -1,0 +1,229 @@
+#include "check/scenario_gen.hpp"
+
+#include <cmath>
+
+#include "exec/thread_pool.hpp"
+#include "math/rng.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::check {
+
+const char* regime_name(Regime regime) {
+  switch (regime) {
+    case Regime::kCompute: return "compute";
+    case Regime::kDram: return "dram";
+    case Regime::kHbm: return "hbm";
+    case Regime::kPcie: return "pcie";
+    case Regime::kNetwork: return "network";
+    case Regime::kOverhead: return "overhead";
+    case Regime::kFilesystem: return "filesystem";
+    case Regime::kExternal: return "external";
+  }
+  return "?";
+}
+
+core::Channel regime_channel(Regime regime) {
+  switch (regime) {
+    case Regime::kCompute: return core::Channel::kCompute;
+    case Regime::kDram: return core::Channel::kDram;
+    case Regime::kHbm: return core::Channel::kHbm;
+    case Regime::kPcie: return core::Channel::kPcie;
+    case Regime::kNetwork: return core::Channel::kNetwork;
+    case Regime::kOverhead: return core::Channel::kOverhead;
+    case Regime::kFilesystem: return core::Channel::kFilesystem;
+    case Regime::kExternal: return core::Channel::kExternal;
+  }
+  return core::Channel::kCustom;
+}
+
+bool is_node_regime(Regime regime) {
+  return regime != Regime::kFilesystem && regime != Regime::kExternal;
+}
+
+dag::WorkflowGraph GenScenario::build_graph() const {
+  dag::WorkflowGraph graph(util::format("check-%s-%zu", regime_name(regime),
+                                        index));
+  for (int col = 0; col < width; ++col) {
+    dag::TaskId prev = dag::kInvalidTask;
+    for (int level = 0; level < levels; ++level) {
+      dag::TaskSpec spec = task;
+      spec.name = util::format("t%d_%d", col, level);
+      const dag::TaskId id = graph.add_task(std::move(spec));
+      if (level > 0) graph.add_dependency(prev, id);
+      prev = id;
+    }
+  }
+  return graph;
+}
+
+util::Json GenScenario::to_json() const {
+  util::JsonObject o;
+  o.set("gen_version", util::Json(ScenarioGen::kGenVersion));
+  o.set("base_seed", util::Json(util::format(
+                         "%llu", static_cast<unsigned long long>(base_seed))));
+  o.set("case_seed", util::Json(util::format(
+                         "%llu", static_cast<unsigned long long>(case_seed))));
+  o.set("index", util::Json(static_cast<std::int64_t>(index)));
+  o.set("regime", util::Json(std::string(regime_name(regime))));
+  o.set("width", util::Json(width));
+  o.set("levels", util::Json(levels));
+  o.set("nodes_per_task", util::Json(nodes_per_task));
+  o.set("dominant_seconds", util::Json(dominant_seconds));
+  o.set("system", system.to_json());
+
+  util::JsonObject demand;
+  auto set_nonzero = [&demand](const char* key, double v) {
+    if (v != 0.0) demand.set(key, util::Json(v));
+  };
+  set_nonzero("external_in_bytes", task.demand.external_in_bytes);
+  set_nonzero("fs_read_bytes", task.demand.fs_read_bytes);
+  set_nonzero("fs_write_bytes", task.demand.fs_write_bytes);
+  set_nonzero("network_bytes", task.demand.network_bytes);
+  set_nonzero("flops_per_node", task.demand.flops_per_node);
+  set_nonzero("dram_bytes_per_node", task.demand.dram_bytes_per_node);
+  set_nonzero("hbm_bytes_per_node", task.demand.hbm_bytes_per_node);
+  set_nonzero("pcie_bytes_per_node", task.demand.pcie_bytes_per_node);
+  set_nonzero("overhead_seconds", task.demand.overhead_seconds);
+  o.set("task_demand", util::Json(std::move(demand)));
+
+  util::JsonObject expected;
+  expected.set("wall", util::Json(expected_wall));
+  expected.set("tps", util::Json(expected_tps));
+  expected.set("bound", util::Json(std::string(
+                            core::bound_class_name(expected_bound))));
+  expected.set("channel", util::Json(std::string(
+                              core::channel_name(regime_channel(regime)))));
+  o.set("expected", util::Json(std::move(expected)));
+  return util::Json(std::move(o));
+}
+
+namespace {
+
+double log_uniform(math::Rng& rng, double lo, double hi) {
+  return std::exp(rng.uniform(std::log(lo), std::log(hi)));
+}
+
+}  // namespace
+
+GenScenario ScenarioGen::generate(std::size_t index) const {
+  GenScenario s;
+  s.base_seed = base_seed_;
+  s.index = index;
+  s.case_seed = exec::scenario_seed(base_seed_, index);
+  math::Rng rng(s.case_seed);
+
+  core::SystemSpec& sys = s.system;
+  sys.name = util::format("gen-%zu", index);
+  sys.total_nodes = static_cast<int>(rng.uniform_int(4, 256));
+  sys.node.peak_flops = log_uniform(rng, 1e12, 1e15);
+  sys.node.dram_gbs = log_uniform(rng, 5e10, 5e11);
+  sys.node.hbm_gbs = log_uniform(rng, 5e11, 5e12);
+  sys.node.pcie_gbs = log_uniform(rng, 2.5e10, 1e11);
+  sys.node.nic_gbs = log_uniform(rng, 1e10, 2e11);
+  sys.fs_gbs = log_uniform(rng, 1e11, 1e13);
+  sys.external_gbs = log_uniform(rng, 1e9, 1e11);
+
+  s.nodes_per_task = static_cast<int>(rng.uniform_int(1, sys.total_nodes));
+  const int wall = sys.total_nodes / s.nodes_per_task;
+  s.expected_wall = wall;
+  // Half the scenarios park at the wall to exercise parallelism-bound
+  // classification; keeping width <= wall keeps the wave structure exact
+  // (no partial final wave to blur the closed-form prediction).
+  const bool at_wall = rng.bernoulli(0.5);
+  s.width = at_wall ? wall : static_cast<int>(rng.uniform_int(1, wall));
+  s.levels = static_cast<int>(rng.uniform_int(1, 4));
+
+  s.regime = static_cast<Regime>(rng.uniform_int(0, kRegimeCount - 1));
+  const double t_dom = log_uniform(rng, 10.0, 1000.0);
+  s.dominant_seconds = t_dom;
+
+  dag::TaskSpec& task = s.task;
+  task.name = "task";  // placeholder; build_graph names each position
+  task.kind = regime_name(s.regime);
+  task.nodes = s.nodes_per_task;
+  dag::ResourceDemand& d = task.demand;
+
+  // Dominant channel: exactly t_dom seconds of uncontended service.
+  switch (s.regime) {
+    case Regime::kCompute:
+      d.flops_per_node = t_dom * sys.node.peak_flops;
+      break;
+    case Regime::kDram:
+      d.dram_bytes_per_node = t_dom * sys.node.dram_gbs;
+      break;
+    case Regime::kHbm:
+      d.hbm_bytes_per_node = t_dom * sys.node.hbm_gbs;
+      break;
+    case Regime::kPcie:
+      d.pcie_bytes_per_node = t_dom * sys.node.pcie_gbs;
+      break;
+    case Regime::kNetwork:
+      // The work phase and the model both rate the task's network volume
+      // at its aggregate NIC bandwidth (nodes x nic).
+      d.network_bytes = t_dom * sys.node.nic_gbs * s.nodes_per_task;
+      break;
+    case Regime::kOverhead:
+      d.overhead_seconds = t_dom;
+      break;
+    case Regime::kFilesystem: {
+      const double bytes = t_dom * sys.fs_gbs;
+      const double read_fraction = rng.uniform(0.25, 0.75);
+      d.fs_read_bytes = bytes * read_fraction;
+      d.fs_write_bytes = bytes - d.fs_read_bytes;
+      break;
+    }
+    case Regime::kExternal:
+      d.external_in_bytes = t_dom * sys.external_gbs;
+      break;
+  }
+
+  // Secondary channels, each present with probability 1/2.  Node-local
+  // secondaries take <= 1e-3 * t_dom (the work phase is a max, so they
+  // never extend it; their ceilings sit 1000x above the dominant one).
+  // Serial-adding secondaries — overhead and the shared channels — are
+  // capped at t_dom/800 even when fully contended by `width` concurrent
+  // flows, bounding the end-to-end error at a few parts per thousand.
+  const double node_cap = t_dom * 1e-3;
+  const double serial_cap = t_dom / 800.0;
+  const double shared_cap = serial_cap / static_cast<double>(s.width);
+  auto secondary = [&rng](double cap) { return cap * rng.uniform(); };
+
+  if (s.regime != Regime::kCompute && rng.bernoulli(0.5))
+    d.flops_per_node = secondary(node_cap) * sys.node.peak_flops;
+  if (s.regime != Regime::kDram && rng.bernoulli(0.5))
+    d.dram_bytes_per_node = secondary(node_cap) * sys.node.dram_gbs;
+  if (s.regime != Regime::kHbm && rng.bernoulli(0.5))
+    d.hbm_bytes_per_node = secondary(node_cap) * sys.node.hbm_gbs;
+  if (s.regime != Regime::kPcie && rng.bernoulli(0.5))
+    d.pcie_bytes_per_node = secondary(node_cap) * sys.node.pcie_gbs;
+  if (s.regime != Regime::kNetwork && rng.bernoulli(0.5))
+    d.network_bytes =
+        secondary(node_cap) * sys.node.nic_gbs * s.nodes_per_task;
+  if (s.regime != Regime::kOverhead && rng.bernoulli(0.5))
+    d.overhead_seconds = secondary(serial_cap);
+  if (s.regime != Regime::kFilesystem && rng.bernoulli(0.5))
+    d.fs_read_bytes = secondary(shared_cap) * sys.fs_gbs;
+  if (s.regime != Regime::kExternal && rng.bernoulli(0.5))
+    d.external_in_bytes = secondary(shared_cap) * sys.external_gbs;
+
+  task.validate();
+  sys.validate();
+
+  if (is_node_regime(s.regime)) {
+    s.expected_tps = static_cast<double>(s.width) / t_dom;
+    if (s.width == wall) {
+      s.expected_bound = core::BoundClass::kParallelismBound;
+    } else if (s.regime == Regime::kOverhead) {
+      s.expected_bound = core::BoundClass::kControlFlowBound;
+    } else {
+      s.expected_bound = core::BoundClass::kNodeBound;
+    }
+  } else {
+    s.expected_tps = 1.0 / t_dom;
+    s.expected_bound = core::BoundClass::kSystemBound;
+  }
+  return s;
+}
+
+}  // namespace wfr::check

@@ -1,0 +1,120 @@
+#pragma once
+// Seed-driven scenario generator for differential validation (the
+// csmith-style half of the check subsystem): synthesizes random-but-valid
+// system specs and workflow DAGs whose analytical roofline prediction is
+// *provably* tight, so any disagreement with the simulator is a bug.
+//
+// Construction: every scenario is a rectangular DAG — `width` independent
+// chains of `levels` identical tasks — with one *dominant* resource channel
+// and every other channel either absent or constrained to a fraction of the
+// dominant service time so small that the end-to-end effect is bounded well
+// below the check tolerance:
+//   * node-local secondaries take <= 1e-3 of the dominant time (and the
+//     work phase is a max over channels, so they do not extend it at all);
+//   * serial-adding secondaries (overhead, shared filesystem / external
+//     flows) are capped so that even fully contended they add <= 1/800 of
+//     the dominant time each.
+// With width <= parallelism wall the simulator runs the chains in lockstep
+// waves, making the closed-form prediction exact up to those epsilons:
+//   * node-dominant:   makespan = levels * t_dom        -> tps = W / t_dom
+//   * shared-dominant: makespan = tasks * t_dom         -> tps = 1 / t_dom
+// The generator also records the *expected* parallelism wall, binding
+// channel, and Fig. 3 bound class, so the differential runner can assert
+// exact agreement on classification, not just throughput.
+//
+// Determinism: a scenario is a pure function of (base_seed, index) via
+// exec::scenario_seed's SplitMix64 mix, so repro files only need to record
+// those two numbers (plus the generator version, which must be bumped on
+// any change to the draw sequence).
+
+#include <cstdint>
+#include <string>
+
+#include "core/model.hpp"
+#include "core/system_spec.hpp"
+#include "dag/graph.hpp"
+#include "util/json.hpp"
+
+namespace wfr::check {
+
+/// Default base seed for `wfr check` and the ctest suites.
+inline constexpr std::uint64_t kDefaultBaseSeed = 42;
+
+/// The resource channel a generated scenario is engineered to be bound by.
+enum class Regime {
+  kCompute,
+  kDram,
+  kHbm,
+  kPcie,
+  kNetwork,
+  kOverhead,
+  kFilesystem,
+  kExternal,
+};
+
+inline constexpr int kRegimeCount = 8;
+
+/// Stable lowercase regime name ("compute", "filesystem", ...).
+const char* regime_name(Regime regime);
+
+/// The core::Channel whose ceiling must bind for this regime.
+core::Channel regime_channel(Regime regime);
+
+/// True for regimes bound by a node-local (diagonal) channel, including
+/// control-flow overhead; false for the shared (horizontal) channels.
+bool is_node_regime(Regime regime);
+
+/// One generated differential-check scenario plus its expectations.
+struct GenScenario {
+  std::uint64_t base_seed = 0;
+  std::uint64_t case_seed = 0;  // exec::scenario_seed(base_seed, index)
+  std::size_t index = 0;
+
+  Regime regime = Regime::kCompute;
+  core::SystemSpec system;
+  int nodes_per_task = 1;
+  /// Independent chains (the DAG's parallel width); always <= the wall.
+  int width = 1;
+  /// Tasks per chain (the DAG's level count).
+  int levels = 1;
+  /// The uniform task replicated across the DAG (name set per position).
+  dag::TaskSpec task;
+  /// Dominant channel's service time for one task, seconds.
+  double dominant_seconds = 0.0;
+
+  // --- Expectations derived at generation time ----------------------------
+  int expected_wall = 0;
+  double expected_tps = 0.0;
+  core::BoundClass expected_bound = core::BoundClass::kNodeBound;
+
+  int total_tasks() const { return width * levels; }
+
+  /// Materializes the width x levels rectangular DAG.
+  dag::WorkflowGraph build_graph() const;
+
+  /// Lossless record for repro files (seeds serialized as decimal strings
+  /// because JSON numbers cannot hold a full uint64).
+  util::Json to_json() const;
+};
+
+/// Deterministic scenario factory: generate(i) depends only on
+/// (base_seed, i), never on call order, so fan-out across a thread pool
+/// yields identical scenarios at any job count.
+class ScenarioGen {
+ public:
+  /// Bump when the draw sequence changes; stale repro files are detected
+  /// by comparing the regenerated scenario against the recorded one.
+  static constexpr int kGenVersion = 1;
+
+  explicit ScenarioGen(std::uint64_t base_seed = kDefaultBaseSeed)
+      : base_seed_(base_seed) {}
+
+  std::uint64_t base_seed() const { return base_seed_; }
+
+  GenScenario generate(std::size_t index) const;
+
+ private:
+  std::uint64_t base_seed_;
+};
+
+}  // namespace wfr::check

@@ -36,6 +36,15 @@
 //       roofline overlaying every scenario's binding ceiling.  --jobs
 //       (then WFR_JOBS, then the hardware) sets the worker count; output
 //       is bit-for-bit identical for any job count.
+//   wfr check    [--seeds <n>] [--tolerance <x>] [--jobs <n>]
+//                [--base-seed <n>] [--repro-dir <dir>]
+//                [--replay <repro.json>]
+//       Differential validation: synthesize seeded scenarios whose
+//       roofline prediction is provably tight, execute each on the
+//       simulator, and assert throughput/wall/binding/classification
+//       agreement.  Divergences exit 1 and dump replayable repro files;
+//       --replay re-runs one recorded scenario.  Output is byte-identical
+//       at any --jobs count.
 //   wfr compare  --system <spec.json|preset> --before <c.json>
 //                --after <c.json>
 //       Compare two characterizations of the same workflow (before/after
@@ -63,6 +72,7 @@
 #include <vector>
 
 #include "archetypes/generators.hpp"
+#include "check/differential.hpp"
 #include "core/advisor.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/observation.hpp"
@@ -182,6 +192,9 @@ void print_usage() {
       "  wfr serve    [--port <n>] [--host <addr>] [--jobs <n>]\n"
       "               [--max-queue <n>] [--max-body <bytes>]\n"
       "               [--sweep-jobs <n>]\n"
+      "  wfr check    [--seeds <n>] [--tolerance <x>] [--jobs <n>]\n"
+      "               [--base-seed <n>] [--repro-dir <dir>]\n"
+      "               [--replay <repro.json>]\n"
       "  wfr compare  --system <spec|preset> --before <c.json>\n"
       "               --after <c.json>\n"
       "  wfr archetype --kind <ensemble|pipeline|fork-join|map-reduce|\n"
@@ -485,6 +498,48 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+// wfr check — the differential validation harness (docs/TESTING.md):
+// seed-generate scenarios, feed each through both the analytical roofline
+// and the simulator, and print a deterministic pass/divergence table.
+// Divergences exit 1 and dump replayable repro JSON files.
+int cmd_check(const Args& args) {
+  check::CheckOptions options;
+  if (auto seeds = args.get_optional("seeds"))
+    options.seeds = static_cast<std::size_t>(
+        parse_long_flag_in("seeds", *seeds, 1, 1 << 20));
+  if (auto tolerance = args.get_optional("tolerance"))
+    options.tolerance = parse_double_flag("tolerance", *tolerance);
+  if (auto jobs = args.get_optional("jobs"))
+    options.jobs = static_cast<int>(parse_long_flag_in("jobs", *jobs, 1, 1 << 16));
+  if (auto seed = args.get_optional("base-seed"))
+    options.base_seed = parse_u64_flag("base-seed", *seed);
+
+  if (auto path = args.get_optional("replay")) {
+    const util::Json repro = util::Json::parse(read_file(*path));
+    // Unless overridden, judge the replay at the tolerance the repro was
+    // recorded with.
+    if (!args.get_optional("tolerance"))
+      options.tolerance = check::repro_tolerance(repro);
+    const check::DifferentialRunner runner(options);
+    const check::CaseResult result = runner.replay(repro);
+    std::cout << runner.repro_json(result).pretty() << "\n";
+    std::cout << (result.passed() ? "replay: PASS\n"
+                                  : "replay: DIVERGENCE\n");
+    return result.passed() ? 0 : 1;
+  }
+
+  const check::DifferentialRunner runner(options);
+  const check::CheckReport report = runner.run();
+  std::cout << report.table();
+  if (!report.all_passed()) {
+    const std::string dir = args.get_optional("repro-dir").value_or(".");
+    for (const std::string& path :
+         check::write_repro_files(runner, report, dir))
+      std::cout << "wrote " << path << "\n";
+  }
+  return report.all_passed() ? 0 : 1;
+}
+
 int cmd_compare(const Args& args) {
   const core::SystemSpec system = load_system(args.get("system"));
   auto load = [&](const std::string& option) {
@@ -558,6 +613,7 @@ int main(int argc, char** argv) {
     if (args.command == "run") return cmd_run(args);
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "check") return cmd_check(args);
     if (args.command == "compare") return cmd_compare(args);
     if (args.command == "archetype") return cmd_archetype(args);
     if (args.command == "presets") return cmd_presets();

@@ -117,10 +117,10 @@ WorkflowCharacterization characterize_common(
     c.hbm_bytes_per_node += d.hbm_bytes_per_node;
     c.pcie_bytes_per_node += d.pcie_bytes_per_node;
     c.overhead_seconds_per_task += d.overhead_seconds;
-    // Per-task network volume, normalized later to the max over the path
-    // (each path task drives its own NICs).
-    c.network_bytes_per_task =
-        std::max(c.network_bytes_per_task, d.network_bytes);
+    // Network volume summed along the path, like the other node-level
+    // channels: the ceiling divides by the task's aggregate NIC bandwidth,
+    // so the sum is the path's total network service time per slot.
+    c.network_bytes_per_task += d.network_bytes;
   }
 
   // System volumes: totals over the workflow divided by total task count.

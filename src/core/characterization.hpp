@@ -18,8 +18,9 @@ namespace wfr::core {
 ///   * Node-level volumes (`*_per_node`) are per node, summed over the
 ///     tasks on the workflow's critical path — e.g. BGW at 64 nodes has
 ///     flops_per_node = (1164 + 3226) PFLOP / 64.
-///   * `network_bytes_per_task` is the MPI volume one task puts on the
-///     system; its ceiling uses the task's aggregate NIC bandwidth
+///   * `network_bytes_per_task` is the MPI volume driven through one
+///     parallel slot, summed over the tasks on the critical path; its
+///     ceiling uses the task's aggregate NIC bandwidth
 ///     (nodes_per_task x nic_gbs).
 ///   * System-level volumes (`fs_bytes_per_task`, `external_bytes_per_task`)
 ///     are per task, so the resulting shared-system ceilings are horizontal

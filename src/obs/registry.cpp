@@ -145,18 +145,10 @@ const Histogram* MetricsRegistry::find_histogram(
 
 namespace {
 
-/// Prometheus sample value: integers without a decimal point, everything
-/// else with the fewest digits that round-trip (so bucket labels read
-/// le="1e-05", not le="1.0000000000000001e-05").
-std::string format_sample(double value) {
-  if (value == std::nearbyint(value) && std::fabs(value) < 1e15)
-    return util::format("%.0f", value);
-  for (int precision = 1; precision <= 17; ++precision) {
-    std::string text = util::format("%.*g", precision, value);
-    if (std::strtod(text.c_str(), nullptr) == value) return text;
-  }
-  return util::format("%.17g", value);
-}
+/// Prometheus sample value: the shared shortest-round-trip formatter keeps
+/// bucket labels readable (le="1e-05", not le="1.0000000000000001e-05") and
+/// byte-identical to the same value serialized as JSON elsewhere.
+std::string format_sample(double value) { return util::format_double(value); }
 
 std::string sanitize_metric_name(std::string_view name) {
   std::string out;

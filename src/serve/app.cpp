@@ -147,6 +147,29 @@ util::HttpResponse App::observed(
   return response;
 }
 
+util::HttpResponse App::roofline_from_bytes(std::string_view body) {
+  util::HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/roofline";
+  request.version = "HTTP/1.1";
+  request.body.assign(body);
+  return observed("roofline", &App::handle_roofline, request);
+}
+
+util::HttpResponse App::sweep_from_bytes(std::string_view body,
+                                         std::string_view query) {
+  util::HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/sweep";
+  if (!query.empty()) {
+    request.target += '?';
+    request.target += query;
+  }
+  request.version = "HTTP/1.1";
+  request.body.assign(body);
+  return observed("sweep", &App::handle_sweep, request);
+}
+
 util::HttpResponse App::handle_roofline(const util::HttpRequest& request) {
   const util::Json body = util::Json::parse(request.body);
   const exec::Scenario scenario = parse_scenario(body);

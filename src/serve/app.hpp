@@ -55,6 +55,14 @@ class App {
   /// counters to /metrics.
   void bind(Server& server);
 
+  /// Raw-bytes entry points (tests/fuzz): build the HttpRequest a client
+  /// would have sent and run the full observed() handler path, so fuzzing
+  /// and corpus replay exercise exactly the production code — including
+  /// the domain-error-to-400 mapping.
+  util::HttpResponse roofline_from_bytes(std::string_view body);
+  util::HttpResponse sweep_from_bytes(std::string_view body,
+                                      std::string_view query = {});
+
   // Handlers are public so tests can exercise them without sockets.
   util::HttpResponse handle_roofline(const util::HttpRequest& request);
   util::HttpResponse handle_sweep(const util::HttpRequest& request);

@@ -72,8 +72,11 @@ double Json::as_number() const {
 std::int64_t Json::as_int() const {
   const double d = as_number();
   const double r = std::nearbyint(d);
-  if (std::fabs(d - r) > 1e-9)
+  if (!(std::fabs(d - r) <= 1e-9))
     throw ParseError(format("JSON number %g is not an integer", d));
+  // 2^63 is the first double at or beyond which the int64 cast is undefined.
+  if (!(std::fabs(r) < 9223372036854775808.0))
+    throw ParseError(format("JSON number %g is out of integer range", d));
   return static_cast<std::int64_t>(r);
 }
 
@@ -133,6 +136,10 @@ namespace {
 
 class Parser {
  public:
+  // Containers deeper than this are rejected rather than risking stack
+  // overflow in the recursive descent; real spec files nest a handful deep.
+  static constexpr int kMaxDepth = 128;
+
   explicit Parser(std::string_view text) : text_(text) {}
 
   Json parse_document() {
@@ -219,10 +226,12 @@ class Parser {
 
   Json parse_object() {
     expect('{');
+    if (++depth_ > kMaxDepth) fail("JSON nesting exceeds depth limit");
     JsonObject obj;
     skip_whitespace();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return Json(std::move(obj));
     }
     while (true) {
@@ -240,15 +249,18 @@ class Parser {
         fail("expected ',' or '}' in object");
       }
     }
+    --depth_;
     return Json(std::move(obj));
   }
 
   Json parse_array() {
     expect('[');
+    if (++depth_ > kMaxDepth) fail("JSON nesting exceeds depth limit");
     JsonArray arr;
     skip_whitespace();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return Json(std::move(arr));
     }
     while (true) {
@@ -261,7 +273,21 @@ class Parser {
         fail("expected ',' or ']' in array");
       }
     }
+    --depth_;
     return Json(std::move(arr));
+  }
+
+  unsigned take_hex_quad() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = take();
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    return code;
   }
 
   std::string parse_string() {
@@ -282,24 +308,34 @@ class Parser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = take();
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else fail("invalid \\u escape");
+            unsigned code = take_hex_quad();
+            // A surrogate half is not a scalar value: a high surrogate
+            // must pair with an immediately following \u low surrogate;
+            // a lone or out-of-order half is rejected (encoding one as
+            // UTF-8 would emit ill-formed CESU-8 bytes).
+            if (code >= 0xDC00 && code <= 0xDFFF)
+              fail("surrogate code point in \\u escape");
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (take() != '\\' || take() != 'u')
+                fail("surrogate code point in \\u escape");
+              const unsigned low = take_hex_quad();
+              if (low < 0xDC00 || low > 0xDFFF)
+                fail("surrogate code point in \\u escape");
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
             }
-            // Encode as UTF-8 (basic multilingual plane only; surrogate
-            // pairs are not needed for spec files).
+            // Encode the scalar value as UTF-8.
             if (code < 0x80) {
               out += static_cast<char>(code);
             } else if (code < 0x800) {
               out += static_cast<char>(0xC0 | (code >> 6));
               out += static_cast<char>(0x80 | (code & 0x3F));
-            } else {
+            } else if (code < 0x10000) {
               out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xF0 | (code >> 18));
+              out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
               out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
               out += static_cast<char>(0x80 | (code & 0x3F));
             }
@@ -331,11 +367,16 @@ class Parser {
       pos_ = start;
       fail("malformed number '" + num + "'");
     }
+    if (!std::isfinite(d)) {
+      pos_ = start;
+      fail("number '" + num + "' is out of range");
+    }
     return Json(d);
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void write_escaped(std::string* out, const std::string& s) {
@@ -361,11 +402,9 @@ void write_escaped(std::string* out, const std::string& s) {
 }
 
 void write_number(std::string* out, double d) {
-  if (d == std::nearbyint(d) && std::fabs(d) < 1e15) {
-    *out += format("%.0f", d);
-  } else {
-    *out += format("%.17g", d);
-  }
+  // Shortest-round-trip formatting (util/strings) so JSON output, the
+  // Prometheus exposition, and check repro dumps agree byte-for-byte.
+  *out += format_double(d);
 }
 
 }  // namespace

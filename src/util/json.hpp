@@ -97,6 +97,9 @@ class Json {
   bool bool_or(std::string_view key, bool fallback) const;
 
   /// Parses JSON text.  Throws ParseError with a line/column message.
+  /// Hardened against hostile input: containers nested deeper than 128
+  /// levels, numbers outside the double range (e.g. 1e999), and UTF-16
+  /// surrogate \u escapes are all rejected.
   static Json parse(std::string_view text);
 
   /// Serializes compactly (no whitespace).

@@ -1,8 +1,10 @@
 #include "util/strings.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace wfr::util {
 
@@ -101,6 +103,16 @@ std::string format(const char* fmt, ...) {
   }
   va_end(args_copy);
   return out;
+}
+
+std::string format_double(double value) {
+  if (value == std::nearbyint(value) && std::fabs(value) < 1e15)
+    return format("%.0f", value);
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::string text = format("%.*g", precision, value);
+    if (std::strtod(text.c_str(), nullptr) == value) return text;
+  }
+  return format("%.17g", value);
 }
 
 std::string replace_all(std::string_view s, std::string_view from,

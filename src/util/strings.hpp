@@ -40,6 +40,15 @@ std::string pad_left(std::string_view s, std::size_t w);
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Formats a double with the fewest digits that round-trip back to the same
+/// value: integers print without a decimal point ("42", not "42.0000..."),
+/// everything else uses the shortest %g precision whose strtod() recovers the
+/// input bit-for-bit ("0.1", not "0.10000000000000001").  This is the single
+/// number formatter shared by JSON serialization, the Prometheus exposition
+/// in obs, and the differential-check repro dumps, so the same value always
+/// serializes to the same bytes everywhere.
+std::string format_double(double value);
+
 /// Replaces every occurrence of `from` in `s` with `to`.
 std::string replace_all(std::string_view s, std::string_view from,
                         std::string_view to);

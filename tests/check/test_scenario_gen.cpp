@@ -1,0 +1,84 @@
+#include "check/scenario_gen.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace wfr::check {
+namespace {
+
+TEST(ScenarioGenTest, PureFunctionOfBaseSeedAndIndex) {
+  const ScenarioGen a(7);
+  const ScenarioGen b(7);
+  for (std::size_t index : {0u, 1u, 17u, 99u}) {
+    EXPECT_EQ(a.generate(index).to_json().dump(),
+              b.generate(index).to_json().dump());
+  }
+  // Different base seed, different scenarios; different indices too.
+  const ScenarioGen c(8);
+  EXPECT_NE(a.generate(0).to_json().dump(), c.generate(0).to_json().dump());
+  EXPECT_NE(a.generate(0).to_json().dump(), a.generate(1).to_json().dump());
+}
+
+TEST(ScenarioGenTest, CoversEveryRegime) {
+  const ScenarioGen gen;
+  std::set<Regime> seen;
+  for (std::size_t i = 0; i < 100; ++i) seen.insert(gen.generate(i).regime);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kRegimeCount));
+}
+
+TEST(ScenarioGenTest, WidthNeverExceedsTheWall) {
+  const ScenarioGen gen;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const GenScenario s = gen.generate(i);
+    EXPECT_GE(s.width, 1) << "index " << i;
+    EXPECT_LE(s.width, s.expected_wall) << "index " << i;
+    EXPECT_EQ(s.expected_wall, s.system.total_nodes / s.nodes_per_task)
+        << "index " << i;
+  }
+}
+
+TEST(ScenarioGenTest, GraphIsTheAdvertisedRectangle) {
+  const ScenarioGen gen;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const GenScenario s = gen.generate(i);
+    const dag::WorkflowGraph graph = s.build_graph();
+    EXPECT_EQ(graph.task_count(),
+              static_cast<std::size_t>(s.total_tasks()));
+    EXPECT_EQ(graph.max_parallel_tasks(), s.width);
+    EXPECT_EQ(graph.level_count(), s.levels);
+  }
+}
+
+TEST(ScenarioGenTest, ExpectationsMatchTheConstruction) {
+  const ScenarioGen gen;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const GenScenario s = gen.generate(i);
+    if (is_node_regime(s.regime)) {
+      EXPECT_DOUBLE_EQ(s.expected_tps, s.width / s.dominant_seconds);
+      if (s.width == s.expected_wall) {
+        EXPECT_EQ(s.expected_bound, core::BoundClass::kParallelismBound);
+      } else if (s.regime == Regime::kOverhead) {
+        EXPECT_EQ(s.expected_bound, core::BoundClass::kControlFlowBound);
+      } else {
+        EXPECT_EQ(s.expected_bound, core::BoundClass::kNodeBound);
+      }
+    } else {
+      EXPECT_DOUBLE_EQ(s.expected_tps, 1.0 / s.dominant_seconds);
+      EXPECT_EQ(s.expected_bound, core::BoundClass::kSystemBound);
+    }
+  }
+}
+
+TEST(ScenarioGenTest, ToJsonRecordsSeedsAsDecimalStrings) {
+  // 2^63 + 11 is not representable as a double; a numeric field would
+  // silently round it.
+  const ScenarioGen gen(9223372036854775819ull);
+  const util::Json json = gen.generate(3).to_json();
+  EXPECT_EQ(json.at("base_seed").as_string(), "9223372036854775819");
+  EXPECT_EQ(json.at("index").as_int(), 3);
+  EXPECT_EQ(json.at("gen_version").as_int(), ScenarioGen::kGenVersion);
+}
+
+}  // namespace
+}  // namespace wfr::check

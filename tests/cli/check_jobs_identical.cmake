@@ -1,0 +1,26 @@
+# Asserts the wfr check determinism contract: the rendered table is
+# byte-identical at --jobs 1, 2, and 8.
+# Usage: cmake -DWFR=<wfr-binary> -DOUT_DIR=<scratch-dir> -P this-file
+foreach(variable WFR OUT_DIR)
+  if(NOT DEFINED ${variable})
+    message(FATAL_ERROR "missing -D${variable}=...")
+  endif()
+endforeach()
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+foreach(jobs 1 2 8)
+  execute_process(
+    COMMAND ${WFR} check --seeds 40 --jobs ${jobs}
+    OUTPUT_VARIABLE output_${jobs}
+    RESULT_VARIABLE status_${jobs})
+  if(NOT status_${jobs} EQUAL 0)
+    message(FATAL_ERROR "wfr check --jobs ${jobs} exited ${status_${jobs}}")
+  endif()
+  file(WRITE ${OUT_DIR}/check_jobs_${jobs}.txt "${output_${jobs}}")
+endforeach()
+
+if(NOT output_1 STREQUAL output_2 OR NOT output_1 STREQUAL output_8)
+  message(FATAL_ERROR
+    "wfr check output differs across --jobs 1/2/8; see ${OUT_DIR}")
+endif()
+message(STATUS "wfr check table byte-identical at --jobs 1/2/8")

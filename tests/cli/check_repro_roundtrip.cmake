@@ -1,0 +1,48 @@
+# Asserts the wfr check divergence workflow end to end: an injected
+# tolerance of 0 must exit non-zero and write a repro file, and replaying
+# that repro at the default tolerance must pass (the divergence was the
+# tolerance, not the model).
+# Usage: cmake -DWFR=<wfr-binary> -DOUT_DIR=<scratch-dir> -P this-file
+foreach(variable WFR OUT_DIR)
+  if(NOT DEFINED ${variable})
+    message(FATAL_ERROR "missing -D${variable}=...")
+  endif()
+endforeach()
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+execute_process(
+  COMMAND ${WFR} check --seeds 6 --tolerance 0 --jobs 2 --repro-dir ${OUT_DIR}
+  OUTPUT_VARIABLE output
+  RESULT_VARIABLE status)
+if(status EQUAL 0)
+  message(FATAL_ERROR "wfr check --tolerance 0 unexpectedly passed")
+endif()
+if(NOT output MATCHES "DIVERGENCE")
+  message(FATAL_ERROR "no DIVERGENCE line in:\n${output}")
+endif()
+
+file(GLOB repro_files ${OUT_DIR}/check-repro-*.json)
+if(repro_files STREQUAL "")
+  message(FATAL_ERROR "no repro file written into ${OUT_DIR}")
+endif()
+list(GET repro_files 0 repro)
+
+execute_process(
+  COMMAND ${WFR} check --replay ${repro}
+  OUTPUT_VARIABLE replay_output
+  RESULT_VARIABLE replay_status)
+if(NOT replay_output MATCHES "replay: DIVERGENCE")
+  message(FATAL_ERROR
+    "replay at the recorded tolerance 0 should diverge:\n${replay_output}")
+endif()
+
+execute_process(
+  COMMAND ${WFR} check --replay ${repro} --tolerance 0.02
+  OUTPUT_VARIABLE relaxed_output
+  RESULT_VARIABLE relaxed_status)
+if(NOT relaxed_status EQUAL 0 OR NOT relaxed_output MATCHES "replay: PASS")
+  message(FATAL_ERROR
+    "replay at the default tolerance should pass:\n${relaxed_output}")
+endif()
+message(STATUS "wfr check repro round-trip verified")

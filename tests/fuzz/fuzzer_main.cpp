@@ -1,0 +1,22 @@
+// libFuzzer entry point, compiled once per target with
+// -DWFR_FUZZ_TARGET="<name>" (see CMakeLists.txt).  The branch label is
+// discarded: under the fuzzer only crashes and sanitizer reports matter.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static const wfr::fuzz::Target* target = [] {
+    const wfr::fuzz::Target* found = wfr::fuzz::find_target(WFR_FUZZ_TARGET);
+    if (found == nullptr) std::abort();
+    return found;
+  }();
+  target->run(
+      std::string_view(reinterpret_cast<const char*>(data), size));
+  return 0;
+}

@@ -1,0 +1,104 @@
+// fuzz_replay: runs checked-in corpus files through a fuzz target and
+// prints the branch each input exercised, plus a per-branch summary line.
+// CI replays the corpus on every push with --require-distinct, which
+// fails if two inputs land on the same branch — keeping the corpus
+// minimal by construction (docs/TESTING.md).
+//
+//   fuzz_replay <target> <file-or-dir>... [--require-distinct]
+//
+// Exit status: 0 all inputs ran (and branches are distinct when
+// required); 1 on a crash, duplicate branch, or empty corpus; 2 on usage
+// errors.
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "targets.hpp"
+
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int usage() {
+  std::cerr << "usage: fuzz_replay <target> <file-or-dir>... "
+               "[--require-distinct]\ntargets:\n";
+  for (const wfr::fuzz::Target& target : wfr::fuzz::targets())
+    std::cerr << "  " << target.name << "  " << target.description << "\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const wfr::fuzz::Target* target = wfr::fuzz::find_target(argv[1]);
+  if (target == nullptr) {
+    std::cerr << "unknown target '" << argv[1] << "'\n";
+    return usage();
+  }
+
+  bool require_distinct = false;
+  std::vector<std::filesystem::path> files;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-distinct") {
+      require_distinct = true;
+      continue;
+    }
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg))
+        if (entry.is_regular_file()) files.push_back(entry.path());
+    } else {
+      files.push_back(arg);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "fuzz_replay " << target->name << ": no corpus files\n";
+    return 1;
+  }
+
+  // branch -> first file that exercised it.
+  std::map<std::string, std::string> first_file;
+  std::map<std::string, int> counts;
+  bool failed = false;
+  for (const std::filesystem::path& file : files) {
+    std::string branch;
+    try {
+      branch = target->run(read_file(file));
+    } catch (const std::exception& e) {
+      std::cout << "  " << file.filename().string() << ": CRASH " << e.what()
+                << "\n";
+      failed = true;
+      continue;
+    }
+    std::cout << "  " << file.filename().string() << ": " << branch << "\n";
+    ++counts[branch];
+    auto [it, inserted] = first_file.emplace(branch, file.filename().string());
+    if (!inserted && require_distinct) {
+      std::cout << "duplicate branch '" << branch << "': " << it->second
+                << " and " << file.filename().string() << "\n";
+      failed = true;
+    }
+  }
+
+  std::cout << "fuzz_replay " << target->name << ": " << files.size()
+            << " inputs, " << counts.size() << " branches:";
+  for (const auto& [branch, count] : counts)
+    std::cout << " " << branch << "=" << count;
+  std::cout << "\n";
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,182 @@
+#include "targets.hpp"
+
+#include "core/characterization.hpp"
+#include "core/system_spec.hpp"
+#include "dag/wdl.hpp"
+#include "serve/app.hpp"
+#include "util/error.hpp"
+#include "util/http.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::fuzz {
+
+namespace {
+
+/// Maps a ParseError message to a stable branch name.  Checked in order;
+/// the specific hardening branches (depth, range, surrogate) come first
+/// so they never fall through to a generic bucket.
+std::string classify_json_error(std::string_view what) {
+  const auto has = [&](const char* text) {
+    return what.find(text) != std::string_view::npos;
+  };
+  if (has("depth limit")) return "depth";
+  if (has("out of range")) return "number-range";
+  if (has("surrogate")) return "surrogate";
+  if (has("trailing")) return "trailing";
+  if (has("\\u escape")) return "unicode-escape";
+  if (has("escape character")) return "escape";
+  if (has("malformed number")) return "number";
+  if (has("invalid literal")) return "literal";
+  if (has("end of input")) return "eof";
+  if (has("key string")) return "object-key";
+  if (has("in object")) return "object";
+  if (has("in array")) return "array";
+  if (has("expected a value")) return "value";
+  return "syntax";
+}
+
+const char* json_kind(const util::Json& doc) {
+  if (doc.is_object()) return "object";
+  if (doc.is_array()) return "array";
+  if (doc.is_string()) return "string";
+  if (doc.is_number()) return "number";
+  if (doc.is_bool()) return "bool";
+  return "null";
+}
+
+}  // namespace
+
+std::string run_json(std::string_view input) {
+  util::Json doc;
+  try {
+    doc = util::Json::parse(input);
+  } catch (const util::ParseError& e) {
+    return "reject:" + classify_json_error(e.what());
+  }
+  // Accepted documents must survive serialize -> reparse -> serialize
+  // byte-identically (the repro-file and serve byte-identity contracts).
+  const std::string dumped = doc.dump();
+  if (util::Json::parse(dumped).dump() != dumped) return "fail:round-trip";
+  return std::string("ok:") + json_kind(doc);
+}
+
+std::string run_http(std::string_view input) {
+  util::HttpLimits limits;
+  limits.max_header_bytes = 1024;
+  limits.max_body_bytes = 2048;
+  util::HttpParser parser(limits);
+  parser.feed(input);
+  int requests = 0;
+  for (;;) {
+    util::HttpRequest request;
+    const util::HttpParser::Status status = parser.next(&request);
+    if (status == util::HttpParser::Status::kComplete) {
+      // Exercise the accessors fuzzed bytes flow into.
+      request.path();
+      request.keep_alive();
+      if (const std::string* type = request.header("content-type"))
+        (void)*type;
+      ++requests;
+      continue;
+    }
+    if (status == util::HttpParser::Status::kError) {
+      std::string label = "error:" + std::to_string(parser.error_status());
+      // The 400 family has four distinct framing branches; split them so
+      // each corpus entry can prove it covers a different one.
+      const std::string& message = parser.error_message();
+      if (parser.error_status() == 400) {
+        if (message.find("request line") != std::string::npos)
+          label += "-request-line";
+        else if (message.find("header field") != std::string::npos)
+          label += "-header";
+        else if (message.find("Content-Length") != std::string::npos)
+          label += "-length";
+        else if (message.find("absolute") != std::string::npos)
+          label += "-target";
+      }
+      return label;
+    }
+    break;  // kNeedMore
+  }
+  if (requests == 0) return "needmore";
+  return util::format("ok:%d%s", requests,
+                      parser.buffer_empty() ? "" : "+partial");
+}
+
+std::string run_spec(std::string_view input) {
+  util::Json doc;
+  try {
+    doc = util::Json::parse(input);
+  } catch (const util::ParseError&) {
+    return "reject:json";
+  }
+  // Run all three loaders on every document: a fuzzer mutating one valid
+  // spec then probes the others' error handling for free.
+  const auto probe = [](auto&& load) -> const char* {
+    try {
+      load();
+      return "ok";
+    } catch (const util::ParseError&) {
+      return "parse";
+    } catch (const util::NotFound&) {
+      return "notfound";
+    } catch (const util::InvalidArgument&) {
+      return "invalid";
+    }
+  };
+  const char* wdl = probe([&] { dag::load_workflow_json(doc); });
+  const char* sys = probe([&] { core::SystemSpec::from_json(doc).validate(); });
+  const char* chz = probe([&] {
+    core::WorkflowCharacterization::from_json(doc).validate();
+  });
+  return util::format("wdl=%s sys=%s chz=%s", wdl, sys, chz);
+}
+
+std::string run_serve(std::string_view input) {
+  // One App per process: the sweep memo cache persists across inputs
+  // exactly as it does across requests in production.  sweep_jobs=1 keeps
+  // the harness single-threaded; the small grid cap bounds per-input work.
+  static serve::App app{[] {
+    serve::AppOptions options;
+    options.sweep_jobs = 1;
+    options.max_sweep_points = 64;
+    return options;
+  }()};
+  const std::size_t newline = input.find('\n');
+  std::string_view head = input.substr(0, newline);
+  const std::string_view body =
+      newline == std::string_view::npos ? std::string_view{}
+                                        : input.substr(newline + 1);
+  std::string_view query;
+  if (const std::size_t q = head.find('?'); q != std::string_view::npos) {
+    query = head.substr(q + 1);
+    head = head.substr(0, q);
+  }
+  const bool sweep = head == "sweep";
+  const util::HttpResponse response = sweep
+                                          ? app.sweep_from_bytes(body, query)
+                                          : app.roofline_from_bytes(body);
+  std::string label = util::format("%s:%d", sweep ? "sweep" : "roofline",
+                                   response.status);
+  if (response.content_type == "application/x-ndjson") label += ":ndjson";
+  return label;
+}
+
+const std::vector<Target>& targets() {
+  static const std::vector<Target> kTargets = {
+      {"json", "util::Json::parse + serializer round-trip", run_json},
+      {"http", "util::HttpParser request framing", run_http},
+      {"spec", "workflow/system/characterization spec loaders", run_spec},
+      {"serve", "/v1/roofline and /v1/sweep handlers", run_serve},
+  };
+  return kTargets;
+}
+
+const Target* find_target(std::string_view name) {
+  for (const Target& target : targets())
+    if (name == target.name) return &target;
+  return nullptr;
+}
+
+}  // namespace wfr::fuzz

@@ -1,0 +1,129 @@
+// Property tests for util::Json (docs/TESTING.md): parse -> serialize ->
+// parse round-trip identity on generated documents, and rejection of the
+// known nasties (deep nesting, lone surrogates, 1e999, trailing garbage)
+// that the fuzz corpus also pins down one input at a time.
+
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace wfr::util {
+namespace {
+
+/// Deterministic random document generator.  Depth-limited so every
+/// generated document is parseable; numbers come from a small menu that
+/// includes integers, negatives, and values needing full double precision.
+class DocGen {
+ public:
+  explicit DocGen(std::uint64_t seed) : rng_(seed) {}
+
+  Json value(int depth = 0) {
+    const int kind = depth >= 4 ? pick(4) : pick(6);
+    switch (kind) {
+      case 0: return Json(nullptr);
+      case 1: return Json(pick(2) == 0);
+      case 2: return number();
+      case 3: return Json(string());
+      case 4: {
+        JsonArray array;
+        const int count = pick(4);
+        for (int i = 0; i < count; ++i) array.push_back(value(depth + 1));
+        return Json(std::move(array));
+      }
+      default: {
+        JsonObject object;
+        const int count = pick(4);
+        for (int i = 0; i < count; ++i)
+          object.set("k" + std::to_string(i), value(depth + 1));
+        return Json(std::move(object));
+      }
+    }
+  }
+
+ private:
+  int pick(int n) { return static_cast<int>(rng_() % static_cast<unsigned>(n)); }
+
+  Json number() {
+    switch (pick(5)) {
+      case 0: return Json(0);
+      case 1: return Json(-17);
+      case 2: return Json(0.1);  // classic shortest-round-trip case
+      case 3: return Json(1.0 / 3.0);
+      default:
+        // An arbitrary full-precision double in [0, 1).
+        return Json(static_cast<double>(rng_()) / 1.8446744073709552e19);
+    }
+  }
+
+  std::string string() {
+    static const char* kSamples[] = {"", "plain", "with \"quotes\"",
+                                     "tab\tnewline\n", "unicode \xE2\x82\xAC",
+                                     "back\\slash"};
+    return kSamples[pick(6)];
+  }
+
+  std::mt19937_64 rng_;
+};
+
+TEST(JsonPropertyTest, RoundTripIdentityOnGeneratedDocuments) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    DocGen gen(seed);
+    const Json doc = gen.value();
+    const std::string once = doc.dump();
+    const Json reparsed = Json::parse(once);
+    EXPECT_EQ(reparsed.dump(), once) << "seed " << seed;
+    // pretty() must parse back to the same document too.
+    EXPECT_EQ(Json::parse(doc.pretty()).dump(), once) << "seed " << seed;
+  }
+}
+
+TEST(JsonPropertyTest, NestingUpToTheDepthLimitParses) {
+  const std::string at_limit(128, '[');
+  EXPECT_NO_THROW(Json::parse(at_limit + std::string(128, ']')));
+}
+
+TEST(JsonPropertyTest, RejectsNestingBeyondTheDepthLimit) {
+  const std::string too_deep(129, '[');
+  EXPECT_THROW(Json::parse(too_deep + std::string(129, ']')), ParseError);
+  // Mixed nesting counts both container kinds.
+  std::string mixed;
+  for (int i = 0; i < 100; ++i) mixed += "[{\"k\":";
+  EXPECT_THROW(Json::parse(mixed), ParseError);
+}
+
+TEST(JsonPropertyTest, RejectsLoneSurrogates) {
+  EXPECT_THROW(Json::parse("\"\\ud800\""), ParseError);        // lone high
+  EXPECT_THROW(Json::parse("\"\\udfff\""), ParseError);        // lone low
+  EXPECT_THROW(Json::parse("\"\\ud83d x\""), ParseError);      // unpaired high
+  EXPECT_THROW(Json::parse("\"\\ud83d\\u0041\""), ParseError); // bad pair
+}
+
+TEST(JsonPropertyTest, AcceptsSurrogatePairsAsUtf8) {
+  const Json doc = Json::parse("\"\\ud83d\\ude00\"");  // U+1F600
+  EXPECT_EQ(doc.as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonPropertyTest, RejectsOutOfRangeNumbers) {
+  EXPECT_THROW(Json::parse("1e999"), ParseError);
+  EXPECT_THROW(Json::parse("-1e999"), ParseError);
+  // The largest finite double still parses.
+  EXPECT_NO_THROW(Json::parse("1.7976931348623157e308"));
+}
+
+TEST(JsonPropertyTest, RejectsTrailingGarbage) {
+  EXPECT_THROW(Json::parse("{} x"), ParseError);
+  EXPECT_THROW(Json::parse("1 2"), ParseError);
+  EXPECT_THROW(Json::parse("null,"), ParseError);
+}
+
+TEST(JsonPropertyTest, AsIntRejectsValuesBeyondInt64) {
+  EXPECT_THROW(Json::parse("1e300").as_int(), ParseError);
+  EXPECT_EQ(Json::parse("-9007199254740992").as_int(), -9007199254740992);
+}
+
+}  // namespace
+}  // namespace wfr::util
