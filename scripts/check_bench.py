@@ -5,8 +5,10 @@ Reads the NDJSON result lines the bench binaries print (schema in
 bench/README.md) and compares every metric recorded in
 bench/baselines/BENCH_*.json against the current run:
 
-  * lower-is-better units (``ns/op``, ``us``, ``ms``, ``s/op`` ...) fail
-    when the current value exceeds baseline * (1 + tolerance);
+  * lower-is-better units (``ns/op``, ``us``, ``ms``, ``s/op`` ... and
+    memory footprints in ``bytes``/``kB``/``MB``/``GB``, e.g. the
+    peak-RSS metrics of BENCH_sweep_1m) fail when the current value
+    exceeds baseline * (1 + tolerance);
   * higher-is-better units (``items/s``, ``req/s``, any ``.../s``) fail
     when the current value drops below baseline * (1 - tolerance);
   * ``bool`` / ``match`` metrics must not regress from 1 to 0;
@@ -31,7 +33,8 @@ import os
 import re
 import sys
 
-LOWER_IS_BETTER_UNITS = {"ns", "us", "ms", "s"}
+# Time units plus memory footprints (RSS): both regress upward.
+LOWER_IS_BETTER_UNITS = {"ns", "us", "ms", "s", "bytes", "kB", "MB", "GB"}
 
 ANSI_ESCAPES = re.compile(r"\x1b\[[0-9;]*m")
 

@@ -10,6 +10,7 @@
 #include "exec/thread_pool.hpp"
 #include "sim/runner.hpp"
 #include "util/error.hpp"
+#include "util/file.hpp"
 #include "util/strings.hpp"
 
 namespace wfr::check {
@@ -239,10 +240,7 @@ std::vector<std::string> write_repro_files(const DifferentialRunner& runner,
         (std::filesystem::path(directory) /
          util::format("check-repro-%zu.json", r.scenario.index))
             .string();
-    std::ofstream out(path);
-    util::require(out.good(),
-                  "cannot open repro file for writing: " + path);
-    out << runner.repro_json(r).pretty() << "\n";
+    util::write_file(path, runner.repro_json(r).pretty() + "\n");
     paths.push_back(path);
   }
   return paths;

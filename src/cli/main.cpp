@@ -28,14 +28,21 @@
 //   wfr sweep    --system <spec.json|preset>
 //                (--characterization <c.json> | --workflow <wf.json>)
 //                [--param name=v1,v2,...]... [--jobs <n>] [--ndjson <out>]
-//                [--svg <out.svg>] [--metrics <out.json>]
+//                [--svg <out.svg>] [--metrics <out.json>] [--cache-cap <n>]
+//                [--stream] [--reorder-window <n>]
+//                [--checkpoint <ckpt.json>] [--checkpoint-every <rows>]
+//                [--resume <ckpt.json>]
 //       Fan a what-if parameter grid (cross product of every --param
 //       axis) across the scenario thread pool and tabulate each point's
 //       parallelism wall, attainable throughput, and binding ceiling.
 //       Emits one NDJSON line per point; --svg renders a multi-curve
 //       roofline overlaying every scenario's binding ceiling.  --jobs
 //       (then WFR_JOBS, then the hardware) sets the worker count; output
-//       is bit-for-bit identical for any job count.
+//       is bit-for-bit identical for any job count.  --stream emits rows
+//       as they complete (deterministic order, flat RSS — the
+//       campaign-scale path); --checkpoint/--resume persist and pick up
+//       progress so a killed sweep re-assembles byte-identically.
+//       --cache-cap bounds the memo cache (LRU beyond it).
 //   wfr check    [--seeds <n>] [--tolerance <x>] [--jobs <n>]
 //                [--base-seed <n>] [--repro-dir <dir>]
 //                [--replay <repro.json>]
@@ -63,6 +70,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -82,6 +90,7 @@
 #include "core/pipeline.hpp"
 #include "core/system_spec.hpp"
 #include "dag/wdl.hpp"
+#include "exec/checkpoint.hpp"
 #include "exec/sweep.hpp"
 #include "plot/ascii.hpp"
 #include "plot/gantt_plot.hpp"
@@ -92,6 +101,7 @@
 #include "sim/runner.hpp"
 #include "trace/summary.hpp"
 #include "util/error.hpp"
+#include "util/file.hpp"
 #include "util/parse.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -101,13 +111,9 @@ namespace {
 
 using namespace wfr;
 
-std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw util::Error("cannot read '" + path + "'");
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
-}
+// Checked IO (util/file.hpp): reads and writes throw with the path in the
+// message instead of silently producing truncated artifacts.
+using util::read_file;
 
 core::SystemSpec load_system(const std::string& arg) {
   if (arg == "perlmutter-gpu") return core::SystemSpec::perlmutter_gpu();
@@ -188,10 +194,13 @@ void print_usage() {
       "               (--characterization <c.json> | --workflow <wf.json>)\n"
       "               [--param name=v1,v2,...]... [--jobs <n>]\n"
       "               [--target <seconds>] [--ndjson <out>] [--svg <out.svg>]\n"
-      "               [--metrics <out.json>]\n"
+      "               [--metrics <out.json>] [--cache-cap <n>]\n"
+      "               [--stream] [--reorder-window <n>]\n"
+      "               [--checkpoint <ckpt.json>] [--checkpoint-every <rows>]\n"
+      "               [--resume <ckpt.json>]\n"
       "  wfr serve    [--port <n>] [--host <addr>] [--jobs <n>]\n"
       "               [--max-queue <n>] [--max-body <bytes>]\n"
-      "               [--sweep-jobs <n>]\n"
+      "               [--sweep-jobs <n>] [--sweep-cache-cap <n>]\n"
       "  wfr check    [--seeds <n>] [--tolerance <x>] [--jobs <n>]\n"
       "               [--base-seed <n>] [--repro-dir <dir>]\n"
       "               [--replay <repro.json>]\n"
@@ -270,9 +279,7 @@ int cmd_simulate(const Args& args) {
     std::cout << "wrote " << *gantt << "\n";
   }
   if (auto json = args.get_optional("json")) {
-    std::ofstream out(*json, std::ios::binary);
-    if (!out) throw util::Error("cannot write '" + *json + "'");
-    out << trace.to_json().pretty() << "\n";
+    util::write_file(*json, trace.to_json().pretty() + "\n");
     std::cout << "wrote " << *json << "\n";
   }
   return 0;
@@ -321,9 +328,7 @@ int cmd_run(const Args& args) {
               << " (open at https://ui.perfetto.dev or chrome://tracing)\n";
   }
   if (auto path = args.get_optional("metrics")) {
-    std::ofstream out(*path, std::ios::binary);
-    if (!out) throw util::Error("cannot write '" + *path + "'");
-    out << observation.to_json().pretty() << "\n";
+    util::write_file(*path, observation.to_json().pretty() + "\n");
     std::cout << "wrote " << *path << "\n";
   }
   if (auto gantt = args.get_optional("gantt")) {
@@ -338,6 +343,148 @@ int cmd_run(const Args& args) {
     roofline::add_operating_point(&model, point);
     plot::write_roofline_svg(model, *svg);
     std::cout << "wrote " << *svg << "\n";
+  }
+  return 0;
+}
+
+// wfr sweep --stream — the campaign-scale path: rows stream to stdout
+// (and --ndjson) in deterministic row order as slots complete, with no
+// end-of-grid buffering, so RSS stays flat at any grid size.  With
+// --checkpoint the sweep periodically persists its progress (grid hash,
+// emitted-row prefix, output byte count; exec/checkpoint.hpp) and
+// --resume picks up where a killed run left off, re-assembling the
+// NDJSON file byte-identically to an uninterrupted run.
+int run_sweep_stream(const Args& args, const exec::SweepGrid& grid,
+                     exec::SweepOptions options) {
+  if (args.get_optional("svg"))
+    throw util::InvalidArgument(
+        "--svg buffers every scenario model; drop --stream to render it");
+
+  exec::StreamOptions stream;
+  if (auto window = args.get_optional("reorder-window"))
+    stream.reorder_window = static_cast<std::size_t>(
+        parse_long_flag_in("reorder-window", *window, 1, 1 << 24));
+
+  const auto ndjson_path = args.get_optional("ndjson");
+  auto checkpoint_path = args.get_optional("checkpoint");
+  const auto resume_path = args.get_optional("resume");
+  if ((checkpoint_path || resume_path) && !ndjson_path)
+    throw util::InvalidArgument(
+        "--checkpoint/--resume need --ndjson: the checkpoint records the "
+        "output file's byte length");
+  // Resuming keeps checkpointing to the same file unless overridden.
+  if (resume_path && !checkpoint_path) checkpoint_path = resume_path;
+
+  std::size_t checkpoint_every = 4096;
+  if (auto every = args.get_optional("checkpoint-every"))
+    checkpoint_every = static_cast<std::size_t>(
+        parse_long_flag_in("checkpoint-every", *every, 1, 1 << 30));
+  std::optional<std::uint64_t> abort_after;
+  if (auto rows = args.get_optional("abort-after-rows"))
+    abort_after = parse_u64_flag("abort-after-rows", *rows);
+
+  std::uint64_t ndjson_bytes = 0;
+  std::ofstream out;
+  if (resume_path) {
+    const exec::SweepCheckpoint ckpt = exec::load_checkpoint(*resume_path);
+    util::require(ckpt.grid_hash == grid.grid_hash(),
+                  "checkpoint '" + *resume_path +
+                      "' does not match this sweep grid (checkpoint " +
+                      util::to_hex(ckpt.grid_hash) + ", grid " +
+                      util::to_hex(grid.grid_hash()) + ")");
+    util::require(ckpt.rows <= grid.size(),
+                  "checkpoint '" + *resume_path + "' records " +
+                      std::to_string(ckpt.rows) + " rows but the grid has " +
+                      std::to_string(grid.size()) + " points");
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(*ndjson_path, ec);
+    if (ec)
+      throw util::Error("cannot read '" + *ndjson_path +
+                        "' for resume: " + ec.message());
+    util::require(
+        size >= ckpt.ndjson_bytes,
+        "'" + *ndjson_path + "' is shorter than checkpoint '" + *resume_path +
+            "' records (" + std::to_string(size) + " < " +
+            std::to_string(ckpt.ndjson_bytes) + " bytes)");
+    // Rows emitted after the last checkpoint are re-evaluated: truncate
+    // the file to the checkpointed byte count and append from there.
+    if (size > ckpt.ndjson_bytes) {
+      std::filesystem::resize_file(*ndjson_path, ckpt.ndjson_bytes, ec);
+      if (ec)
+        throw util::Error("cannot write '" + *ndjson_path +
+                          "': truncate for resume failed: " + ec.message());
+    }
+    stream.start_row = static_cast<std::size_t>(ckpt.rows);
+    ndjson_bytes = ckpt.ndjson_bytes;
+    out.open(*ndjson_path, std::ios::binary | std::ios::app);
+  } else if (ndjson_path) {
+    out.open(*ndjson_path, std::ios::binary | std::ios::trunc);
+  }
+  if (ndjson_path && !out)
+    throw util::Error("cannot write '" + *ndjson_path +
+                      "': failed to open for writing");
+
+  exec::SweepRunner runner(options);
+  std::uint64_t rows_done = stream.start_row;
+  std::uint64_t new_rows = 0;
+
+  // Flush-then-checkpoint: the output file is always at least as long as
+  // the checkpoint claims, even if the process dies right after.
+  auto save = [&] {
+    out.flush();
+    if (!out)
+      throw util::Error("cannot write '" + *ndjson_path + "': flush failed");
+    exec::save_checkpoint(*checkpoint_path,
+                          {grid.grid_hash(), rows_done, ndjson_bytes});
+  };
+
+  runner.stream_models(
+      grid, stream, [&](std::size_t row, const exec::ScenarioResult& r) {
+        const std::string line = exec::scenario_result_line(r) + "\n";
+        std::cout << line;
+        if (ndjson_path) {
+          out.write(line.data(), static_cast<std::streamsize>(line.size()));
+          if (!out)
+            throw util::Error("cannot write '" + *ndjson_path +
+                              "': write failed");
+          ndjson_bytes += line.size();
+        }
+        rows_done = row + 1;
+        ++new_rows;
+        if (checkpoint_path && rows_done % checkpoint_every == 0) save();
+        if (abort_after && new_rows >= *abort_after)
+          throw util::Error(util::format(
+              "sweep aborted after %llu rows (--abort-after-rows)",
+              static_cast<unsigned long long>(new_rows)));
+      });
+
+  if (ndjson_path) {
+    out.flush();
+    if (!out)
+      throw util::Error("cannot write '" + *ndjson_path + "': flush failed");
+    out.close();
+  }
+  if (checkpoint_path)
+    exec::save_checkpoint(*checkpoint_path,
+                          {grid.grid_hash(), rows_done, ndjson_bytes});
+
+  const exec::SweepStats stats = runner.stats();
+  std::cout << util::format(
+      "sweep of '%s' on '%s': %zu points, %llu emitted, %llu evaluated, "
+      "%llu cache hits, %llu evictions\n",
+      grid.base_workflow().name.c_str(), grid.base_system().name.c_str(),
+      grid.size(), static_cast<unsigned long long>(new_rows),
+      static_cast<unsigned long long>(stats.cache_misses),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_evictions));
+  if (ndjson_path) std::cout << "wrote " << *ndjson_path << "\n";
+  if (checkpoint_path) std::cout << "wrote " << *checkpoint_path << "\n";
+
+  if (auto path = args.get_optional("metrics")) {
+    obs::MetricsRegistry registry;
+    runner.export_metrics(registry);
+    util::write_file(*path, registry.snapshot().pretty() + "\n");
+    std::cout << "wrote " << *path << "\n";
   }
   return 0;
 }
@@ -383,6 +530,18 @@ int cmd_sweep(const Args& args) {
   exec::SweepOptions options;
   if (auto jobs = args.get_optional("jobs"))
     options.jobs = static_cast<int>(parse_long_flag("jobs", *jobs));
+  if (auto cap = args.get_optional("cache-cap"))
+    options.cache_capacity =
+        static_cast<std::size_t>(parse_u64_flag("cache-cap", *cap));
+
+  if (args.flag("stream"))
+    return run_sweep_stream(args, exec::SweepGrid(system, base, axes),
+                            options);
+  for (const char* flag :
+       {"checkpoint", "checkpoint-every", "resume", "abort-after-rows"})
+    if (args.get_optional(flag))
+      throw util::InvalidArgument(std::string("--") + flag +
+                                  " needs --stream");
 
   const std::vector<exec::Scenario> scenarios =
       exec::expand_grid(system, base, axes);
@@ -416,18 +575,14 @@ int cmd_sweep(const Args& args) {
     ndjson += exec::scenario_result_line(r) + "\n";
   std::cout << ndjson;
   if (auto path = args.get_optional("ndjson")) {
-    std::ofstream out(*path, std::ios::binary);
-    if (!out) throw util::Error("cannot write '" + *path + "'");
-    out << ndjson;
+    util::write_file(*path, ndjson);
     std::cout << "wrote " << *path << "\n";
   }
 
   if (auto path = args.get_optional("metrics")) {
     obs::MetricsRegistry registry;
     runner.export_metrics(registry);
-    std::ofstream out(*path, std::ios::binary);
-    if (!out) throw util::Error("cannot write '" + *path + "'");
-    out << registry.snapshot().pretty() << "\n";
+    util::write_file(*path, registry.snapshot().pretty() + "\n");
     std::cout << "wrote " << *path << "\n";
   }
 
@@ -479,6 +634,9 @@ int cmd_serve(const Args& args) {
   if (auto jobs = args.get_optional("sweep-jobs"))
     app_options.sweep_jobs =
         static_cast<int>(parse_long_flag_in("sweep-jobs", *jobs, 1, 1 << 16));
+  if (auto cap = args.get_optional("sweep-cache-cap"))
+    app_options.sweep_cache_capacity =
+        static_cast<std::size_t>(parse_u64_flag("sweep-cache-cap", *cap));
 
   serve::App app(app_options);
   serve::Server server(options);

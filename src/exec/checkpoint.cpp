@@ -1,0 +1,73 @@
+#include "exec/checkpoint.hpp"
+
+#include "util/error.hpp"
+#include "util/file.hpp"
+
+namespace wfr::exec {
+
+util::Json checkpoint_to_json(const SweepCheckpoint& checkpoint) {
+  util::JsonObject doc;
+  doc.set("wfr_sweep_checkpoint", util::Json(kSweepCheckpointVersion));
+  doc.set("grid_hash", util::Json(util::to_hex(checkpoint.grid_hash)));
+  util::JsonArray range;
+  range.emplace_back(std::int64_t{0});
+  range.emplace_back(static_cast<std::int64_t>(checkpoint.rows));
+  util::JsonArray completed;
+  completed.emplace_back(std::move(range));
+  doc.set("completed", util::Json(std::move(completed)));
+  doc.set("ndjson_bytes",
+          util::Json(static_cast<std::int64_t>(checkpoint.ndjson_bytes)));
+  return util::Json(std::move(doc));
+}
+
+SweepCheckpoint checkpoint_from_json(const util::Json& json) {
+  if (!json.is_object())
+    throw util::ParseError("sweep checkpoint: document is not an object");
+  const util::JsonObject& doc = json.as_object();
+  const util::Json* version = doc.find("wfr_sweep_checkpoint");
+  if (version == nullptr)
+    throw util::ParseError(
+        "sweep checkpoint: missing 'wfr_sweep_checkpoint' version marker");
+  if (!version->is_number() ||
+      version->as_int() != kSweepCheckpointVersion)
+    throw util::ParseError(
+        "sweep checkpoint: unsupported version " + version->dump() +
+        " (this build reads version " +
+        std::to_string(kSweepCheckpointVersion) + ")");
+
+  SweepCheckpoint checkpoint;
+  checkpoint.grid_hash = util::hash_from_hex(doc.at("grid_hash").as_string());
+
+  const util::JsonArray& completed = doc.at("completed").as_array();
+  if (completed.size() != 1)
+    throw util::ParseError(
+        "sweep checkpoint: 'completed' must hold exactly one range, got " +
+        std::to_string(completed.size()));
+  const util::JsonArray& range = completed.front().as_array();
+  if (range.size() != 2)
+    throw util::ParseError("sweep checkpoint: range must be [start, end]");
+  const std::int64_t start = range[0].as_int();
+  const std::int64_t end = range[1].as_int();
+  if (start != 0 || end < 0)
+    throw util::ParseError(
+        "sweep checkpoint: completed range must be a [0, rows] prefix, got " +
+        completed.front().dump());
+  checkpoint.rows = static_cast<std::uint64_t>(end);
+
+  const std::int64_t bytes = doc.at("ndjson_bytes").as_int();
+  if (bytes < 0)
+    throw util::ParseError("sweep checkpoint: ndjson_bytes must be >= 0");
+  checkpoint.ndjson_bytes = static_cast<std::uint64_t>(bytes);
+  return checkpoint;
+}
+
+void save_checkpoint(const std::string& path,
+                     const SweepCheckpoint& checkpoint) {
+  util::write_file_atomic(path, checkpoint_to_json(checkpoint).dump() + "\n");
+}
+
+SweepCheckpoint load_checkpoint(const std::string& path) {
+  return checkpoint_from_json(util::Json::parse(util::read_file(path)));
+}
+
+}  // namespace wfr::exec

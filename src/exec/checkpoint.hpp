@@ -1,0 +1,59 @@
+#pragma once
+// Sweep checkpoint/resume.  A checkpoint records how far a streaming
+// sweep got — which rows of the grid have been fully emitted and how
+// many NDJSON bytes they occupy — keyed on the grid's fingerprint so a
+// stale checkpoint can never be replayed against a different grid.
+//
+// Format (versioned JSON, written atomically via util::write_file_atomic):
+//   {"wfr_sweep_checkpoint": 1,
+//    "grid_hash": "<32 lowercase hex chars>",
+//    "completed": [[0, <rows>]],
+//    "ndjson_bytes": <bytes>}
+//
+// Because stream_models emits rows in strictly increasing order, the
+// completed set is always a single prefix range [0, rows) in version 1;
+// the range-list encoding leaves room for future sharded producers.
+// ndjson_bytes is the exact size of the output file after `rows` rows:
+// on resume the partial file is truncated to this length (discarding any
+// rows emitted after the last checkpoint) and appending continues at
+// row `rows`, which re-assembles byte-identically to an uninterrupted
+// run.  Writers must flush the output file *before* saving a checkpoint
+// so the file is never shorter than ndjson_bytes, even after SIGKILL.
+
+#include <cstdint>
+#include <string>
+
+#include "util/hash.hpp"
+#include "util/json.hpp"
+
+namespace wfr::exec {
+
+inline constexpr int kSweepCheckpointVersion = 1;
+
+struct SweepCheckpoint {
+  /// SweepGrid::grid_hash() of the grid this checkpoint belongs to.
+  util::Hash128 grid_hash;
+  /// Rows [0, rows) have been fully emitted.
+  std::uint64_t rows = 0;
+  /// Exact NDJSON output size, in bytes, after `rows` rows.
+  std::uint64_t ndjson_bytes = 0;
+};
+
+/// Serializes to the versioned JSON document above.
+util::Json checkpoint_to_json(const SweepCheckpoint& checkpoint);
+
+/// Parses and validates a checkpoint document.  Throws ParseError on an
+/// unknown version, a malformed shape, or a completed set that is not a
+/// single prefix range.
+SweepCheckpoint checkpoint_from_json(const util::Json& json);
+
+/// Writes `checkpoint` to `path` atomically (temp file + rename), so a
+/// reader — including a resume after SIGKILL mid-save — never observes a
+/// torn checkpoint.
+void save_checkpoint(const std::string& path,
+                     const SweepCheckpoint& checkpoint);
+
+/// Reads and validates the checkpoint at `path`.
+SweepCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace wfr::exec

@@ -1,6 +1,7 @@
 #include "exec/sweep.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "core/advisor.hpp"
 #include "util/error.hpp"
@@ -16,6 +17,43 @@ std::string scenario_key(const Scenario& scenario) {
   return scenario.system.to_json().dump() + "\x1f" +
          scenario.workflow.to_json().dump() + "\x1f" +
          std::to_string(scenario.seed);
+}
+
+util::Hash128 scenario_hash(const Scenario& scenario) {
+  // Same canonical parameter set as scenario_key, digested field-by-field
+  // (no JSON materialization on the per-point hot path).  Field order is
+  // fixed and strings are length-prefixed, so equal parameters always
+  // digest equally.  Extend this whenever SystemSpec or
+  // WorkflowCharacterization grows a field.
+  util::HashStream h;
+  h.str("wfr-scenario-v1");
+  const core::SystemSpec& s = scenario.system;
+  h.str(s.name);
+  h.f64(s.node.peak_flops);
+  h.f64(s.node.dram_gbs);
+  h.f64(s.node.hbm_gbs);
+  h.f64(s.node.pcie_gbs);
+  h.f64(s.node.nic_gbs);
+  h.i64(s.total_nodes);
+  h.f64(s.fs_gbs);
+  h.f64(s.external_gbs);
+  const core::WorkflowCharacterization& w = scenario.workflow;
+  h.str(w.name);
+  h.i64(w.total_tasks);
+  h.i64(w.parallel_tasks);
+  h.i64(w.nodes_per_task);
+  h.f64(w.flops_per_node);
+  h.f64(w.dram_bytes_per_node);
+  h.f64(w.hbm_bytes_per_node);
+  h.f64(w.pcie_bytes_per_node);
+  h.f64(w.network_bytes_per_task);
+  h.f64(w.fs_bytes_per_task);
+  h.f64(w.external_bytes_per_task);
+  h.f64(w.overhead_seconds_per_task);
+  h.f64(w.makespan_seconds);
+  h.f64(w.target_makespan_seconds);
+  h.u64(scenario.seed);
+  return h.digest();
 }
 
 ScenarioResult evaluate_model_scenario(const Scenario& scenario) {
@@ -51,16 +89,54 @@ std::vector<ScenarioResult> SweepRunner::run_models(
   return results;
 }
 
-void SweepRunner::export_metrics(obs::MetricsRegistry& registry) const {
-  registry.counter("sweep.scenarios")
-      .increment(static_cast<double>(stats_.scenarios));
-  registry.counter("sweep.cache_hits")
-      .increment(static_cast<double>(stats_.cache_hits));
-  registry.counter("sweep.cache_misses")
-      .increment(static_cast<double>(stats_.cache_misses));
+SweepStats SweepRunner::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  SweepStats snapshot = stats_;
+  snapshot.cache_entries = static_cast<std::uint64_t>(lru_.size());
+  return snapshot;
 }
 
-SweepRunner::SweepRunner(SweepOptions options) : pool_(options.jobs) {}
+void SweepRunner::export_metrics(obs::MetricsRegistry& registry) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Delta export: add only what accrued since the previous call, so a
+  // shared runner scraped once per request never double-counts.
+  registry.counter("sweep.scenarios")
+      .increment(static_cast<double>(stats_.scenarios - exported_.scenarios));
+  registry.counter("sweep.cache_hits")
+      .increment(static_cast<double>(stats_.cache_hits - exported_.cache_hits));
+  registry.counter("sweep.cache_misses")
+      .increment(
+          static_cast<double>(stats_.cache_misses - exported_.cache_misses));
+  registry.counter("sweep.cache_evictions")
+      .increment(static_cast<double>(stats_.cache_evictions -
+                                     exported_.cache_evictions));
+  registry.gauge("sweep.cache_entries")
+      .set(static_cast<double>(lru_.size()));
+  exported_ = stats_;
+}
+
+void SweepRunner::complete_entry(const CacheKey& key) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return;  // unreachable: in-flight entries pinned
+  if (cache_capacity_ == 0) {
+    // No retention: the entry served concurrent waiters via the shared
+    // future; drop it now that evaluation finished.
+    cache_.erase(it);
+    return;
+  }
+  it->second.completed = true;
+  lru_.push_front(key);
+  it->second.lru = lru_.begin();
+  while (lru_.size() > cache_capacity_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : pool_(options.jobs), cache_capacity_(options.cache_capacity) {}
 
 std::string scenario_result_line(const ScenarioResult& result) {
   util::JsonObject line;
@@ -83,7 +159,7 @@ std::string scenario_result_line(const ScenarioResult& result) {
 
 namespace {
 
-/// The grid axis names expand_grid understands.
+/// The grid axis names SweepGrid understands.
 constexpr const char* kKnownAxes[] = {
     "nodes_per_task", "efficiency",   "parallel_tasks", "total_tasks",
     "total_nodes",    "fs_gbs",       "external_gbs",   "nic_gbs",
@@ -106,75 +182,259 @@ int positive_int_param(const std::string& name, double value) {
 
 }  // namespace
 
-std::vector<Scenario> expand_grid(const core::SystemSpec& base_system,
-                                  const core::WorkflowCharacterization& base,
-                                  const std::vector<ParamAxis>& axes) {
-  std::size_t points = 1;
-  for (const ParamAxis& axis : axes) {
+SweepGrid::SweepGrid(core::SystemSpec base_system,
+                     core::WorkflowCharacterization base_workflow,
+                     std::vector<ParamAxis> axes)
+    : base_system_(std::move(base_system)),
+      base_workflow_(std::move(base_workflow)),
+      axes_(std::move(axes)) {
+  for (const ParamAxis& axis : axes_) {
     util::require(known_axis(axis.name),
                   "unknown sweep axis '" + axis.name + "'");
     util::require(!axis.values.empty(),
                   "sweep axis '" + axis.name + "' has no values");
-    points *= axis.values.size();
+    util::require(points_ <= std::numeric_limits<std::size_t>::max() /
+                                 axis.values.size(),
+                  "sweep grid size overflows");
+    points_ *= axis.values.size();
+  }
+}
+
+Scenario SweepGrid::at(std::size_t flat) const {
+  util::require(flat < points_,
+                util::format("sweep grid index %zu out of range (%zu points)",
+                             flat, points_));
+  Scenario scenario;
+  scenario.system = base_system_;
+  scenario.workflow = base_workflow_;
+
+  // Row-major cross product: the first axis varies slowest.
+  std::size_t remainder = flat;
+  std::size_t stride = points_;
+  for (const ParamAxis& axis : axes_) {
+    stride /= axis.values.size();
+    const double value = axis.values[remainder / stride];
+    remainder %= stride;
+    scenario.params.emplace_back(axis.name, value);
   }
 
-  std::vector<Scenario> scenarios;
-  scenarios.reserve(points);
-  // Row-major cross product: the first axis varies slowest.
-  for (std::size_t flat = 0; flat < points; ++flat) {
-    Scenario scenario;
-    scenario.system = base_system;
-    scenario.workflow = base;
-
-    std::size_t remainder = flat;
-    std::size_t stride = points;
-    for (const ParamAxis& axis : axes) {
-      stride /= axis.values.size();
-      const double value = axis.values[remainder / stride];
-      remainder %= stride;
-      scenario.params.emplace_back(axis.name, value);
+  double intra_factor = 1.0;
+  double efficiency = 1.0;
+  bool scale_intra = false;
+  for (const auto& [name, value] : scenario.params) {
+    if (name == "nodes_per_task") {
+      intra_factor = value;
+      scale_intra = true;
+    } else if (name == "efficiency") {
+      efficiency = value;
+      scale_intra = true;
+    } else if (name == "parallel_tasks") {
+      scenario.workflow.parallel_tasks = positive_int_param(name, value);
+    } else if (name == "total_tasks") {
+      scenario.workflow.total_tasks = positive_int_param(name, value);
+    } else if (name == "total_nodes") {
+      scenario.system.total_nodes = positive_int_param(name, value);
+    } else if (name == "fs_gbs") {
+      scenario.system.fs_gbs = value;
+    } else if (name == "external_gbs") {
+      scenario.system.external_gbs = value;
+    } else if (name == "nic_gbs") {
+      scenario.system.node.nic_gbs = value;
+    } else if (name == "peak_flops") {
+      scenario.system.node.peak_flops = value;
     }
+  }
+  if (scale_intra) {
+    scenario.workflow = core::scale_intra_task_parallelism(
+        scenario.workflow, intra_factor, efficiency);
+  }
 
-    double intra_factor = 1.0;
-    double efficiency = 1.0;
-    bool scale_intra = false;
-    for (const auto& [name, value] : scenario.params) {
-      if (name == "nodes_per_task") {
-        intra_factor = value;
-        scale_intra = true;
-      } else if (name == "efficiency") {
-        efficiency = value;
-        scale_intra = true;
-      } else if (name == "parallel_tasks") {
-        scenario.workflow.parallel_tasks = positive_int_param(name, value);
-      } else if (name == "total_tasks") {
-        scenario.workflow.total_tasks = positive_int_param(name, value);
-      } else if (name == "total_nodes") {
-        scenario.system.total_nodes = positive_int_param(name, value);
-      } else if (name == "fs_gbs") {
-        scenario.system.fs_gbs = value;
-      } else if (name == "external_gbs") {
-        scenario.system.external_gbs = value;
-      } else if (name == "nic_gbs") {
-        scenario.system.node.nic_gbs = value;
-      } else if (name == "peak_flops") {
-        scenario.system.node.peak_flops = value;
+  std::string label;
+  for (const auto& [name, value] : scenario.params) {
+    if (!label.empty()) label += " ";
+    label += name + "=" + util::format("%g", value);
+  }
+  scenario.label = label.empty() ? base_workflow_.name : label;
+  return scenario;
+}
+
+util::Hash128 SweepGrid::grid_hash() const {
+  // The grid identity: base inputs plus axes.  The JSON dumps are
+  // insertion-order-stable canonical serializations; this runs once per
+  // sweep, not per point.
+  util::HashStream h;
+  h.str("wfr-sweep-grid-v1");
+  h.str(base_system_.to_json().dump());
+  h.str(base_workflow_.to_json().dump());
+  h.u64(axes_.size());
+  for (const ParamAxis& axis : axes_) {
+    h.str(axis.name);
+    h.u64(axis.values.size());
+    for (const double value : axis.values) h.f64(value);
+  }
+  return h.digest();
+}
+
+std::vector<Scenario> expand_grid(const core::SystemSpec& base_system,
+                                  const core::WorkflowCharacterization& base,
+                                  const std::vector<ParamAxis>& axes) {
+  const SweepGrid grid(base_system, base, axes);
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(grid.size());
+  for (std::size_t flat = 0; flat < grid.size(); ++flat)
+    scenarios.push_back(grid.at(flat));
+  return scenarios;
+}
+
+namespace {
+
+constexpr std::size_t kNoError = std::numeric_limits<std::size_t>::max();
+
+/// Shared state of one streaming fan-out: a claim frontier throttled
+/// against the emit frontier (bounded reorder window), a ring of
+/// completed-but-unemitted rows, and first-by-index error capture.
+struct StreamState {
+  std::mutex mutex;
+  std::condition_variable can_claim;
+  std::condition_variable done;
+  std::size_t next_claim = 0;
+  std::size_t emit_next = 0;
+  std::size_t end = 0;
+  std::size_t window = 1;
+  std::vector<ScenarioResult> ring;
+  std::vector<char> ready;
+  bool emitting = false;
+  std::size_t live_runners = 0;
+  std::exception_ptr error;
+  std::size_t error_index = kNoError;
+};
+
+void record_stream_error(StreamState& state, std::size_t index,
+                         std::exception_ptr error) {
+  std::unique_lock<std::mutex> lock(state.mutex);
+  if (index < state.error_index) {
+    state.error_index = index;
+    state.error = std::move(error);
+  }
+  state.can_claim.notify_all();
+}
+
+}  // namespace
+
+void SweepRunner::stream_models(const SweepGrid& grid,
+                                const StreamOptions& options,
+                                const RowSink& sink) {
+  util::require(static_cast<bool>(sink), "stream_models needs a sink");
+  util::require(options.reorder_window >= 1,
+                "stream reorder_window must be >= 1");
+  util::require(options.start_row <= grid.size(),
+                util::format("stream start_row %zu beyond grid (%zu points)",
+                             options.start_row, grid.size()));
+  const std::size_t end = grid.size();
+  if (options.start_row >= end) return;
+
+  auto evaluate = [this](const Scenario& scenario) {
+    return evaluate_cached<ScenarioResult>(scenario, [](const Scenario& s) {
+      return evaluate_model_scenario(s);
+    });
+  };
+  // A cache hit returns the first-evaluated point's presentation
+  // metadata; restore the requested row's own label (the run_models
+  // pattern, docs/PARALLELISM.md).
+  auto evaluate_row = [&](std::size_t row) {
+    Scenario scenario = grid.at(row);
+    ScenarioResult result = evaluate(scenario);
+    result.label = scenario.label;
+    result.scenario = std::move(scenario);
+    return result;
+  };
+
+  // Single-job pools stream inline: claim order == emit order, no window
+  // bookkeeping, exceptions propagate at the failing row.
+  if (pool_.jobs() == 1) {
+    for (std::size_t row = options.start_row; row < end; ++row)
+      sink(row, evaluate_row(row));
+    return;
+  }
+
+  StreamState state;
+  state.next_claim = options.start_row;
+  state.emit_next = options.start_row;
+  state.end = end;
+  state.window = options.reorder_window;
+  state.ring.resize(state.window);
+  state.ready.assign(state.window, 0);
+
+  auto worker = [&] {
+    for (;;) {
+      std::size_t row;
+      {
+        std::unique_lock<std::mutex> lock(state.mutex);
+        state.can_claim.wait(lock, [&] {
+          return state.next_claim >= state.end ||
+                 state.next_claim < state.emit_next + state.window ||
+                 state.error_index != kNoError;
+        });
+        if (state.next_claim >= state.end || state.error_index != kNoError)
+          break;
+        row = state.next_claim++;
+      }
+      ScenarioResult result;
+      try {
+        result = evaluate_row(row);
+      } catch (...) {
+        record_stream_error(state, row, std::current_exception());
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(state.mutex);
+      state.ring[row % state.window] = std::move(result);
+      state.ready[row % state.window] = 1;
+      // Drain the contiguous head.  Only one worker emits at a time and
+      // rows leave in strictly increasing order; the sink runs unlocked
+      // so evaluation continues behind it.
+      while (!state.emitting && state.error_index == kNoError &&
+             state.emit_next < state.end &&
+             state.ready[state.emit_next % state.window]) {
+        state.emitting = true;
+        const std::size_t emit_row = state.emit_next;
+        ScenarioResult value =
+            std::move(state.ring[emit_row % state.window]);
+        state.ring[emit_row % state.window] = ScenarioResult{};
+        state.ready[emit_row % state.window] = 0;
+        lock.unlock();
+        std::exception_ptr sink_error;
+        try {
+          sink(emit_row, value);
+        } catch (...) {
+          sink_error = std::current_exception();
+        }
+        lock.lock();
+        state.emitting = false;
+        if (sink_error) {
+          if (emit_row < state.error_index) {
+            state.error_index = emit_row;
+            state.error = std::move(sink_error);
+          }
+          state.can_claim.notify_all();
+          break;
+        }
+        ++state.emit_next;
+        state.can_claim.notify_all();
       }
     }
-    if (scale_intra) {
-      scenario.workflow = core::scale_intra_task_parallelism(
-          scenario.workflow, intra_factor, efficiency);
-    }
+    std::unique_lock<std::mutex> lock(state.mutex);
+    if (--state.live_runners == 0) state.done.notify_all();
+  };
 
-    std::string label;
-    for (const auto& [name, value] : scenario.params) {
-      if (!label.empty()) label += " ";
-      label += name + "=" + util::format("%g", value);
-    }
-    scenario.label = label.empty() ? base.name : label;
-    scenarios.push_back(std::move(scenario));
-  }
-  return scenarios;
+  const std::size_t rows = end - options.start_row;
+  const std::size_t runners =
+      std::min<std::size_t>(static_cast<std::size_t>(pool_.jobs()), rows);
+  state.live_runners = runners;
+  for (std::size_t r = 0; r < runners; ++r) pool_.submit(worker);
+
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state] { return state.live_runners == 0; });
+  if (state.error) std::rethrow_exception(state.error);
 }
 
 }  // namespace wfr::exec

@@ -3,33 +3,53 @@
 // the thread pool, memoizing repeated points so identical (system,
 // workflow, seed) configurations are evaluated exactly once per runner.
 //
-// This is the engine behind `wfr sweep`, the capacity-planning and LCLS
-// what-if examples, and the sweep-scaling benchmark.  The determinism
-// contract of exec::parallel_for applies: results land in slots by
-// scenario index and every output is bit-for-bit identical at --jobs 1
-// and --jobs N (docs/PARALLELISM.md).
+// This is the engine behind `wfr sweep`, `POST /v1/sweep`, the
+// capacity-planning and LCLS what-if examples, and the sweep benchmarks.
+// The determinism contract of exec::parallel_for applies: results land in
+// slots by scenario index and every output is bit-for-bit identical at
+// --jobs 1 and --jobs N (docs/PARALLELISM.md).
 //
-// The memo cache is keyed on the canonicalized scenario parameters — the
-// JSON serialization of the system spec and workflow characterization
-// plus the scenario seed (never the label) — so repeated sweep points hit
-// the cache even when labeled differently.  Cache hit/miss totals are
-// exported through obs::MetricsRegistry.
+// Campaign-scale sweeps (the ROADMAP's million-point grids) use the
+// streaming layer instead of the buffering run() API:
+//   * SweepGrid describes a parameter grid without materializing it —
+//     scenarios are built on demand by flat index, so a 10^6-point grid
+//     costs O(1) resident memory, and grid_hash() fingerprints the grid
+//     for checkpoint/resume (exec/checkpoint.hpp).
+//   * stream_models() emits results in deterministic scenario order *as
+//     slots complete*: a bounded reorder window holds out-of-order
+//     completions, claims are throttled against the emit frontier, and
+//     there is no end-of-grid barrier.  Peak resident state is
+//     O(reorder_window + cache capacity + jobs), independent of grid
+//     size.
+//
+// The memo cache is keyed on a fixed-width 128-bit hash of the canonical
+// scenario parameters — the system spec, workflow characterization, and
+// scenario seed, never the label or grid coordinates — and is size-capped
+// with LRU eviction so cache growth cannot swallow a campaign's RSS.
+// In-flight entries are pinned (never evicted mid-evaluation); capacity 0
+// disables retention entirely while still deduplicating concurrent
+// identical keys through the shared-future path.  Hit/miss/eviction
+// totals are exported through obs::MetricsRegistry with delta semantics,
+// so repeated exports (e.g. one per /metrics scrape) never double-count.
 
 #include <any>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <map>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <typeinfo>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/model.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/registry.hpp"
+#include "util/hash.hpp"
 
 namespace wfr::exec {
 
@@ -45,12 +65,23 @@ struct Scenario {
   /// when points must draw independent streams (this forgoes dedup).
   std::uint64_t seed = 0;
   /// The grid coordinates that produced this point (name, value), in axis
-  /// order.  Filled by expand_grid; carried into NDJSON output.
+  /// order.  Filled by SweepGrid/expand_grid; carried into NDJSON output.
   std::vector<std::pair<std::string, double>> params;
 };
 
-/// Canonical cache key of a scenario (system + workflow + seed, no label).
+/// Canonical cache key of a scenario as human-readable bytes (system +
+/// workflow + seed, no label).  Kept for diagnostics and tests; the memo
+/// cache itself keys on scenario_hash, the fixed-width digest of the same
+/// canonical parameter set.
 std::string scenario_key(const Scenario& scenario);
+
+/// Fixed-width digest of the canonical scenario parameters: every field
+/// of the system spec and workflow characterization plus the seed, field
+/// order fixed, strings length-prefixed.  Labels and grid coordinates are
+/// presentation-only and excluded.  Equal parameters always digest
+/// equally; this is the memo-cache key and must be extended whenever
+/// SystemSpec or WorkflowCharacterization grows a field.
+util::Hash128 scenario_hash(const Scenario& scenario);
 
 /// The model-based evaluation of one scenario (SweepRunner::run_models).
 struct ScenarioResult {
@@ -77,35 +108,96 @@ struct ScenarioResult {
 /// Deterministic bytes: field order fixed, params in axis order.
 std::string scenario_result_line(const ScenarioResult& result);
 
-/// One axis of a parameter grid (see expand_grid for the known names).
+/// One axis of a parameter grid (see SweepGrid for the known names).
 struct ParamAxis {
   std::string name;
   std::vector<double> values;
 };
 
-/// Expands a parameter grid into scenarios: the cross product of the axes
-/// in row-major order (first axis slowest).  Known axis names:
+/// A parameter grid described lazily: the cross product of the axes in
+/// row-major order (first axis slowest), materialized one scenario at a
+/// time by flat index.  Known axis names:
 ///   nodes_per_task — intra-task-parallelism factor applied via
 ///                    core::scale_intra_task_parallelism;
 ///   efficiency     — strong-scaling efficiency used by nodes_per_task
 ///                    (default 1.0; an axis of its own);
 ///   parallel_tasks, total_tasks, total_nodes — absolute integers;
 ///   fs_gbs, external_gbs, nic_gbs, peak_flops — absolute rates.
-/// Throws InvalidArgument on an unknown name or an empty axis.
+/// The constructor throws InvalidArgument on an unknown name or an empty
+/// axis.  at(flat) is a pure function of (grid definition, flat), so
+/// streaming workers can materialize rows independently in any order.
+class SweepGrid {
+ public:
+  SweepGrid(core::SystemSpec base_system,
+            core::WorkflowCharacterization base_workflow,
+            std::vector<ParamAxis> axes);
+
+  /// Number of points (product of the axis lengths; 1 for no axes).
+  std::size_t size() const { return points_; }
+
+  /// Materializes the scenario at `flat` (row-major).  Throws
+  /// InvalidArgument when out of range or when an integer axis lands on a
+  /// non-integral value.
+  Scenario at(std::size_t flat) const;
+
+  /// Fingerprint of the grid definition (base system + base workflow +
+  /// axes), the identity a checkpoint is keyed on: resuming under a
+  /// different grid is an error, not silent corruption.
+  util::Hash128 grid_hash() const;
+
+  const core::SystemSpec& base_system() const { return base_system_; }
+  const core::WorkflowCharacterization& base_workflow() const {
+    return base_workflow_;
+  }
+  const std::vector<ParamAxis>& axes() const { return axes_; }
+
+ private:
+  core::SystemSpec base_system_;
+  core::WorkflowCharacterization base_workflow_;
+  std::vector<ParamAxis> axes_;
+  std::size_t points_ = 1;
+};
+
+/// Materializes a whole grid into a vector (the small-grid path: tables,
+/// SVG overlays, run_models).  Campaign-scale grids should stay lazy via
+/// SweepGrid + stream_models.
 std::vector<Scenario> expand_grid(const core::SystemSpec& base_system,
                                   const core::WorkflowCharacterization& base,
                                   const std::vector<ParamAxis>& axes);
 
+/// Default completed-entry capacity of the memo cache.
+inline constexpr std::size_t kDefaultSweepCacheCapacity = 1 << 16;
+
 struct SweepOptions {
   /// Worker threads; 0 = resolve_jobs() (WFR_JOBS, then hardware).
   int jobs = 0;
+  /// Maximum completed entries retained by the memo cache (LRU beyond
+  /// this).  0 disables retention: nothing is memoized across points, but
+  /// concurrently in-flight identical keys still share one evaluation.
+  std::size_t cache_capacity = kDefaultSweepCacheCapacity;
 };
 
-/// Cache statistics of one runner.
+/// Cache statistics of one runner.  Counters are lifetime totals;
+/// cache_entries is the current completed-entry count (a gauge).
 struct SweepStats {
   std::uint64_t scenarios = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_entries = 0;
+};
+
+/// Streaming evaluation options (SweepRunner::stream_models).
+struct StreamOptions {
+  /// Maximum completed-but-unemitted rows held while an earlier row is
+  /// still evaluating.  Claims are throttled to
+  /// [emit frontier, emit frontier + window), bounding buffered results;
+  /// larger windows tolerate more completion skew, smaller ones bound
+  /// memory tighter.  Must be >= 1.
+  std::size_t reorder_window = 1024;
+  /// First row to evaluate and emit; rows below are assumed already
+  /// emitted by a previous run (checkpoint resume).
+  std::size_t start_row = 0;
 };
 
 /// Evaluates scenarios on a pool with memoization.  A runner's cache
@@ -117,6 +209,7 @@ class SweepRunner {
   explicit SweepRunner(SweepOptions options = {});
 
   int jobs() const { return pool_.jobs(); }
+  std::size_t cache_capacity() const { return cache_capacity_; }
 
   /// Fans `scenarios` across the pool through `eval`; returns results in
   /// scenario order.  R must be default-constructible and copyable.  An
@@ -138,18 +231,64 @@ class SweepRunner {
   std::vector<ScenarioResult> run_models(
       const std::vector<Scenario>& scenarios);
 
-  const SweepStats& stats() const { return stats_; }
+  /// Sink of one streamed row.  Invoked by exactly one worker at a time
+  /// (the runner serializes emission), with `row` strictly increasing
+  /// from options.start_row; the result is owned by the runner and valid
+  /// only for the duration of the call.  A sink exception stops the
+  /// stream after the current row and propagates to the caller.
+  using RowSink = std::function<void(std::size_t row, const ScenarioResult&)>;
 
-  /// Adds this runner's lifetime totals to `registry` as the counters
-  /// sweep.scenarios, sweep.cache_hits, sweep.cache_misses.
-  void export_metrics(obs::MetricsRegistry& registry) const;
+  /// Streams rows [options.start_row, grid.size()) of the grid through
+  /// the model evaluator in deterministic row order, with no end-of-grid
+  /// barrier: each row is handed to `sink` as soon as it and every row
+  /// before it have completed.  Emitted bytes (via scenario_result_line)
+  /// are identical to the buffering run_models path and invariant under
+  /// jobs, reorder_window, and resume splits.  An evaluator exception
+  /// stops claims and rethrows lowest-index-first; rows already handed to
+  /// the sink stay emitted (a checkpoint written from the sink remains
+  /// valid).
+  void stream_models(const SweepGrid& grid, const StreamOptions& options,
+                     const RowSink& sink);
+
+  /// Snapshot of the cache statistics (thread-safe).
+  SweepStats stats() const;
+
+  /// Exports this runner's statistics into `registry` as the counters
+  /// sweep.scenarios, sweep.cache_hits, sweep.cache_misses,
+  /// sweep.cache_evictions and the gauge sweep.cache_entries.  Counter
+  /// export is delta-based: each call adds only what accrued since the
+  /// previous export, so exporting twice into the same registry (one
+  /// /metrics scrape per request, say) never double-counts.
+  void export_metrics(obs::MetricsRegistry& registry);
 
  private:
+  /// Memo-cache key: scenario digest plus the evaluator's result type
+  /// (one runner may cache heterogeneous result types).
+  struct CacheKey {
+    util::Hash128 scenario;
+    std::size_t type = 0;
+    friend bool operator==(const CacheKey& a, const CacheKey& b) {
+      return a.scenario == b.scenario && a.type == b.type;
+    }
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const {
+      return static_cast<std::size_t>(key.scenario.lo ^
+                                      (key.scenario.hi * 0x9e3779b97f4a7c15ULL) ^
+                                      key.type);
+    }
+  };
+  struct CacheEntry {
+    std::any future;  // std::shared_future<R>
+    /// Completed entries are LRU-evictable; in-flight ones are pinned.
+    bool completed = false;
+    std::list<CacheKey>::iterator lru;
+  };
+
   template <typename R>
   R evaluate_cached(const Scenario& scenario,
                     const std::function<R(const Scenario&)>& eval) {
-    const std::string key =
-        scenario_key(scenario) + "\x1f" + typeid(R).name();
+    const CacheKey key{scenario_hash(scenario), typeid(R).hash_code()};
     std::shared_future<R> future;
     std::promise<R> promise;
     bool owner = false;
@@ -159,11 +298,15 @@ class SweepRunner {
       auto it = cache_.find(key);
       if (it != cache_.end()) {
         ++stats_.cache_hits;
-        future = std::any_cast<std::shared_future<R>>(it->second);
+        if (it->second.completed)
+          lru_.splice(lru_.begin(), lru_, it->second.lru);
+        future = std::any_cast<std::shared_future<R>>(it->second.future);
       } else {
         ++stats_.cache_misses;
         future = promise.get_future().share();
-        cache_.emplace(key, future);
+        CacheEntry entry;
+        entry.future = future;
+        cache_.emplace(key, std::move(entry));
         owner = true;
       }
     }
@@ -173,14 +316,25 @@ class SweepRunner {
       } catch (...) {
         promise.set_exception(std::current_exception());
       }
+      complete_entry(key);
     }
     return future.get();
   }
 
+  /// Marks `key` completed: with capacity 0 the entry is dropped (its
+  /// shared_future keeps serving waiters that already joined); otherwise
+  /// it becomes the most-recent LRU entry and the tail is evicted down to
+  /// capacity.
+  void complete_entry(const CacheKey& key);
+
   ThreadPool pool_;
-  std::mutex mutex_;
-  std::map<std::string, std::any> cache_;
+  std::size_t cache_capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  std::list<CacheKey> lru_;  // front = most recently used, completed only
   SweepStats stats_;
+  /// Counter values as of the previous export_metrics call.
+  SweepStats exported_;
 };
 
 /// Evaluates one scenario through core::build_model (the run_models

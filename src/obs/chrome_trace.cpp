@@ -1,9 +1,9 @@
 #include "obs/chrome_trace.hpp"
 
 #include <algorithm>
-#include <cstdio>
 
 #include "util/error.hpp"
+#include "util/file.hpp"
 
 namespace wfr::obs {
 
@@ -172,12 +172,7 @@ void write_chrome_trace(const std::string& path,
                         const ChromeTraceOptions& options) {
   const std::string text =
       chrome_trace_json(trace, resources, options).dump();
-  FILE* fp = std::fopen(path.c_str(), "wb");
-  if (fp == nullptr)
-    throw util::Error("cannot open '" + path + "' for writing");
-  std::fwrite(text.data(), 1, text.size(), fp);
-  std::fputc('\n', fp);
-  std::fclose(fp);
+  util::write_file(path, text + "\n");
 }
 
 }  // namespace wfr::obs

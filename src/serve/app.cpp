@@ -93,7 +93,9 @@ util::Json ceilings_json(const core::RooflineModel& model, int wall) {
 }  // namespace
 
 App::App(AppOptions options)
-    : options_(options), runner_(exec::SweepOptions{options.sweep_jobs}) {}
+    : options_(options),
+      runner_(exec::SweepOptions{options.sweep_jobs,
+                                 options.sweep_cache_capacity}) {}
 
 void App::bind(Server& server) {
   server_ = &server;
@@ -242,11 +244,6 @@ util::HttpResponse App::handle_sweep(const util::HttpRequest& request) {
     axes.push_back(std::move(axis));
   }
 
-  const std::vector<exec::Scenario> scenarios =
-      exec::expand_grid(system, base, axes);
-  const std::vector<exec::ScenarioResult> results =
-      runner_.run_models(scenarios);
-
   std::string format = body.as_object().contains("format")
                            ? body.at("format").as_string()
                            : "json";
@@ -257,11 +254,24 @@ util::HttpResponse App::handle_sweep(const util::HttpRequest& request) {
 
   util::HttpResponse response;
   if (format == "ndjson") {
+    // Stream the grid row by row: scenarios materialize lazily and each
+    // result is dropped once serialized, so resident state is the memo
+    // cache plus the reorder window — not the grid.
+    const exec::SweepGrid grid(system, base, axes);
     response.content_type = "application/x-ndjson";
-    for (const exec::ScenarioResult& result : results)
-      response.body += exec::scenario_result_line(result) + "\n";
+    runner_.stream_models(
+        grid, exec::StreamOptions{},
+        [&response](std::size_t, const exec::ScenarioResult& result) {
+          response.body += exec::scenario_result_line(result) + "\n";
+        });
     return response;
   }
+
+  const std::vector<exec::Scenario> scenarios =
+      exec::expand_grid(system, base, axes);
+  const std::vector<exec::ScenarioResult> results =
+      runner_.run_models(scenarios);
+
   util::JsonObject out;
   out.set("workflow", util::Json(base.name));
   out.set("system", util::Json(system.name));
@@ -340,13 +350,12 @@ util::HttpResponse App::handle_metrics(const util::HttpRequest&) {
       registry_.gauge("serve.requests.served")
           .set(static_cast<double>(stats.requests.load()));
     }
+    // Sweep counters export with delta semantics, so folding them into
+    // the persistent registry keeps Prometheus-correct cumulative series
+    // without double-counting across scrapes.
+    runner_.export_metrics(registry_);
     text = registry_.prometheus_text();
   }
-  // The sweep runner keeps its own lifetime totals; export through a
-  // scratch registry so repeated scrapes never double-count.
-  obs::MetricsRegistry sweep_registry;
-  runner_.export_metrics(sweep_registry);
-  text += sweep_registry.prometheus_text();
 
   util::HttpResponse response;
   response.content_type = "text/plain; version=0.0.4";

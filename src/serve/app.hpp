@@ -43,6 +43,10 @@ struct AppOptions {
   /// Independent of the server's connection workers, so sweep results
   /// stay deterministic regardless of how many connections are served.
   int sweep_jobs = 0;
+  /// Memo-cache capacity of the shared SweepRunner (LRU beyond this), so
+  /// a long-lived service's cache footprint is bounded no matter how many
+  /// distinct grids clients sweep.
+  std::size_t sweep_cache_capacity = exec::kDefaultSweepCacheCapacity;
   /// Reject grids whose cross product exceeds this many points (400).
   std::size_t max_sweep_points = 10000;
 };

@@ -1,0 +1,38 @@
+#include "util/file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace wfr::util {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot read '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad()) throw Error("cannot read '" + path + "': read failed");
+  return out.str();
+}
+
+void write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw Error("cannot write '" + path + "': failed to open for writing");
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) throw Error("cannot write '" + path + "': write failed");
+}
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string temp = path + ".tmp";
+  write_file(temp, content);
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    throw Error("cannot write '" + path + "': rename from temp failed");
+  }
+}
+
+}  // namespace wfr::util

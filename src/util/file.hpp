@@ -1,0 +1,25 @@
+#pragma once
+// Checked small-file IO.  Every CLI artifact (NDJSON sweeps, metrics
+// snapshots, traces, checkpoints) goes through these helpers so a
+// failed write — unwritable directory, permission error, disk full —
+// fails loudly with the path in the message instead of silently
+// producing a truncated or missing file.
+
+#include <string>
+#include <string_view>
+
+namespace wfr::util {
+
+/// Reads a whole file; throws Error("cannot read '<path>'") on failure.
+std::string read_file(const std::string& path);
+
+/// Writes (truncating) and flushes `content`; throws
+/// Error("cannot write '<path>': ...") when the file cannot be opened or
+/// any part of the write fails.
+void write_file(const std::string& path, std::string_view content);
+
+/// write_file through a sibling temp file plus rename, so readers never
+/// observe a partially written file (checkpoints rely on this).
+void write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace wfr::util

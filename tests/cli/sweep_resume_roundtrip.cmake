@@ -1,0 +1,71 @@
+# Asserts the checkpoint/resume workflow end to end: a sweep killed
+# mid-run (--abort-after-rows) leaves a checkpoint from which --resume —
+# even at a different --jobs — re-assembles the NDJSON file byte-identical
+# to an uninterrupted run.  A checkpoint from a different grid must be
+# rejected.
+# Usage: cmake -DWFR=<wfr-binary> -DDATA=<data-dir> -DOUT_DIR=<scratch> -P this-file
+foreach(variable WFR DATA OUT_DIR)
+  if(NOT DEFINED ${variable})
+    message(FATAL_ERROR "missing -D${variable}=...")
+  endif()
+endforeach()
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+set(common
+  sweep --system perlmutter-gpu
+  --characterization ${DATA}/characterizations/bgw_64.json
+  --param nodes_per_task=0.5,1,2,4 --param fs_gbs=100,200,500 --stream)
+
+execute_process(
+  COMMAND ${WFR} ${common} --jobs 2 --ndjson ${OUT_DIR}/full.ndjson
+  OUTPUT_QUIET RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "uninterrupted sweep failed with ${status}")
+endif()
+
+# Kill mid-run: checkpoint every 2 rows, abort after 5 emitted rows.  The
+# abort must exit non-zero and leave a valid checkpoint behind.
+execute_process(
+  COMMAND ${WFR} ${common} --jobs 2 --ndjson ${OUT_DIR}/part.ndjson
+    --checkpoint ${OUT_DIR}/ckpt.json --checkpoint-every 2
+    --abort-after-rows 5
+  OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE status)
+if(status EQUAL 0)
+  message(FATAL_ERROR "--abort-after-rows unexpectedly exited 0")
+endif()
+if(NOT EXISTS ${OUT_DIR}/ckpt.json)
+  message(FATAL_ERROR "aborted sweep left no checkpoint")
+endif()
+
+# Resume at a different job count; the re-assembled file must match the
+# uninterrupted run byte for byte.
+execute_process(
+  COMMAND ${WFR} ${common} --jobs 8 --ndjson ${OUT_DIR}/part.ndjson
+    --resume ${OUT_DIR}/ckpt.json
+  OUTPUT_QUIET RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "resume failed with ${status}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${OUT_DIR}/full.ndjson ${OUT_DIR}/part.ndjson
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "resumed NDJSON differs from the uninterrupted run")
+endif()
+
+# A checkpoint keyed on a different grid must be rejected loudly.
+execute_process(
+  COMMAND ${WFR} sweep --system perlmutter-gpu
+    --characterization ${DATA}/characterizations/bgw_64.json
+    --param nodes_per_task=1,2 --stream
+    --ndjson ${OUT_DIR}/part.ndjson --resume ${OUT_DIR}/ckpt.json
+  OUTPUT_QUIET ERROR_VARIABLE mismatch RESULT_VARIABLE status)
+if(status EQUAL 0)
+  message(FATAL_ERROR "resume against a different grid unexpectedly passed")
+endif()
+if(NOT mismatch MATCHES "does not match this sweep grid")
+  message(FATAL_ERROR "grid mismatch not reported:\n${mismatch}")
+endif()
+message(STATUS "wfr sweep checkpoint/resume round-trip verified")

@@ -1,0 +1,47 @@
+# Asserts the streaming sweep contract end to end: `wfr sweep --stream`
+# writes NDJSON byte-identical to the buffering path, at --jobs 1/2/8 and
+# across reorder windows.
+# Usage: cmake -DWFR=<wfr-binary> -DDATA=<data-dir> -DOUT_DIR=<scratch> -P this-file
+foreach(variable WFR DATA OUT_DIR)
+  if(NOT DEFINED ${variable})
+    message(FATAL_ERROR "missing -D${variable}=...")
+  endif()
+endforeach()
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+set(common
+  sweep --system perlmutter-gpu
+  --characterization ${DATA}/characterizations/bgw_64.json
+  --param nodes_per_task=0.5,1,2,4,8 --param efficiency=1,0.8,0.6)
+
+execute_process(
+  COMMAND ${WFR} ${common} --jobs 2 --ndjson ${OUT_DIR}/batch.ndjson
+  OUTPUT_QUIET RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "batch sweep failed with ${status}")
+endif()
+file(READ ${OUT_DIR}/batch.ndjson reference)
+if(reference STREQUAL "")
+  message(FATAL_ERROR "batch sweep wrote an empty NDJSON file")
+endif()
+
+foreach(jobs 1 2 8)
+  foreach(window 1 4 1024)
+    set(out ${OUT_DIR}/stream_j${jobs}_w${window}.ndjson)
+    execute_process(
+      COMMAND ${WFR} ${common} --stream --jobs ${jobs}
+        --reorder-window ${window} --ndjson ${out}
+      OUTPUT_QUIET RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+      message(FATAL_ERROR "stream sweep (jobs ${jobs}, window ${window}) "
+        "failed with ${status}")
+    endif()
+    file(READ ${out} streamed)
+    if(NOT streamed STREQUAL reference)
+      message(FATAL_ERROR "stream NDJSON differs from batch at "
+        "jobs ${jobs}, window ${window}")
+    endif()
+  endforeach()
+endforeach()
+message(STATUS "wfr sweep --stream byte-identity verified")

@@ -1,0 +1,44 @@
+# Asserts output writes fail loudly: pointing --ndjson at an unwritable
+# path must exit non-zero with "cannot write" and the path in the message
+# (regression: these writes used to fail silently after a successful
+# open-check).  Covered for both the buffering and streaming paths.
+# Usage: cmake -DWFR=<wfr-binary> -DDATA=<data-dir> -P this-file
+foreach(variable WFR DATA)
+  if(NOT DEFINED ${variable})
+    message(FATAL_ERROR "missing -D${variable}=...")
+  endif()
+endforeach()
+
+set(common
+  sweep --system perlmutter-gpu
+  --characterization ${DATA}/characterizations/bgw_64.json
+  --param nodes_per_task=1,2)
+set(bad_path /nonexistent-dir/wfr-out.ndjson)
+
+foreach(mode batch stream)
+  set(extra "")
+  if(mode STREQUAL stream)
+    set(extra --stream)
+  endif()
+  execute_process(
+    COMMAND ${WFR} ${common} ${extra} --ndjson ${bad_path}
+    OUTPUT_QUIET ERROR_VARIABLE stderr RESULT_VARIABLE status)
+  if(status EQUAL 0)
+    message(FATAL_ERROR "${mode} sweep to ${bad_path} unexpectedly exited 0")
+  endif()
+  if(NOT stderr MATCHES "cannot write '/nonexistent-dir/wfr-out.ndjson'")
+    message(FATAL_ERROR
+      "${mode} sweep did not name the unwritable path:\n${stderr}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${WFR} ${common} --metrics /nonexistent-dir/wfr-metrics.json
+  OUTPUT_QUIET ERROR_VARIABLE stderr RESULT_VARIABLE status)
+if(status EQUAL 0)
+  message(FATAL_ERROR "--metrics to an unwritable path unexpectedly exited 0")
+endif()
+if(NOT stderr MATCHES "cannot write '/nonexistent-dir/wfr-metrics.json'")
+  message(FATAL_ERROR "--metrics did not name the unwritable path:\n${stderr}")
+endif()
+message(STATUS "wfr sweep unwritable-output failures verified")

@@ -1,0 +1,98 @@
+// Tests for the versioned sweep checkpoint format: JSON round trip,
+// atomic save/load, and rejection of unknown versions and malformed
+// shapes (a bad checkpoint must fail loudly, never resume silently).
+
+#include "exec/checkpoint.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/file.hpp"
+
+namespace wfr::exec {
+namespace {
+
+SweepCheckpoint sample() {
+  SweepCheckpoint ckpt;
+  ckpt.grid_hash = util::hash_bytes("some grid definition");
+  ckpt.rows = 123456;
+  ckpt.ndjson_bytes = 9876543;
+  return ckpt;
+}
+
+TEST(SweepCheckpointTest, JsonRoundTrip) {
+  const SweepCheckpoint before = sample();
+  const util::Json doc = checkpoint_to_json(before);
+  EXPECT_EQ(doc.at("wfr_sweep_checkpoint").as_int(), kSweepCheckpointVersion);
+  EXPECT_EQ(doc.at("grid_hash").as_string(), util::to_hex(before.grid_hash));
+
+  const SweepCheckpoint after = checkpoint_from_json(doc);
+  EXPECT_EQ(after.grid_hash, before.grid_hash);
+  EXPECT_EQ(after.rows, before.rows);
+  EXPECT_EQ(after.ndjson_bytes, before.ndjson_bytes);
+}
+
+TEST(SweepCheckpointTest, SaveAndLoadFile) {
+  const std::string path = testing::TempDir() + "wfr_ckpt_test.json";
+  const SweepCheckpoint before = sample();
+  save_checkpoint(path, before);
+  // Atomic write leaves no temp file behind.
+  EXPECT_THROW(util::read_file(path + ".tmp"), util::Error);
+  const SweepCheckpoint after = load_checkpoint(path);
+  EXPECT_EQ(after.grid_hash, before.grid_hash);
+  EXPECT_EQ(after.rows, before.rows);
+  EXPECT_EQ(after.ndjson_bytes, before.ndjson_bytes);
+}
+
+TEST(SweepCheckpointTest, RejectsUnknownVersion) {
+  util::Json doc = checkpoint_to_json(sample());
+  const std::string text = doc.dump();
+  const std::string bumped =
+      "{\"wfr_sweep_checkpoint\":999" +
+      text.substr(text.find(',', 0));
+  EXPECT_THROW(checkpoint_from_json(util::Json::parse(bumped)),
+               util::ParseError);
+}
+
+TEST(SweepCheckpointTest, RejectsMalformedShapes) {
+  // Not an object.
+  EXPECT_THROW(checkpoint_from_json(util::Json::parse("[1,2]")),
+               util::ParseError);
+  // Missing version marker.
+  EXPECT_THROW(checkpoint_from_json(util::Json::parse("{}")),
+               util::ParseError);
+  const std::string hash = util::to_hex(sample().grid_hash);
+  // Completed set that is not a prefix range.
+  EXPECT_THROW(
+      checkpoint_from_json(util::Json::parse(
+          "{\"wfr_sweep_checkpoint\":1,\"grid_hash\":\"" + hash +
+          "\",\"completed\":[[5,10]],\"ndjson_bytes\":0}")),
+      util::ParseError);
+  // More than one range.
+  EXPECT_THROW(
+      checkpoint_from_json(util::Json::parse(
+          "{\"wfr_sweep_checkpoint\":1,\"grid_hash\":\"" + hash +
+          "\",\"completed\":[[0,5],[7,9]],\"ndjson_bytes\":0}")),
+      util::ParseError);
+  // Negative byte count.
+  EXPECT_THROW(
+      checkpoint_from_json(util::Json::parse(
+          "{\"wfr_sweep_checkpoint\":1,\"grid_hash\":\"" + hash +
+          "\",\"completed\":[[0,5]],\"ndjson_bytes\":-3}")),
+      util::ParseError);
+  // Malformed grid hash.
+  EXPECT_THROW(
+      checkpoint_from_json(util::Json::parse(
+          "{\"wfr_sweep_checkpoint\":1,\"grid_hash\":\"nothex\","
+          "\"completed\":[[0,5]],\"ndjson_bytes\":0}")),
+      util::ParseError);
+}
+
+TEST(SweepCheckpointTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_checkpoint("/nonexistent-dir/ckpt.json"), util::Error);
+}
+
+}  // namespace
+}  // namespace wfr::exec

@@ -1,0 +1,210 @@
+// Tests for SweepRunner::stream_models: deterministic in-order emission
+// with a bounded reorder window, byte-identity against the buffering
+// run_models path at any job count / window / resume split, and error
+// propagation from both the evaluator and the sink.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/sweep.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace wfr::exec {
+namespace {
+
+core::SystemSpec test_system() {
+  core::SystemSpec system;
+  system.name = "stream-test-system";
+  system.total_nodes = 128;
+  system.node.peak_flops = 10.0 * util::kTFLOPS;
+  system.node.dram_gbs = 200.0 * util::kGBs;
+  system.node.nic_gbs = 25.0 * util::kGBs;
+  system.fs_gbs = 500.0 * util::kGBs;
+  system.external_gbs = 5.0 * util::kGBs;
+  return system;
+}
+
+core::WorkflowCharacterization test_workflow() {
+  core::WorkflowCharacterization wf;
+  wf.name = "stream-test-workflow";
+  wf.total_tasks = 56;
+  wf.parallel_tasks = 28;
+  wf.nodes_per_task = 2;
+  wf.flops_per_node = 4.4e15;
+  wf.dram_bytes_per_node = 2.0e13;
+  wf.network_bytes_per_task = 1.0e11;
+  wf.fs_bytes_per_task = 2.5e11;
+  return wf;
+}
+
+SweepGrid test_grid() {
+  return SweepGrid(test_system(), test_workflow(),
+                   {{"efficiency", {1.0, 0.8, 0.6}},
+                    {"nodes_per_task", {0.5, 1.0, 2.0, 4.0, 8.0}}});
+}
+
+/// The reference bytes: the buffering path at --jobs 1.
+std::string batch_ndjson(const SweepGrid& grid) {
+  SweepRunner runner({1});
+  std::string ndjson;
+  for (const ScenarioResult& r : runner.run_models(
+           expand_grid(grid.base_system(), grid.base_workflow(), grid.axes())))
+    ndjson += scenario_result_line(r) + "\n";
+  return ndjson;
+}
+
+std::string stream_ndjson(const SweepGrid& grid, int jobs,
+                          std::size_t window, std::size_t start_row = 0,
+                          std::size_t cache_capacity =
+                              kDefaultSweepCacheCapacity) {
+  SweepOptions options;
+  options.jobs = jobs;
+  options.cache_capacity = cache_capacity;
+  SweepRunner runner(options);
+  StreamOptions stream;
+  stream.reorder_window = window;
+  stream.start_row = start_row;
+  std::string ndjson;
+  runner.stream_models(grid, stream,
+                       [&ndjson](std::size_t, const ScenarioResult& r) {
+                         ndjson += scenario_result_line(r) + "\n";
+                       });
+  return ndjson;
+}
+
+TEST(StreamModelsTest, MatchesBatchBytesAtAnyJobsAndWindow) {
+  const SweepGrid grid = test_grid();
+  const std::string reference = batch_ndjson(grid);
+  ASSERT_FALSE(reference.empty());
+  for (int jobs : {1, 2, 8})
+    for (std::size_t window : {std::size_t{1}, std::size_t{4},
+                               std::size_t{1024}})
+      EXPECT_EQ(reference, stream_ndjson(grid, jobs, window))
+          << "jobs=" << jobs << " window=" << window;
+}
+
+TEST(StreamModelsTest, TinyCacheDoesNotChangeTheBytes) {
+  const SweepGrid grid = test_grid();
+  const std::string reference = batch_ndjson(grid);
+  EXPECT_EQ(reference, stream_ndjson(grid, 8, 4, 0, /*cache_capacity=*/1));
+  EXPECT_EQ(reference, stream_ndjson(grid, 8, 4, 0, /*cache_capacity=*/0));
+}
+
+TEST(StreamModelsTest, RowsArriveStrictlyInOrder) {
+  const SweepGrid grid = test_grid();
+  SweepRunner runner({8});
+  std::vector<std::size_t> rows;
+  runner.stream_models(grid, {/*reorder_window=*/4},
+                       [&rows](std::size_t row, const ScenarioResult& r) {
+                         rows.push_back(row);
+                         EXPECT_FALSE(r.label.empty());
+                       });
+  ASSERT_EQ(rows.size(), grid.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(rows[i], i);
+}
+
+TEST(StreamModelsTest, ResumeSplitReassemblesByteIdentically) {
+  const SweepGrid grid = test_grid();
+  const std::string reference = batch_ndjson(grid);
+  for (std::size_t split : {std::size_t{1}, std::size_t{7}, grid.size() - 1}) {
+    // First run stops (sink abort) after `split` rows; second run resumes
+    // at start_row=split on a fresh runner, as `wfr sweep --resume` does.
+    std::string first;
+    SweepRunner one({2});
+    try {
+      one.stream_models(grid, {/*reorder_window=*/4},
+                        [&](std::size_t row, const ScenarioResult& r) {
+                          first += scenario_result_line(r) + "\n";
+                          if (row + 1 == split)
+                            throw util::Error("simulated kill");
+                        });
+      FAIL() << "sink abort did not propagate";
+    } catch (const util::Error&) {
+    }
+    const std::string rest = stream_ndjson(grid, 8, 4, split);
+    EXPECT_EQ(reference, first + rest) << "split=" << split;
+  }
+}
+
+TEST(StreamModelsTest, StartRowAtEndEmitsNothing) {
+  const SweepGrid grid = test_grid();
+  EXPECT_EQ(stream_ndjson(grid, 2, 4, grid.size()), "");
+}
+
+TEST(StreamModelsTest, SinkExceptionStopsAfterCurrentRow) {
+  const SweepGrid grid = test_grid();
+  SweepRunner runner({4});
+  std::vector<std::size_t> rows;
+  EXPECT_THROW(
+      runner.stream_models(grid, {/*reorder_window=*/8},
+                           [&rows](std::size_t row, const ScenarioResult&) {
+                             rows.push_back(row);
+                             if (row == 3) throw util::Error("sink failed");
+                           }),
+      util::Error);
+  // Rows before the failure stayed emitted, in order, exactly once.
+  ASSERT_EQ(rows.size(), 4u);
+  for (std::size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(rows[i], i);
+}
+
+TEST(StreamModelsTest, EvaluatorErrorPropagatesAndEarlierRowsEmit) {
+  // total_tasks=2.5 is rejected by the integer-axis validation when the
+  // worker materializes that row, exercising the evaluator-error path.
+  const SweepGrid grid(test_system(), test_workflow(),
+                       {{"total_tasks", {10.0, 11.0, 2.5, 13.0}}});
+  for (int jobs : {1, 4}) {
+    SweepRunner runner({jobs});
+    std::vector<std::size_t> rows;
+    EXPECT_THROW(
+        runner.stream_models(grid, {/*reorder_window=*/2},
+                             [&rows](std::size_t row, const ScenarioResult&) {
+                               rows.push_back(row);
+                             }),
+        util::InvalidArgument)
+        << "jobs=" << jobs;
+    // Everything before the failing row may emit; the failing row and
+    // anything after it must not.
+    for (const std::size_t row : rows) EXPECT_LT(row, 2u);
+  }
+}
+
+TEST(StreamModelsTest, RunnerIsReusableAfterAnError) {
+  const SweepGrid grid = test_grid();
+  SweepRunner runner({4});
+  EXPECT_THROW(runner.stream_models(grid, {},
+                                    [](std::size_t, const ScenarioResult&) {
+                                      throw util::Error("sink failed");
+                                    }),
+               util::Error);
+  std::string ndjson;
+  runner.stream_models(grid, {},
+                       [&ndjson](std::size_t, const ScenarioResult& r) {
+                         ndjson += scenario_result_line(r) + "\n";
+                       });
+  EXPECT_EQ(ndjson, batch_ndjson(grid));
+}
+
+TEST(StreamModelsTest, RejectsBadOptions) {
+  const SweepGrid grid = test_grid();
+  SweepRunner runner({1});
+  StreamOptions zero_window;
+  zero_window.reorder_window = 0;
+  EXPECT_THROW(runner.stream_models(
+                   grid, zero_window,
+                   [](std::size_t, const ScenarioResult&) {}),
+               util::InvalidArgument);
+  StreamOptions past_end;
+  past_end.start_row = grid.size() + 1;
+  EXPECT_THROW(runner.stream_models(
+                   grid, past_end,
+                   [](std::size_t, const ScenarioResult&) {}),
+               util::InvalidArgument);
+  EXPECT_THROW(runner.stream_models(grid, {}, nullptr),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wfr::exec

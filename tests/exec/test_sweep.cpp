@@ -5,7 +5,10 @@
 #include "exec/sweep.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -200,6 +203,238 @@ TEST(SweepRunnerTest, EvaluatorExceptionReachesEveryWaiter) {
   EXPECT_THROW(runner.run<int>({point, point}, boom), std::runtime_error);
   // The failure is cached too: a later hit on the same key replays it.
   EXPECT_THROW(runner.run<int>({point}, boom), std::runtime_error);
+}
+
+TEST(ScenarioHashTest, LabelAndParamsAreNotPartOfTheHash) {
+  Scenario a;
+  a.system = test_system();
+  a.workflow = test_workflow();
+  Scenario b = a;
+  b.label = "something else";
+  b.params = {{"x", 1.0}};
+  EXPECT_EQ(scenario_hash(a), scenario_hash(b));
+
+  Scenario c = a;
+  c.seed = 7;
+  EXPECT_NE(scenario_hash(a), scenario_hash(c));
+  Scenario d = a;
+  d.workflow.total_tasks += 1;
+  EXPECT_NE(scenario_hash(a), scenario_hash(d));
+  Scenario e = a;
+  e.system.node.nic_gbs *= 2.0;
+  EXPECT_NE(scenario_hash(a), scenario_hash(e));
+}
+
+TEST(ScenarioHashTest, AgreesWithScenarioKeyEquality) {
+  // The digest and the human-readable key define the same identity.
+  const std::vector<Scenario> grid =
+      expand_grid(test_system(), test_workflow(),
+                  {{"efficiency", {1.0, 0.8}},
+                   {"nodes_per_task", {1.0, 2.0}}});
+  for (const Scenario& x : grid)
+    for (const Scenario& y : grid)
+      EXPECT_EQ(scenario_key(x) == scenario_key(y),
+                scenario_hash(x) == scenario_hash(y));
+}
+
+TEST(SweepGridTest, LazyAtMatchesExpandGrid) {
+  const std::vector<ParamAxis> axes = {{"efficiency", {1.0, 0.8}},
+                                       {"nodes_per_task", {1.0, 2.0, 4.0}}};
+  const SweepGrid grid(test_system(), test_workflow(), axes);
+  const std::vector<Scenario> expanded =
+      expand_grid(test_system(), test_workflow(), axes);
+  ASSERT_EQ(grid.size(), expanded.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Scenario lazy = grid.at(i);
+    EXPECT_EQ(lazy.label, expanded[i].label);
+    EXPECT_EQ(lazy.params, expanded[i].params);
+    EXPECT_EQ(scenario_hash(lazy), scenario_hash(expanded[i]));
+  }
+  EXPECT_THROW(grid.at(grid.size()), util::InvalidArgument);
+}
+
+TEST(SweepGridTest, GridHashDistinguishesDefinitions) {
+  const SweepGrid a(test_system(), test_workflow(),
+                    {{"efficiency", {1.0, 0.8}}});
+  const SweepGrid same(test_system(), test_workflow(),
+                       {{"efficiency", {1.0, 0.8}}});
+  EXPECT_EQ(a.grid_hash(), same.grid_hash());
+
+  const SweepGrid other_axis(test_system(), test_workflow(),
+                             {{"efficiency", {1.0, 0.9}}});
+  EXPECT_NE(a.grid_hash(), other_axis.grid_hash());
+
+  core::WorkflowCharacterization wf = test_workflow();
+  wf.total_tasks += 1;
+  const SweepGrid other_base(test_system(), wf, {{"efficiency", {1.0, 0.8}}});
+  EXPECT_NE(a.grid_hash(), other_base.grid_hash());
+}
+
+TEST(SweepRunnerTest, ExportMetricsTwiceDoesNotDoubleCount) {
+  const std::vector<Scenario> grid =
+      expand_grid(test_system(), test_workflow(),
+                  {{"efficiency", {1.0, 1.0}}});  // duplicate -> one hit
+  SweepRunner runner({2});
+  runner.run_models(grid);
+  obs::MetricsRegistry registry;
+  runner.export_metrics(registry);
+  // Second export with no new work must add nothing (delta semantics).
+  runner.export_metrics(registry);
+  EXPECT_DOUBLE_EQ(registry.find_counter("sweep.scenarios")->value(), 2.0);
+  EXPECT_DOUBLE_EQ(registry.find_counter("sweep.cache_hits")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.find_counter("sweep.cache_misses")->value(), 1.0);
+
+  // New work exports only its delta on top of the running totals.
+  runner.run_models(grid);  // both points now cached -> 2 more hits
+  runner.export_metrics(registry);
+  EXPECT_DOUBLE_EQ(registry.find_counter("sweep.scenarios")->value(), 4.0);
+  EXPECT_DOUBLE_EQ(registry.find_counter("sweep.cache_hits")->value(), 3.0);
+  EXPECT_DOUBLE_EQ(registry.find_counter("sweep.cache_misses")->value(), 1.0);
+}
+
+TEST(SweepRunnerTest, LruEvictionKeepsCapacityBounded) {
+  SweepOptions options;
+  options.jobs = 1;
+  options.cache_capacity = 2;
+  SweepRunner runner(options);
+  std::atomic<int> evaluations{0};
+  auto eval = [&evaluations](const Scenario& s) {
+    evaluations.fetch_add(1);
+    return s.workflow.total_tasks;
+  };
+  std::vector<Scenario> distinct;
+  for (int i = 0; i < 4; ++i) {
+    Scenario s;
+    s.system = test_system();
+    s.workflow = test_workflow();
+    s.workflow.total_tasks = 100 + i;
+    distinct.push_back(s);
+  }
+  runner.run<int>(distinct, eval);
+  EXPECT_EQ(evaluations.load(), 4);
+  const SweepStats stats = runner.stats();
+  EXPECT_EQ(stats.cache_entries, 2u);
+  EXPECT_EQ(stats.cache_evictions, 2u);
+
+  // The two most recent keys survive; the two oldest were evicted and
+  // re-evaluate on the next touch.
+  runner.run<int>({distinct[2], distinct[3]}, eval);
+  EXPECT_EQ(evaluations.load(), 4);
+  runner.run<int>({distinct[0]}, eval);
+  EXPECT_EQ(evaluations.load(), 5);
+}
+
+TEST(SweepRunnerTest, LruTouchRefreshesRecency) {
+  SweepOptions options;
+  options.jobs = 1;
+  options.cache_capacity = 2;
+  SweepRunner runner(options);
+  std::atomic<int> evaluations{0};
+  auto eval = [&evaluations](const Scenario& s) {
+    evaluations.fetch_add(1);
+    return s.workflow.total_tasks;
+  };
+  Scenario a, b, c;
+  a.system = b.system = c.system = test_system();
+  a.workflow = b.workflow = c.workflow = test_workflow();
+  a.workflow.total_tasks = 101;
+  b.workflow.total_tasks = 102;
+  c.workflow.total_tasks = 103;
+  runner.run<int>({a, b}, eval);  // cache: [b, a]
+  runner.run<int>({a}, eval);     // touch a -> cache: [a, b]
+  runner.run<int>({c}, eval);     // evicts b, not a
+  runner.run<int>({a}, eval);     // still cached
+  EXPECT_EQ(evaluations.load(), 3);
+  runner.run<int>({b}, eval);  // b was evicted -> re-evaluates
+  EXPECT_EQ(evaluations.load(), 4);
+}
+
+TEST(SweepRunnerTest, TinyCacheIsStillByteIdenticalAtAnyJobCount) {
+  const std::vector<Scenario> grid =
+      expand_grid(test_system(), test_workflow(),
+                  {{"efficiency", {1.0, 0.8}},
+                   {"nodes_per_task", {0.5, 1.0, 2.0, 4.0, 8.0}}});
+  auto sweep = [&grid](int jobs) {
+    SweepOptions options;
+    options.jobs = jobs;
+    options.cache_capacity = 1;  // constant thrash
+    SweepRunner runner(options);
+    std::string ndjson;
+    for (const ScenarioResult& r : runner.run_models(grid))
+      ndjson += scenario_result_line(r) + "\n";
+    return ndjson;
+  };
+  const std::string serial = sweep(1);
+  EXPECT_EQ(serial, sweep(2));
+  EXPECT_EQ(serial, sweep(8));
+}
+
+TEST(SweepRunnerTest, CapacityZeroRetainsNothingAcrossRuns) {
+  SweepOptions options;
+  options.jobs = 1;
+  options.cache_capacity = 0;
+  SweepRunner runner(options);
+  Scenario point;
+  point.system = test_system();
+  point.workflow = test_workflow();
+  std::atomic<int> evaluations{0};
+  auto eval = [&evaluations](const Scenario&) {
+    evaluations.fetch_add(1);
+    return 1;
+  };
+  runner.run<int>({point}, eval);
+  runner.run<int>({point}, eval);
+  EXPECT_EQ(evaluations.load(), 2);
+  EXPECT_EQ(runner.stats().cache_entries, 0u);
+  EXPECT_EQ(runner.stats().cache_evictions, 0u);
+}
+
+TEST(SweepRunnerTest, CapacityZeroStillDeduplicatesInFlightKeys) {
+  SweepOptions options;
+  options.jobs = 2;
+  options.cache_capacity = 0;
+  SweepRunner runner(options);
+  Scenario point;
+  point.system = test_system();
+  point.workflow = test_workflow();
+
+  // The evaluator (first claimant) blocks until the second identical
+  // request has been claimed, proving the second joined the in-flight
+  // shared future instead of evaluating again.
+  std::atomic<int> evaluations{0};
+  auto eval = [&](const Scenario&) {
+    evaluations.fetch_add(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (runner.stats().scenarios < 2 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return 42;
+  };
+  const std::vector<int> out = runner.run<int>({point, point}, eval);
+  EXPECT_EQ(out, (std::vector<int>{42, 42}));
+  EXPECT_EQ(evaluations.load(), 1);
+  EXPECT_EQ(runner.stats().cache_hits, 1u);
+  EXPECT_EQ(runner.stats().cache_misses, 1u);
+  EXPECT_EQ(runner.stats().cache_entries, 0u);
+}
+
+TEST(SweepRunnerTest, EvictionStatsReachTheRegistry) {
+  SweepOptions options;
+  options.jobs = 1;
+  options.cache_capacity = 1;
+  SweepRunner runner(options);
+  const std::vector<Scenario> grid =
+      expand_grid(test_system(), test_workflow(),
+                  {{"total_tasks", {56.0, 60.0, 64.0}}});
+  runner.run_models(grid);
+  obs::MetricsRegistry registry;
+  runner.export_metrics(registry);
+  ASSERT_NE(registry.find_counter("sweep.cache_evictions"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.find_counter("sweep.cache_evictions")->value(),
+                   2.0);
+  ASSERT_NE(registry.find_gauge("sweep.cache_entries"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.find_gauge("sweep.cache_entries")->value(), 1.0);
 }
 
 TEST(ScenarioResultLineTest, StableFieldOrderWithParams) {

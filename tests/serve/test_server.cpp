@@ -17,6 +17,7 @@
 #include "serve/app.hpp"
 #include "serve/loopback_client.hpp"
 #include "serve/server.hpp"
+#include "util/json.hpp"
 
 namespace wfr::serve {
 namespace {
@@ -370,6 +371,45 @@ TEST(ServeTest, SweepMemoCacheIsSharedAcrossRequests) {
   // First request: 4 misses; second request: 4 hits from the shared cache.
   EXPECT_NE(text.find("sweep_cache_hits 4\n"), std::string::npos) << text;
   EXPECT_NE(text.find("sweep_cache_misses 4\n"), std::string::npos) << text;
+}
+
+TEST(ServeTest, MetricsDoubleScrapeDoesNotDoubleCountSweepTotals) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  ASSERT_EQ(client.request("POST", "/v1/sweep", kSweepBody).status, 200);
+  ASSERT_EQ(client.request("POST", "/v1/sweep", kSweepBody).status, 200);
+  // Regression: sweep counters used to be re-added on every scrape, so a
+  // second scrape doubled the totals.  Delta export keeps them stable.
+  client.request("GET", "/metrics");
+  const std::string text = client.request("GET", "/metrics").body;
+  EXPECT_NE(text.find("sweep_cache_hits 4\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("sweep_cache_misses 4\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("sweep_scenarios 8\n"), std::string::npos) << text;
+}
+
+TEST(ServeTest, SweepNdjsonMatchesJsonRows) {
+  // The streamed NDJSON body and the buffered JSON "points" rows carry
+  // the same lines in the same order.
+  AppServer server;
+  LoopbackClient client(server.port());
+  const std::string json_body = R"({
+    "system": "perlmutter-gpu",
+    "workflow": {"name": "unit", "total_tasks": 600, "parallel_tasks": 120,
+                 "flops_per_node": 1.0e15, "fs_bytes_per_task": 2.0e11},
+    "params": {"nodes_per_task": [1, 2], "efficiency": [1, 0.8]}
+  })";
+  const ClientResponse ndjson =
+      client.request("POST", "/v1/sweep", kSweepBody);
+  ASSERT_EQ(ndjson.status, 200);
+  const ClientResponse json =
+      client.request("POST", "/v1/sweep", json_body);
+  ASSERT_EQ(json.status, 200);
+
+  std::string rebuilt;
+  const util::Json doc = util::Json::parse(json.body);
+  for (const util::Json& row : doc.at("points").as_array())
+    rebuilt += row.dump() + "\n";
+  EXPECT_EQ(ndjson.body, rebuilt);
 }
 
 TEST(ServeTest, SvgEndpointRendersFromQueryParameters) {

@@ -1,0 +1,58 @@
+// Tests for checked file IO: round trips, loud failures with the path in
+// the message, and the atomicity contract of write_file_atomic.
+
+#include "util/file.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wfr::util {
+namespace {
+
+TEST(FileTest, WriteReadRoundTrip) {
+  const std::string path = testing::TempDir() + "wfr_file_test.txt";
+  const std::string content("line one\nline two\n\0binary ok", 28);
+  write_file(path, content);
+  EXPECT_EQ(read_file(path), content);
+  write_file(path, "replaced");  // truncates
+  EXPECT_EQ(read_file(path), "replaced");
+}
+
+TEST(FileTest, ReadMissingFileNamesThePath) {
+  try {
+    read_file("/nonexistent-dir/missing.txt");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent-dir/missing.txt"),
+              std::string::npos);
+  }
+}
+
+TEST(FileTest, WriteToUnwritablePathNamesThePath) {
+  try {
+    write_file("/nonexistent-dir/out.txt", "data");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cannot write"), std::string::npos);
+    EXPECT_NE(what.find("/nonexistent-dir/out.txt"), std::string::npos);
+  }
+}
+
+TEST(FileTest, AtomicWriteReplacesAndLeavesNoTempFile) {
+  const std::string path = testing::TempDir() + "wfr_file_atomic_test.txt";
+  write_file_atomic(path, "first");
+  write_file_atomic(path, "second");
+  EXPECT_EQ(read_file(path), "second");
+  EXPECT_THROW(read_file(path + ".tmp"), Error);
+}
+
+TEST(FileTest, AtomicWriteToUnwritablePathThrows) {
+  EXPECT_THROW(write_file_atomic("/nonexistent-dir/out.txt", "data"), Error);
+}
+
+}  // namespace
+}  // namespace wfr::util
