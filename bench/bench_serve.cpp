@@ -2,13 +2,19 @@
 // in-process Server + App on an ephemeral port, hammered with keep-alive
 // POST /v1/roofline requests from concurrent clients at 1/2/8 workers.
 //
-// Emits one PERF NDJSON line per worker count (req/s and mean latency)
-// plus a byte_identical check: every response collected across all worker
+// Emits one PERF NDJSON line per worker count (req/s, mean latency, and
+// exact-count p50/p99 per-request latency from an obs::LogHistogram —
+// lower is better, gated by scripts/check_bench.py) plus a
+// byte_identical check: every response collected across all worker
 // counts and clients must be the same byte sequence — the serving-layer
 // determinism contract.  The process exits nonzero if byte-identity is
 // violated (a correctness bug, not a perf regression), while throughput
 // itself is judged against bench/baselines/BENCH_serve.json by
 // scripts/check_bench.py.
+//
+// The App runs with its tracer attached (the default), so the measured
+// throughput carries the tracing overhead — the "tracer within 5% of
+// baseline" property is enforced by the recorded req/s baselines.
 
 #include <algorithm>
 #include <chrono>
@@ -21,6 +27,7 @@
 
 #include "common.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/log_histogram.hpp"
 #include "serve/app.hpp"
 #include "serve/loopback_client.hpp"
 #include "serve/server.hpp"
@@ -44,6 +51,8 @@ constexpr const char* kRooflineBody = R"({
 struct RunResult {
   double requests_per_second = 0.0;
   double mean_latency_us = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
 };
 
 /// One measurement: `clients` concurrent keep-alive connections each
@@ -65,6 +74,9 @@ RunResult run_config(int jobs, int clients, int requests_per_client,
       serve::LoopbackClient::format_request("POST", "/v1/roofline",
                                             kRooflineBody);
   std::mutex collect_mutex;
+  // Client-observed per-request latency; lock-free recording from every
+  // client thread, exact-rank percentiles after the run.
+  obs::LogHistogram latency;
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   for (int c = 0; c < clients; ++c) {
@@ -72,8 +84,12 @@ RunResult run_config(int jobs, int clients, int requests_per_client,
       serve::LoopbackClient client(port);
       std::set<std::string> local;
       for (int i = 0; i < requests_per_client; ++i) {
+        const auto begin = std::chrono::steady_clock::now();
         client.send_raw(wire);
         local.insert(client.read_response().raw);
+        latency.observe(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - begin)
+                            .count());
       }
       std::unique_lock<std::mutex> lock(collect_mutex);
       raws.insert(local.begin(), local.end());
@@ -93,6 +109,8 @@ RunResult run_config(int jobs, int clients, int requests_per_client,
   // Aggregate latency seen by one client slot (clients run concurrently).
   result.mean_latency_us =
       1e6 * seconds / (total / static_cast<double>(clients));
+  result.p50_latency_ms = latency.quantile(0.50) * 1e3;
+  result.p99_latency_ms = latency.quantile(0.99) * 1e3;
   return result;
 }
 
@@ -112,20 +130,24 @@ int main() {
   std::set<std::string> raws;
   double slowest = 0.0;
 
-  std::printf("%-8s %12s %14s\n", "jobs", "req/s", "latency");
+  std::printf("%-8s %12s %14s %11s %11s\n", "jobs", "req/s", "latency",
+              "p50", "p99");
   for (const int jobs : {1, 2, 8}) {
     const RunResult result =
         run_config(jobs, clients, requests_per_client, raws);
     slowest = slowest == 0.0
                   ? result.requests_per_second
                   : std::min(slowest, result.requests_per_second);
-    std::printf("%-8d %12.0f %11.1f us\n", jobs, result.requests_per_second,
-                result.mean_latency_us);
+    std::printf("%-8d %12.0f %11.1f us %8.3f ms %8.3f ms\n", jobs,
+                result.requests_per_second, result.mean_latency_us,
+                result.p50_latency_ms, result.p99_latency_ms);
     const std::string tag = "roofline/jobs" + std::to_string(jobs);
     bench::emit_result_line(tag + "/req_per_s", result.requests_per_second,
                             "req/s");
     bench::emit_result_line(tag + "/client_latency",
                             result.mean_latency_us, "us");
+    bench::emit_result_line(tag + "/p50_ms", result.p50_latency_ms, "ms");
+    bench::emit_result_line(tag + "/p99_ms", result.p99_latency_ms, "ms");
   }
 
   // The determinism contract: one byte sequence across 3 worker counts x

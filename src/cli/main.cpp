@@ -201,6 +201,8 @@ void print_usage() {
       "  wfr serve    [--port <n>] [--host <addr>] [--jobs <n>]\n"
       "               [--max-queue <n>] [--max-body <bytes>]\n"
       "               [--sweep-jobs <n>] [--sweep-cache-cap <n>]\n"
+      "               [--trace-out <trace.json>] [--trace-cap <spans>]\n"
+      "               [--no-trace]\n"
       "  wfr check    [--seeds <n>] [--tolerance <x>] [--jobs <n>]\n"
       "               [--base-seed <n>] [--repro-dir <dir>]\n"
       "               [--replay <repro.json>]\n"
@@ -637,6 +639,13 @@ int cmd_serve(const Args& args) {
   if (auto cap = args.get_optional("sweep-cache-cap"))
     app_options.sweep_cache_capacity =
         static_cast<std::size_t>(parse_u64_flag("sweep-cache-cap", *cap));
+  std::string trace_out;
+  if (auto out = args.get_optional("trace-out")) trace_out = *out;
+  if (auto cap = args.get_optional("trace-cap"))
+    app_options.trace_capacity =
+        static_cast<std::size_t>(parse_long_flag_in("trace-cap", *cap, 1,
+                                                    1 << 24));
+  if (args.flag("no-trace")) app_options.trace_enabled = false;
 
   serve::App app(app_options);
   serve::Server server(options);
@@ -653,6 +662,11 @@ int cmd_serve(const Args& args) {
   std::cout << "wfr serve: drained; served " << stats.requests.load()
             << " requests on " << stats.accepted.load() << " connections ("
             << stats.shed.load() << " shed)" << std::endl;
+  std::cout << "wfr serve: " << app.drain_summary() << std::endl;
+  if (!trace_out.empty()) {
+    app.write_trace(trace_out);
+    std::cout << "wfr serve: trace written to " << trace_out << std::endl;
+  }
   return 0;
 }
 

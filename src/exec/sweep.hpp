@@ -46,9 +46,12 @@
 #include <utility>
 #include <vector>
 
+#include <atomic>
+
 #include "core/model.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "util/hash.hpp"
 
 namespace wfr::exec {
@@ -261,6 +264,13 @@ class SweepRunner {
   /// /metrics scrape per request, say) never double-counts.
   void export_metrics(obs::MetricsRegistry& registry);
 
+  /// Attaches a tracer (not owned; null detaches): every evaluate becomes
+  /// an "evaluate" span annotated cache=hit|miss plus the scenario label.
+  /// Spans never feed results, so sweep determinism is unaffected.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+
  private:
   /// Memo-cache key: scenario digest plus the evaluator's result type
   /// (one runner may cache heterogeneous result types).
@@ -288,6 +298,8 @@ class SweepRunner {
   template <typename R>
   R evaluate_cached(const Scenario& scenario,
                     const std::function<R(const Scenario&)>& eval) {
+    obs::SpanScope span(tracer_.load(std::memory_order_acquire), "evaluate",
+                        "sweep");
     const CacheKey key{scenario_hash(scenario), typeid(R).hash_code()};
     std::shared_future<R> future;
     std::promise<R> promise;
@@ -309,6 +321,10 @@ class SweepRunner {
         cache_.emplace(key, std::move(entry));
         owner = true;
       }
+    }
+    if (span.active()) {
+      span.arg("cache", owner ? "miss" : "hit");
+      if (!scenario.label.empty()) span.arg("scenario", scenario.label);
     }
     if (owner) {
       try {
@@ -335,6 +351,7 @@ class SweepRunner {
   SweepStats stats_;
   /// Counter values as of the previous export_metrics call.
   SweepStats exported_;
+  std::atomic<obs::Tracer*> tracer_{nullptr};
 };
 
 /// Evaluates one scenario through core::build_model (the run_models

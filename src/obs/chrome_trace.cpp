@@ -1,7 +1,6 @@
 #include "obs/chrome_trace.hpp"
 
-#include <algorithm>
-
+#include "obs/trace_event.hpp"
 #include "util/error.hpp"
 #include "util/file.hpp"
 
@@ -11,52 +10,6 @@ namespace {
 
 constexpr int kWorkflowPid = 1;
 constexpr int kResourcePid = 2;
-constexpr double kMicros = 1e6;
-
-util::Json metadata_event(int pid, int tid, const char* kind,
-                          const std::string& name) {
-  util::JsonObject e;
-  e.set("ph", "M");
-  e.set("pid", pid);
-  e.set("tid", tid);
-  e.set("name", kind);
-  util::JsonObject args;
-  args.set("name", name);
-  e.set("args", util::Json(std::move(args)));
-  return util::Json(std::move(e));
-}
-
-util::Json complete_event(int pid, int tid, const std::string& name,
-                          const std::string& category, double start_seconds,
-                          double duration_seconds, util::JsonObject args) {
-  util::JsonObject e;
-  e.set("ph", "X");
-  e.set("pid", pid);
-  e.set("tid", tid);
-  e.set("name", name);
-  e.set("cat", category);
-  e.set("ts", start_seconds * kMicros);
-  e.set("dur", duration_seconds * kMicros);
-  e.set("args", util::Json(std::move(args)));
-  return util::Json(std::move(e));
-}
-
-util::Json counter_event(int pid, const std::string& name,
-                         double time_seconds, util::JsonObject values) {
-  util::JsonObject e;
-  e.set("ph", "C");
-  e.set("pid", pid);
-  e.set("tid", 0);
-  e.set("name", name);
-  e.set("ts", time_seconds * kMicros);
-  e.set("args", util::Json(std::move(values)));
-  return util::Json(std::move(e));
-}
-
-double event_ts(const util::Json& event) {
-  return event.as_object().contains("ts") ? event.at("ts").as_number()
-                                          : -1.0;
-}
 
 /// Counter tracks for one resource: one event per surviving sample (step
 /// function), plus a closing zero so tracks do not dangle at the last
@@ -78,25 +31,25 @@ void append_resource_counters(const ResourceTimeSeries& series,
     util::JsonObject flows;
     flows.set("active", s.active_flows);
     flows.set("finite", s.finite_flows);
-    events->push_back(counter_event(kResourcePid, flows_track,
-                                    s.start_seconds, std::move(flows)));
+    events->push_back(trace_counter_event(kResourcePid, flows_track,
+                                          s.start_seconds, std::move(flows)));
     util::JsonObject rate;
     rate.set("per_flow_GBps", s.per_flow_rate / 1e9);
     rate.set("utilization_pct", 100.0 * s.utilization());
-    events->push_back(counter_event(kResourcePid, rate_track,
-                                    s.start_seconds, std::move(rate)));
+    events->push_back(trace_counter_event(kResourcePid, rate_track,
+                                          s.start_seconds, std::move(rate)));
   }
   const double end = samples.back().end_seconds();
   util::JsonObject zero_flows;
   zero_flows.set("active", 0);
   zero_flows.set("finite", 0);
-  events->push_back(
-      counter_event(kResourcePid, flows_track, end, std::move(zero_flows)));
+  events->push_back(trace_counter_event(kResourcePid, flows_track, end,
+                                        std::move(zero_flows)));
   util::JsonObject zero_rate;
   zero_rate.set("per_flow_GBps", 0.0);
   zero_rate.set("utilization_pct", 0.0);
-  events->push_back(
-      counter_event(kResourcePid, rate_track, end, std::move(zero_rate)));
+  events->push_back(trace_counter_event(kResourcePid, rate_track, end,
+                                        std::move(zero_rate)));
 }
 
 }  // namespace
@@ -110,10 +63,10 @@ util::Json chrome_trace_json(const trace::WorkflowTrace& trace,
   const std::string workflow =
       trace.name().empty() ? "workflow" : trace.name();
   events.push_back(
-      metadata_event(kWorkflowPid, 0, "process_name", workflow));
+      trace_metadata_event(kWorkflowPid, 0, "process_name", workflow));
   if (!resources.empty()) {
-    events.push_back(
-        metadata_event(kResourcePid, 0, "process_name", "shared resources"));
+    events.push_back(trace_metadata_event(kResourcePid, 0, "process_name",
+                                          "shared resources"));
   }
   for (const trace::TaskRecord& record : trace.records()) {
     const int tid = static_cast<int>(record.task) + 1;
@@ -121,7 +74,7 @@ util::Json chrome_trace_json(const trace::WorkflowTrace& trace,
     if (record.nodes > 1)
       lane += " (" + std::to_string(record.nodes) + " nodes)";
     events.push_back(
-        metadata_event(kWorkflowPid, tid, "thread_name", lane));
+        trace_metadata_event(kWorkflowPid, tid, "thread_name", lane));
   }
 
   // Task + phase slices.
@@ -131,7 +84,7 @@ util::Json chrome_trace_json(const trace::WorkflowTrace& trace,
       util::JsonObject args;
       args.set("nodes", record.nodes);
       args.set("attempts", record.attempts);
-      events.push_back(complete_event(
+      events.push_back(trace_complete_event(
           kWorkflowPid, tid, record.name,
           record.kind.empty() ? "task" : record.kind, record.start_seconds,
           record.duration(), std::move(args)));
@@ -139,7 +92,7 @@ util::Json chrome_trace_json(const trace::WorkflowTrace& trace,
     for (const trace::Span& span : record.spans) {
       util::JsonObject args;
       args.set("task", record.name);
-      events.push_back(complete_event(
+      events.push_back(trace_complete_event(
           kWorkflowPid, tid, trace::phase_name(span.phase), "phase",
           span.start_seconds, span.duration(), std::move(args)));
     }
@@ -151,19 +104,8 @@ util::Json chrome_trace_json(const trace::WorkflowTrace& trace,
                              options.max_counter_events_per_resource,
                              &events);
 
-  // Sort by timestamp so the file streams monotonically; metadata events
-  // carry no "ts" and sort first.  std::stable_sort keeps emission order
-  // among equal timestamps (task slice before its first phase slice, so
-  // nesting stays well-formed).
-  std::stable_sort(events.begin(), events.end(),
-                   [](const util::Json& a, const util::Json& b) {
-                     return event_ts(a) < event_ts(b);
-                   });
-
-  util::JsonObject root;
-  root.set("displayTimeUnit", "ms");
-  root.set("traceEvents", util::Json(std::move(events)));
-  return util::Json(std::move(root));
+  sort_trace_events(events);
+  return trace_events_envelope(std::move(events));
 }
 
 void write_chrome_trace(const std::string& path,

@@ -1,0 +1,205 @@
+#include "obs/log_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// CAS-min/max over atomic doubles (relaxed: extrema are monotone, order
+/// does not matter).
+void atomic_min(std::atomic<double>& target, double x) {
+  double current = target.load(std::memory_order_relaxed);
+  while (x < current && !target.compare_exchange_weak(
+                            current, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double x) {
+  double current = target.load(std::memory_order_relaxed);
+  while (x > current && !target.compare_exchange_weak(
+                            current, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& target, double x) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + x,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+LogHistogram::LogHistogram(LogHistogramOptions options) : options_(options) {
+  util::require(options_.min_value > 0.0,
+                "log histogram min_value must be > 0");
+  util::require(options_.max_value > options_.min_value,
+                "log histogram max_value must exceed min_value");
+  util::require(options_.growth > 1.0, "log histogram growth must be > 1");
+  inv_log_growth_ = 1.0 / std::log(options_.growth);
+  resolved_ = static_cast<std::size_t>(std::ceil(
+      std::log(options_.max_value / options_.min_value) * inv_log_growth_));
+  // counts_[0] sub-resolution + resolved_ geometric + 1 overflow.
+  counts_ = std::vector<std::atomic<std::uint64_t>>(resolved_ + 2);
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+std::size_t LogHistogram::bucket_index(double x) const {
+  if (!(x > options_.min_value)) return 0;  // also negatives and NaN
+  if (x >= options_.max_value) return resolved_ + 1;
+  const std::size_t i = 1 + static_cast<std::size_t>(std::floor(
+                                std::log(x / options_.min_value) *
+                                inv_log_growth_));
+  return std::min(i, resolved_);
+}
+
+double LogHistogram::upper_bound(std::size_t i) const {
+  if (i == 0) return options_.min_value;
+  if (i > resolved_) return kInf;
+  return options_.min_value * std::pow(options_.growth, static_cast<double>(i));
+}
+
+double LogHistogram::representative(std::size_t i) const {
+  if (i == 0) return options_.min_value;
+  if (i > resolved_) return max();  // overflow reports the exact maximum
+  const double hi = upper_bound(i);
+  return hi / std::sqrt(options_.growth);  // geometric midpoint
+}
+
+void LogHistogram::observe(double x) {
+  counts_[bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, x);
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+}
+
+std::uint64_t LogHistogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LogHistogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double LogHistogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double LogHistogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double LogHistogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double LogHistogram::quantile(double q) const {
+  util::require(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  // Exact rank: the ceil(q * total)-th smallest sample, at least the 1st.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank)
+      return std::clamp(representative(i), min(), max());
+  }
+  return max();  // concurrent writers mid-query: fall back to the extreme
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  util::require(options_.min_value == other.options_.min_value &&
+                    options_.max_value == other.options_.max_value &&
+                    options_.growth == other.options_.growth,
+                "cannot merge log histograms with different layouts");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t n = other.counts_[i].load(std::memory_order_relaxed);
+    if (n != 0) counts_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  const std::uint64_t n = other.count();
+  if (n == 0) return;
+  count_.fetch_add(n, std::memory_order_relaxed);
+  atomic_add(sum_, other.sum());
+  atomic_min(min_, other.min());
+  atomic_max(max_, other.max());
+}
+
+std::vector<LogHistogram::Bucket> LogHistogram::nonzero_buckets() const {
+  std::vector<Bucket> buckets;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t n = counts_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets.push_back(Bucket{upper_bound(i), n});
+  }
+  return buckets;
+}
+
+std::string LogHistogram::prometheus_text(std::string_view metric) const {
+  const std::string name(metric);
+  std::string out = "# TYPE " + name + " histogram\n";
+  std::uint64_t cumulative = 0;
+  bool saw_inf = false;
+  for (const Bucket& bucket : nonzero_buckets()) {
+    cumulative += bucket.count;
+    const bool inf = std::isinf(bucket.upper_bound);
+    saw_inf = saw_inf || inf;
+    const std::string le =
+        inf ? "+Inf" : util::format_double(bucket.upper_bound);
+    out += name + "_bucket{le=\"" + le + "\"} " +
+           std::to_string(cumulative) + "\n";
+  }
+  if (!saw_inf)
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+  out += name + "_sum " + util::format_double(sum()) + "\n";
+  out += name + "_count " + std::to_string(count()) + "\n";
+  return out;
+}
+
+util::Json LogHistogram::snapshot() const {
+  util::JsonObject entry;
+  entry.set("count", static_cast<double>(count()));
+  entry.set("sum", sum());
+  entry.set("min", min());
+  entry.set("max", max());
+  entry.set("p50", quantile(0.50));
+  entry.set("p95", quantile(0.95));
+  entry.set("p99", quantile(0.99));
+  entry.set("p999", quantile(0.999));
+  util::JsonArray buckets;
+  for (const Bucket& bucket : nonzero_buckets()) {
+    util::JsonObject b;
+    if (std::isinf(bucket.upper_bound)) {
+      b.set("le", "inf");
+    } else {
+      b.set("le", bucket.upper_bound);
+    }
+    b.set("count", static_cast<double>(bucket.count));
+    buckets.push_back(util::Json(std::move(b)));
+  }
+  entry.set("buckets", util::Json(std::move(buckets)));
+  return util::Json(std::move(entry));
+}
+
+void LogHistogram::reset() {
+  for (std::atomic<std::uint64_t>& c : counts_)
+    c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+}  // namespace wfr::obs

@@ -150,6 +150,8 @@ namespace {
 /// byte-identical to the same value serialized as JSON elsewhere.
 std::string format_sample(double value) { return util::format_double(value); }
 
+}  // namespace
+
 std::string sanitize_metric_name(std::string_view name) {
   std::string out;
   out.reserve(name.size());
@@ -162,8 +164,6 @@ std::string sanitize_metric_name(std::string_view name) {
     out.insert(out.begin(), '_');
   return out;
 }
-
-}  // namespace
 
 std::string MetricsRegistry::prometheus_text() const {
   std::string out;

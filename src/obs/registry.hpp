@@ -85,6 +85,13 @@ class Histogram {
   double max_ = 0.0;
 };
 
+/// Prometheus metric name from a dotted wfr name: invalid bytes become
+/// '_', and a leading digit (or empty name) gains a '_' prefix.  The same
+/// mapping MetricsRegistry::prometheus_text applies, exposed for callers
+/// that emit their own exposition blocks (e.g. per-endpoint latency
+/// histograms in serve::App).
+std::string sanitize_metric_name(std::string_view name);
+
 /// Standard bucket layouts.
 std::vector<double> exponential_buckets(double start, double factor,
                                         int count);

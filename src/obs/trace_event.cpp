@@ -1,0 +1,71 @@
+#include "obs/trace_event.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace wfr::obs {
+
+namespace {
+constexpr double kMicros = 1e6;
+}  // namespace
+
+util::Json trace_metadata_event(int pid, int tid, const char* kind,
+                                const std::string& name) {
+  util::JsonObject e;
+  e.set("ph", "M");
+  e.set("pid", pid);
+  e.set("tid", tid);
+  e.set("name", kind);
+  util::JsonObject args;
+  args.set("name", name);
+  e.set("args", util::Json(std::move(args)));
+  return util::Json(std::move(e));
+}
+
+util::Json trace_complete_event(int pid, int tid, const std::string& name,
+                                const std::string& category,
+                                double start_seconds, double duration_seconds,
+                                util::JsonObject args) {
+  util::JsonObject e;
+  e.set("ph", "X");
+  e.set("pid", pid);
+  e.set("tid", tid);
+  e.set("name", name);
+  e.set("cat", category);
+  e.set("ts", start_seconds * kMicros);
+  e.set("dur", duration_seconds * kMicros);
+  e.set("args", util::Json(std::move(args)));
+  return util::Json(std::move(e));
+}
+
+util::Json trace_counter_event(int pid, const std::string& name,
+                               double time_seconds, util::JsonObject values) {
+  util::JsonObject e;
+  e.set("ph", "C");
+  e.set("pid", pid);
+  e.set("tid", 0);
+  e.set("name", name);
+  e.set("ts", time_seconds * kMicros);
+  e.set("args", util::Json(std::move(values)));
+  return util::Json(std::move(e));
+}
+
+double trace_event_ts(const util::Json& event) {
+  return event.as_object().contains("ts") ? event.at("ts").as_number() : -1.0;
+}
+
+void sort_trace_events(util::JsonArray& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const util::Json& a, const util::Json& b) {
+                     return trace_event_ts(a) < trace_event_ts(b);
+                   });
+}
+
+util::Json trace_events_envelope(util::JsonArray events) {
+  util::JsonObject root;
+  root.set("displayTimeUnit", "ms");
+  root.set("traceEvents", util::Json(std::move(events)));
+  return util::Json(std::move(root));
+}
+
+}  // namespace wfr::obs

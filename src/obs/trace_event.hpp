@@ -1,0 +1,45 @@
+#pragma once
+// Chrome/Perfetto Trace Event builders shared by the offline simulation
+// exporter (obs/chrome_trace.hpp) and the online request tracer
+// (obs/tracer.hpp).  Both produce the same on-disk dialect —
+// {"displayTimeUnit": "ms", "traceEvents": [...]} with "M" metadata,
+// "X" complete-duration, and "C" counter events, microsecond timestamps —
+// so one set of downstream tooling (chrome://tracing, ui.perfetto.dev,
+// the CI trace validators) opens either file.
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace wfr::obs {
+
+/// Metadata event ("M"): names a process ("process_name") or a thread
+/// track ("thread_name").  Carries no timestamp and sorts first.
+util::Json trace_metadata_event(int pid, int tid, const char* kind,
+                                const std::string& name);
+
+/// Complete-duration event ("X"): one slice on track (pid, tid) from
+/// `start_seconds` lasting `duration_seconds`, with free-form args.
+util::Json trace_complete_event(int pid, int tid, const std::string& name,
+                                const std::string& category,
+                                double start_seconds,
+                                double duration_seconds,
+                                util::JsonObject args);
+
+/// Counter event ("C"): one sample of the named counter track.
+util::Json trace_counter_event(int pid, const std::string& name,
+                               double time_seconds, util::JsonObject values);
+
+/// The event's "ts" in microseconds; -1 for metadata events (so they sort
+/// before every timestamped event).
+double trace_event_ts(const util::Json& event);
+
+/// Stable-sorts events by timestamp, metadata first.  Stability keeps
+/// emission order among equal timestamps, so an enclosing slice stays
+/// ahead of its first child and nesting remains well-formed.
+void sort_trace_events(util::JsonArray& events);
+
+/// Wraps sorted events in the Trace Event file envelope.
+util::Json trace_events_envelope(util::JsonArray events);
+
+}  // namespace wfr::obs

@@ -1,6 +1,5 @@
 #include "serve/app.hpp"
 
-#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -9,8 +8,10 @@
 #include "core/system_spec.hpp"
 #include "plot/roofline_plot.hpp"
 #include "util/error.hpp"
+#include "util/file.hpp"
 #include "util/json.hpp"
 #include "util/parse.hpp"
+#include "util/strings.hpp"
 #include "util/units.hpp"
 
 namespace wfr::serve {
@@ -55,12 +56,6 @@ const char* ceiling_kind_name(core::CeilingKind kind) {
   return "unknown";
 }
 
-std::vector<double> latency_buckets() {
-  // 10 us .. 10 s in decade steps: loopback handlers live at the low end,
-  // sweep fan-outs at the high end.
-  return obs::exponential_buckets(1e-5, 10.0, 7);
-}
-
 util::Json ceilings_json(const core::RooflineModel& model, int wall) {
   util::JsonArray ceilings;
   for (const core::Ceiling& ceiling : model.ceilings()) {
@@ -95,30 +90,43 @@ util::Json ceilings_json(const core::RooflineModel& model, int wall) {
 App::App(AppOptions options)
     : options_(options),
       runner_(exec::SweepOptions{options.sweep_jobs,
-                                 options.sweep_cache_capacity}) {}
+                                 options.sweep_cache_capacity}),
+      tracer_(obs::TracerOptions{options.trace_enabled,
+                                 options.trace_capacity}) {
+  runner_.set_tracer(&tracer_);
+}
 
 void App::bind(Server& server) {
   server_ = &server;
-  const auto handle = [this](const char* name,
+  server.set_tracer(&tracer_);
+  const auto handle = [this](EndpointMetrics& endpoint,
                              util::HttpResponse (App::*handler)(
                                  const util::HttpRequest&)) -> Handler {
-    return [this, name, handler](const util::HttpRequest& request) {
-      return observed(name, handler, request);
+    return [this, &endpoint, handler](const util::HttpRequest& request) {
+      return observed(endpoint, handler, request);
     };
   };
-  server.route("POST", "/v1/roofline", handle("roofline", &App::handle_roofline));
-  server.route("POST", "/v1/sweep", handle("sweep", &App::handle_sweep));
-  server.route("GET", "/v1/svg", handle("svg", &App::handle_svg));
-  server.route("POST", "/v1/svg", handle("svg", &App::handle_svg));
-  server.route("GET", "/healthz", handle("healthz", &App::handle_healthz));
-  server.route("GET", "/metrics", handle("metrics", &App::handle_metrics));
+  server.route("POST", "/v1/roofline",
+               handle(roofline_metrics_, &App::handle_roofline));
+  server.route("POST", "/v1/sweep", handle(sweep_metrics_, &App::handle_sweep));
+  server.route("GET", "/v1/svg", handle(svg_metrics_, &App::handle_svg));
+  server.route("POST", "/v1/svg", handle(svg_metrics_, &App::handle_svg));
+  server.route("GET", "/healthz",
+               handle(healthz_metrics_, &App::handle_healthz));
+  server.route("GET", "/metrics",
+               handle(metrics_metrics_, &App::handle_metrics));
+  server.route("GET", "/debug/trace",
+               handle(trace_metrics_, &App::handle_trace));
 }
 
 util::HttpResponse App::observed(
-    const char* name,
+    EndpointMetrics& endpoint,
     util::HttpResponse (App::*handler)(const util::HttpRequest&),
     const util::HttpRequest& request) {
-  const auto start = std::chrono::steady_clock::now();
+  // Nested under the server's "handle" span when dispatched from a
+  // worker; the root of its own trace from the raw-bytes entry points.
+  obs::SpanScope span(&tracer_, endpoint.name, "app");
+  const std::uint64_t begin_ns = obs::Tracer::now_ns();
   util::HttpResponse response;
   try {
     response = (this->*handler)(request);
@@ -132,20 +140,15 @@ util::HttpResponse App::observed(
     response = util::http_error(500, e.what());
   }
   const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  {
-    std::unique_lock<std::mutex> lock(metrics_mutex_);
-    registry_.counter(std::string("serve.requests.") + name).increment();
-    const char* klass = response.status >= 500   ? "serve.responses.5xx"
-                        : response.status >= 400 ? "serve.responses.4xx"
-                                                 : "serve.responses.2xx";
-    registry_.counter(klass).increment();
-    registry_
-        .histogram(std::string("serve.latency_seconds.") + name,
-                   latency_buckets())
-        .observe(seconds);
-  }
+      static_cast<double>(obs::Tracer::now_ns() - begin_ns) * 1e-9;
+  endpoint.requests.fetch_add(1, std::memory_order_relaxed);
+  endpoint.latency_seconds.observe(seconds);
+  std::atomic<std::uint64_t>& klass = response.status >= 500 ? responses_5xx_
+                                      : response.status >= 400
+                                          ? responses_4xx_
+                                          : responses_2xx_;
+  klass.fetch_add(1, std::memory_order_relaxed);
+  if (span.active()) span.arg("status", std::to_string(response.status));
   return response;
 }
 
@@ -155,7 +158,7 @@ util::HttpResponse App::roofline_from_bytes(std::string_view body) {
   request.target = "/v1/roofline";
   request.version = "HTTP/1.1";
   request.body.assign(body);
-  return observed("roofline", &App::handle_roofline, request);
+  return observed(roofline_metrics_, &App::handle_roofline, request);
 }
 
 util::HttpResponse App::sweep_from_bytes(std::string_view body,
@@ -169,7 +172,7 @@ util::HttpResponse App::sweep_from_bytes(std::string_view body,
   }
   request.version = "HTTP/1.1";
   request.body.assign(body);
-  return observed("sweep", &App::handle_sweep, request);
+  return observed(sweep_metrics_, &App::handle_sweep, request);
 }
 
 util::HttpResponse App::handle_roofline(const util::HttpRequest& request) {
@@ -350,17 +353,99 @@ util::HttpResponse App::handle_metrics(const util::HttpRequest&) {
       registry_.gauge("serve.requests.served")
           .set(static_cast<double>(stats.requests.load()));
     }
+    // The lock-free endpoint atomics fold into the persistent registry
+    // with delta semantics (like the sweep counters below), keeping
+    // Prometheus-correct cumulative series without double-counting
+    // across scrapes.
+    for (EndpointMetrics* endpoint : endpoints_) {
+      const std::uint64_t current =
+          endpoint->requests.load(std::memory_order_relaxed);
+      registry_.counter("serve.requests." + endpoint->name)
+          .increment(static_cast<double>(current -
+                                         endpoint->exported_requests));
+      endpoint->exported_requests = current;
+    }
+    const auto fold_class = [this](const char* name,
+                                   std::atomic<std::uint64_t>& live,
+                                   std::uint64_t& exported) {
+      const std::uint64_t current = live.load(std::memory_order_relaxed);
+      registry_.counter(name).increment(
+          static_cast<double>(current - exported));
+      exported = current;
+    };
+    fold_class("serve.responses.2xx", responses_2xx_, exported_2xx_);
+    fold_class("serve.responses.4xx", responses_4xx_, exported_4xx_);
+    fold_class("serve.responses.5xx", responses_5xx_, exported_5xx_);
+    // Exact-count percentiles per endpoint (the LogHistogram walks true
+    // bucket counts; ~2.5% relative error from bucket width alone).
+    for (const EndpointMetrics* endpoint : endpoints_) {
+      const obs::LogHistogram& latency = endpoint->latency_seconds;
+      if (latency.count() == 0) continue;
+      const std::string prefix = "serve.latency_seconds." + endpoint->name;
+      registry_.gauge(prefix + ".p50").set(latency.quantile(0.50));
+      registry_.gauge(prefix + ".p95").set(latency.quantile(0.95));
+      registry_.gauge(prefix + ".p99").set(latency.quantile(0.99));
+      registry_.gauge(prefix + ".p999").set(latency.quantile(0.999));
+    }
+    const obs::Tracer::Stats trace_stats = tracer_.stats();
+    registry_.gauge("serve.trace.spans_recorded")
+        .set(static_cast<double>(trace_stats.spans_recorded));
+    registry_.gauge("serve.trace.spans_evicted")
+        .set(static_cast<double>(trace_stats.spans_evicted));
     // Sweep counters export with delta semantics, so folding them into
     // the persistent registry keeps Prometheus-correct cumulative series
     // without double-counting across scrapes.
     runner_.export_metrics(registry_);
     text = registry_.prometheus_text();
+    // Full latency distributions: one log-bucketed histogram exposition
+    // block per endpoint that has served anything.
+    for (const EndpointMetrics* endpoint : endpoints_) {
+      if (endpoint->latency_seconds.count() == 0) continue;
+      text += endpoint->latency_seconds.prometheus_text(
+          obs::sanitize_metric_name("serve.latency_seconds." +
+                                    endpoint->name));
+    }
   }
 
   util::HttpResponse response;
   response.content_type = "text/plain; version=0.0.4";
   response.body = std::move(text);
   return response;
+}
+
+util::HttpResponse App::handle_trace(const util::HttpRequest& request) {
+  // Newest-N window; 0 means everything retained.  The body is a live
+  // view (ids and timestamps), outside the byte-identity contract.
+  std::size_t last = 512;
+  for (const auto& [key, value] : util::parse_query(request.query())) {
+    if (key != "last") continue;
+    const double parsed = util::parse_double_flag(key, value);
+    util::require(parsed >= 0, "last must be >= 0");
+    last = static_cast<std::size_t>(parsed);
+  }
+  util::HttpResponse response;
+  response.body = tracer_.trace_events_json(last).dump() + "\n";
+  return response;
+}
+
+void App::write_trace(const std::string& path, std::size_t last) const {
+  util::write_file(path, tracer_.trace_events_json(last).dump() + "\n");
+}
+
+std::string App::drain_summary() const {
+  std::string out = "latency";
+  bool any = false;
+  for (const EndpointMetrics* endpoint : endpoints_) {
+    const obs::LogHistogram& latency = endpoint->latency_seconds;
+    if (latency.count() == 0) continue;
+    any = true;
+    out += util::format(
+        " %s n=%llu p50=%.3fms p99=%.3fms", endpoint->name.c_str(),
+        static_cast<unsigned long long>(latency.count()),
+        latency.quantile(0.50) * 1e3, latency.quantile(0.99) * 1e3);
+  }
+  if (!any) out += ": no requests";
+  return out;
 }
 
 }  // namespace wfr::serve

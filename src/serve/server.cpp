@@ -10,8 +10,10 @@
 #include <csignal>
 #include <cstring>
 
+#include "obs/tracer.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/strings.hpp"
 
 namespace wfr::serve {
 
@@ -168,7 +170,13 @@ void Server::serve_forever() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-    if (pool_.try_submit([this, fd] { handle_connection(fd); })) {
+    // Accept timestamp for the worker-side queue_wait span; 0 when no
+    // tracer is attached so untraced serving never reads the clock.
+    obs::Tracer* const tracer = tracer_.load(std::memory_order_acquire);
+    const std::uint64_t accept_ns =
+        tracer != nullptr && tracer->enabled() ? obs::Tracer::now_ns() : 0;
+    if (pool_.try_submit(
+            [this, fd, accept_ns] { handle_connection(fd, accept_ns); })) {
       stats_.accepted.fetch_add(1, std::memory_order_relaxed);
     } else {
       // Bounded accept queue is full: shed load without occupying a
@@ -208,11 +216,26 @@ util::HttpResponse Server::dispatch(const util::HttpRequest& request) const {
   return util::http_error(404, "no route for " + request.path());
 }
 
-void Server::handle_connection(int fd) {
+void Server::handle_connection(int fd, std::uint64_t accept_ns) {
+  obs::Tracer* const tracer = tracer_.load(std::memory_order_acquire);
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  if (tracing && accept_ns != 0) {
+    // Time the connection spent queued behind the bounded pool before a
+    // worker picked it up (begin stamped on the accept thread).
+    tracer->record_span("queue_wait", "serve", accept_ns,
+                        obs::Tracer::now_ns());
+  }
+  const bool access_log = util::log_level() == util::LogLevel::kDebug;
+
   util::HttpLimits limits;
   limits.max_body_bytes = options_.max_body_bytes;
   util::HttpParser parser(limits);
   char buffer[16384];
+
+  // Monotonic begin of the request currently arriving on this connection:
+  // stamped at the first parse attempt, cleared once the request is
+  // served.  0 when neither tracing nor access logging needs the clock.
+  std::uint64_t request_begin_ns = 0;
 
   for (;;) {
     // Serve everything already parseable (pipelined requests drain
@@ -220,8 +243,18 @@ void Server::handle_connection(int fd) {
     bool close_connection = false;
     for (;;) {
       util::HttpRequest request;
+      const bool timing = tracing || access_log;
+      if (timing && request_begin_ns == 0)
+        request_begin_ns = obs::Tracer::now_ns();
+      const std::uint64_t parse_begin =
+          tracing ? obs::Tracer::now_ns() : 0;
       const util::HttpParser::Status status = parser.next(&request);
-      if (status == util::HttpParser::Status::kNeedMore) break;
+      if (status == util::HttpParser::Status::kNeedMore) {
+        // Nothing buffered means no request has started arriving yet:
+        // idle keep-alive time must not count into the next request.
+        if (parser.buffer_empty()) request_begin_ns = 0;
+        break;
+      }
       if (status == util::HttpParser::Status::kError) {
         util::HttpResponse error = util::http_error(parser.error_status(),
                                                     parser.error_message());
@@ -230,10 +263,48 @@ void Server::handle_connection(int fd) {
         close_connection = true;
         break;
       }
-      util::HttpResponse response = dispatch(request);
+
+      // Root span of this request's trace; children below share it via
+      // the thread-local scope stack.
+      obs::SpanScope request_span(tracer, "request", "serve",
+                                  request_begin_ns);
+      if (tracing) {
+        tracer->record_span("parse", "serve", parse_begin,
+                            obs::Tracer::now_ns());
+      }
+      util::HttpResponse response;
+      {
+        obs::SpanScope handle_span(tracer, "handle", "serve");
+        response = dispatch(request);
+      }
       response.close = response.close || !request.keep_alive();
-      const bool sent = send_all(fd, util::serialize_response(response));
+      std::string wire;
+      {
+        obs::SpanScope serialize_span(tracer, "serialize", "serve");
+        wire = util::serialize_response(response);
+      }
+      bool sent = false;
+      {
+        obs::SpanScope write_span(tracer, "write", "serve");
+        sent = send_all(fd, wire);
+      }
+      if (request_span.active()) {
+        request_span.arg("method", request.method);
+        request_span.arg("path", std::string(request.path()));
+        request_span.arg("status", std::to_string(response.status));
+      }
       stats_.requests.fetch_add(1, std::memory_order_relaxed);
+      if (access_log) {
+        const double latency_ms =
+            static_cast<double>(obs::Tracer::now_ns() - request_begin_ns) *
+            1e-6;
+        util::log_debug(util::format(
+            "access trace=%llu %s %s %d %zu %.3fms",
+            static_cast<unsigned long long>(request_span.trace_id()),
+            request.method.c_str(), std::string(request.path()).c_str(),
+            response.status, wire.size(), latency_ms));
+      }
+      request_begin_ns = 0;
       if (!sent || response.close) {
         close_connection = true;
         break;

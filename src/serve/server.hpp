@@ -35,6 +35,10 @@
 #include "exec/thread_pool.hpp"
 #include "util/http.hpp"
 
+namespace wfr::obs {
+class Tracer;
+}  // namespace wfr::obs
+
 namespace wfr::serve {
 
 struct ServerOptions {
@@ -92,6 +96,18 @@ class Server {
   int port() const { return port_; }
   int jobs() const { return pool_.jobs(); }
 
+  /// Attaches a request-lifecycle tracer (not owned; null detaches).  Each
+  /// served request becomes one trace — a root "request" span with parse /
+  /// handle / serialize / write children, plus a per-connection queue_wait
+  /// span measured from accept.  Spans never touch response bytes, so the
+  /// /v1 byte-identity contract is unaffected (docs/OBSERVABILITY.md).
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+  obs::Tracer* tracer() const {
+    return tracer_.load(std::memory_order_acquire);
+  }
+
   /// Lifetime totals, readable while serving.
   struct Stats {
     std::atomic<std::uint64_t> accepted{0};  // connections handed to workers
@@ -104,7 +120,7 @@ class Server {
   bool stopping() const { return stop_.load(std::memory_order_acquire); }
 
  private:
-  void handle_connection(int fd);
+  void handle_connection(int fd, std::uint64_t accept_ns);
   util::HttpResponse dispatch(const util::HttpRequest& request) const;
 
   ServerOptions options_;
@@ -114,6 +130,7 @@ class Server {
   int wake_pipe_[2] = {-1, -1};
   int port_ = 0;
   std::atomic<bool> stop_{false};
+  std::atomic<obs::Tracer*> tracer_{nullptr};
   Stats stats_;
 };
 

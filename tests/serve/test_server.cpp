@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -18,6 +19,7 @@
 #include "serve/loopback_client.hpp"
 #include "serve/server.hpp"
 #include "util/json.hpp"
+#include "util/logging.hpp"
 
 namespace wfr::serve {
 namespace {
@@ -26,7 +28,9 @@ namespace {
 /// its own thread; stops and drains on destruction.
 class AppServer {
  public:
-  explicit AppServer(ServerOptions options = ephemeral()) {
+  explicit AppServer(ServerOptions options = ephemeral(),
+                     AppOptions app_options = {})
+      : app_(app_options) {
     options.port = 0;
     server_ = std::make_unique<Server>(options);
     app_.bind(*server_);
@@ -48,6 +52,7 @@ class AppServer {
 
   int port() const { return port_; }
   Server& server() { return *server_; }
+  App& app() { return app_; }
 
  private:
   App app_;  // must outlive server_: handlers reference it during drain
@@ -423,6 +428,179 @@ TEST(ServeTest, SvgEndpointRendersFromQueryParameters) {
   EXPECT_NE(response.raw.find("Content-Type: image/svg+xml"),
             std::string::npos);
   EXPECT_NE(response.body.find("<svg"), std::string::npos);
+}
+
+TEST(ServeTest, MetricsExposeExactPercentilesPerEndpoint) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  client.request("POST", "/v1/roofline", kRooflineBody);
+  client.request("GET", "/healthz");
+
+  const std::string text = client.request("GET", "/metrics").body;
+  for (const char* metric :
+       {"serve_latency_seconds_roofline_p50 ",
+        "serve_latency_seconds_roofline_p95 ",
+        "serve_latency_seconds_roofline_p99 ",
+        "serve_latency_seconds_roofline_p999 ",
+        "serve_latency_seconds_healthz_p50 ",
+        "serve_trace_spans_recorded "}) {
+    EXPECT_NE(text.find(metric), std::string::npos) << metric;
+  }
+  // The log-bucketed exposition rides along with cumulative le series.
+  EXPECT_NE(text.find("serve_latency_seconds_healthz_bucket{le=\""),
+            std::string::npos);
+}
+
+TEST(ServeTest, TracingPreservesByteIdentityAcrossWorkerCounts) {
+  // The /v1 byte-identity contract must hold with tracing enabled AND
+  // match a tracing-disabled server byte for byte — the tracer may never
+  // feed response bytes (docs/OBSERVABILITY.md).
+  std::set<std::string> roofline_bytes;
+  std::set<std::string> sweep_bytes;
+  for (const bool trace_enabled : {true, false}) {
+    for (const int jobs : {1, 2, 8}) {
+      ServerOptions options = AppServer::ephemeral();
+      options.jobs = jobs;
+      AppOptions app_options;
+      app_options.trace_enabled = trace_enabled;
+      AppServer server(options, app_options);
+      LoopbackClient client(server.port());
+      roofline_bytes.insert(
+          client.request("POST", "/v1/roofline", kRooflineBody).raw);
+      sweep_bytes.insert(client.request("POST", "/v1/sweep", kSweepBody).raw);
+    }
+  }
+  EXPECT_EQ(roofline_bytes.size(), 1u);
+  EXPECT_EQ(sweep_bytes.size(), 1u);
+}
+
+TEST(ServeTest, DebugTraceExportsNestedRequestSpans) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  client.request("POST", "/v1/roofline", kRooflineBody);
+  client.request("POST", "/v1/sweep", kSweepBody);
+
+  const ClientResponse response = client.request("GET", "/debug/trace");
+  ASSERT_EQ(response.status, 200);
+  const util::Json doc = util::Json::parse(response.body);
+  const util::Json& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+
+  // Collect the complete ("X") spans keyed by span id, and check every
+  // non-root parent exists and contains its child's interval.
+  struct Span {
+    double ts = 0.0, dur = 0.0;
+    std::string name;
+  };
+  std::map<double, Span> by_id;
+  std::vector<std::pair<double, Span>> children;  // (parent, child)
+  bool saw_request = false, saw_handle = false, saw_evaluate = false;
+  for (const util::Json& event : events.as_array()) {
+    if (event.at("ph").as_string() != "X") continue;
+    Span span;
+    span.ts = event.at("ts").as_number();
+    span.dur = event.at("dur").as_number();
+    span.name = event.at("name").as_string();
+    const util::Json& args = event.at("args");
+    by_id.emplace(args.at("span").as_number(), span);
+    const double parent = args.at("parent").as_number();
+    if (parent != 0) children.emplace_back(parent, span);
+    saw_request = saw_request || span.name == "request";
+    saw_handle = saw_handle || span.name == "handle";
+    saw_evaluate = saw_evaluate || span.name == "evaluate";
+  }
+  EXPECT_TRUE(saw_request);
+  EXPECT_TRUE(saw_handle);
+  EXPECT_TRUE(saw_evaluate);
+  ASSERT_FALSE(children.empty());
+  for (const auto& [parent_id, child] : children) {
+    const auto it = by_id.find(parent_id);
+    ASSERT_NE(it, by_id.end()) << "dangling parent of " << child.name;
+    // Microsecond-rounded timestamps: allow 2 us of slack.
+    EXPECT_GE(child.ts + 2.0, it->second.ts) << child.name;
+    EXPECT_LE(child.ts + child.dur, it->second.ts + it->second.dur + 2.0)
+        << child.name;
+  }
+}
+
+TEST(ServeTest, DebugTraceHonorsLastWindow) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  for (int i = 0; i < 5; ++i) client.request("GET", "/healthz");
+  const util::Json doc =
+      util::Json::parse(client.request("GET", "/debug/trace?last=1").body);
+  std::size_t complete = 0;
+  for (const util::Json& event : doc.at("traceEvents").as_array())
+    complete += event.at("ph").as_string() == "X";
+  EXPECT_EQ(complete, 1u);
+}
+
+TEST(ServeTest, DisabledTracerExportsNothingAndServes) {
+  ServerOptions options = AppServer::ephemeral();
+  AppOptions app_options;
+  app_options.trace_enabled = false;
+  AppServer server(options, app_options);
+  LoopbackClient client(server.port());
+  ASSERT_EQ(client.request("POST", "/v1/roofline", kRooflineBody).status,
+            200);
+  const util::Json doc =
+      util::Json::parse(client.request("GET", "/debug/trace").body);
+  std::size_t complete = 0;
+  for (const util::Json& event : doc.at("traceEvents").as_array())
+    complete += event.at("ph").as_string() == "X";
+  EXPECT_EQ(complete, 0u);
+}
+
+TEST(ServeTest, TracerRingEvictsOldestBeyondCapacity) {
+  ServerOptions options = AppServer::ephemeral();
+  AppOptions app_options;
+  app_options.trace_capacity = 8;
+  AppServer server(options, app_options);
+  LoopbackClient client(server.port());
+  for (int i = 0; i < 10; ++i) client.request("GET", "/healthz");
+  const obs::Tracer::Stats stats = server.app().tracer().stats();
+  EXPECT_GT(stats.spans_evicted, 0u);
+  EXPECT_GE(stats.spans_recorded, stats.spans_evicted + 8);
+  const util::Json doc =
+      util::Json::parse(client.request("GET", "/debug/trace").body);
+  std::size_t complete = 0;
+  for (const util::Json& event : doc.at("traceEvents").as_array())
+    complete += event.at("ph").as_string() == "X";
+  EXPECT_LE(complete, 8u);
+}
+
+TEST(ServeTest, AccessLogEmitsOneLinePerRequestAtDebugLevel) {
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  {
+    AppServer server;
+    LoopbackClient client(server.port());
+    EXPECT_EQ(client.request("GET", "/healthz").status, 200);
+    EXPECT_EQ(client.request("POST", "/v1/roofline", kRooflineBody).status,
+              200);
+    // Destroying the server drains the workers, so every access line is
+    // written before the capture ends.
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+  util::set_log_level(saved);
+  EXPECT_NE(err.find("access trace="), std::string::npos) << err;
+  EXPECT_NE(err.find("GET /healthz 200 "), std::string::npos) << err;
+  EXPECT_NE(err.find("POST /v1/roofline 200 "), std::string::npos) << err;
+}
+
+TEST(ServeTest, AccessLogIsSilentAtDefaultLevel) {
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::kWarn);  // the startup default
+  testing::internal::CaptureStderr();
+  {
+    AppServer server;
+    LoopbackClient client(server.port());
+    EXPECT_EQ(client.request("GET", "/healthz").status, 200);
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+  util::set_log_level(saved);
+  EXPECT_EQ(err.find("access trace="), std::string::npos) << err;
 }
 
 }  // namespace
