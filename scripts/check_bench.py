@@ -20,8 +20,15 @@ a warning instead of producing nonsense comparisons (perf baselines are
 only comparable on like-for-like core counts).  Re-record with
 scripts/record_bench.py.
 
+``--require-metric BENCH:METRIC`` (repeatable) additionally fails the
+run when a named metric is absent from the current results, regardless
+of what any baseline records — the guard for metrics that must exist on
+every machine (e.g. the per-connection-level serve keys), where the
+machine-aware baseline skip would otherwise silently drop the check.
+
 Usage:
   check_bench.py RESULTS.ndjson [--baselines DIR] [--tolerance 0.25]
+      [--require-metric SERVE:roofline/conns1000/jobs8/req_per_s ...]
 
 Exits nonzero when any compared metric regresses or is missing.
 """
@@ -113,6 +120,11 @@ def main():
                         help="directory of BENCH_*.json baselines")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="relative regression tolerance (default 0.25)")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        metavar="BENCH:METRIC",
+                        help="fail when this metric is missing from the "
+                             "current run, independent of any baseline "
+                             "(repeatable)")
     args = parser.parse_args()
 
     results = parse_results(args.results)
@@ -132,6 +144,14 @@ def main():
     failures = []
     compared = 0
     skipped = 0
+    for required in args.require_metric:
+        bench, _, metric = required.partition(":")
+        if not metric:
+            failures.append(f"--require-metric {required!r}: expected "
+                            f"BENCH:METRIC")
+        elif (bench, metric) not in results:
+            failures.append(f"{required}: required metric missing from "
+                            f"current run")
     for path in baseline_files:
         with open(path, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)

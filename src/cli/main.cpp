@@ -199,6 +199,7 @@ void print_usage() {
       "               [--checkpoint <ckpt.json>] [--checkpoint-every <rows>]\n"
       "               [--resume <ckpt.json>]\n"
       "  wfr serve    [--port <n>] [--host <addr>] [--jobs <n>]\n"
+      "               [--io-threads <n>] [--idle-timeout <ms>]\n"
       "               [--max-queue <n>] [--max-body <bytes>]\n"
       "               [--sweep-jobs <n>] [--sweep-cache-cap <n>]\n"
       "               [--trace-out <trace.json>] [--trace-cap <spans>]\n"
@@ -614,10 +615,10 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
-// wfr serve — the roofline-as-a-service daemon (docs/SERVER.md): a
-// blocking-socket HTTP/1.1 JSON server that answers model and sweep
-// queries, renders SVGs, and exposes Prometheus metrics.  SIGINT/SIGTERM
-// drain in-flight requests before the process exits 0.
+// wfr serve — the roofline-as-a-service daemon (docs/SERVER.md): an
+// event-driven (epoll reactor) HTTP/1.1 JSON server that answers model
+// and sweep queries, renders SVGs, and exposes Prometheus metrics.
+// SIGINT/SIGTERM drain in-flight requests before the process exits 0.
 int cmd_serve(const Args& args) {
   serve::ServerOptions options;
   if (auto host = args.get_optional("host")) options.host = *host;
@@ -625,6 +626,12 @@ int cmd_serve(const Args& args) {
     options.port = static_cast<int>(parse_long_flag_in("port", *port, 0, 65535));
   if (auto jobs = args.get_optional("jobs"))
     options.jobs = static_cast<int>(parse_long_flag_in("jobs", *jobs, 1, 1 << 16));
+  if (auto io = args.get_optional("io-threads"))
+    options.io_threads =
+        static_cast<int>(parse_long_flag_in("io-threads", *io, 1, 64));
+  if (auto idle = args.get_optional("idle-timeout"))
+    options.idle_timeout_ms = static_cast<int>(
+        parse_long_flag_in("idle-timeout", *idle, 0, 1 << 30));
   if (auto queue = args.get_optional("max-queue"))
     options.max_queue =
         static_cast<int>(parse_long_flag_in("max-queue", *queue, 1, 1 << 20));
@@ -655,7 +662,8 @@ int cmd_serve(const Args& args) {
   // Flush before blocking so supervisors (and the serve-smoke CI job) can
   // wait for readiness on this line.
   std::cout << "wfr serve: listening on http://" << options.host << ":"
-            << port << " (" << server.jobs() << " workers, max queue "
+            << port << " (" << server.jobs() << " workers, "
+            << server.io_threads() << " io threads, max queue "
             << options.max_queue << ")" << std::endl;
   server.serve_forever();
   const auto& stats = server.stats();

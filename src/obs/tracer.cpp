@@ -65,6 +65,34 @@ SpanScope::SpanScope(Tracer* tracer, std::string_view name,
   span_.thread = thread_slot();
 }
 
+SpanScope::SpanScope(Tracer* tracer, std::string_view name,
+                     std::string_view category, TraceRef remote_parent) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  ThreadTraceState& state = tls_state();
+  if (state.depth > 0) {
+    // A trace is already open here: ignore the remote ref and nest
+    // normally (foreign-tracer nesting stays dropped, as ever).
+    if (state.owner != tracer) return;
+  } else {
+    if (!remote_parent.valid()) return;  // nothing to continue
+    state.owner = tracer;
+    state.trace_id = remote_parent.trace_id;
+    state.current_parent = remote_parent.span_id;
+    state.pending.clear();
+  }
+  tracer_ = tracer;
+  ++state.depth;
+  span_.trace_id = state.trace_id;
+  span_.span_id = tracer->next_span_id();
+  span_.parent_id = state.current_parent;
+  previous_parent_ = state.current_parent;
+  state.current_parent = span_.span_id;
+  span_.name.assign(name);
+  span_.category.assign(category);
+  span_.begin_ns = Tracer::now_ns();
+  span_.thread = thread_slot();
+}
+
 SpanScope::~SpanScope() {
   if (tracer_ == nullptr) return;
   span_.end_ns = Tracer::now_ns();
@@ -85,6 +113,8 @@ void SpanScope::arg(std::string_view key, std::string value) {
 Tracer::Tracer(TracerOptions options) : options_(options) {
   util::require(options_.capacity >= 1, "tracer capacity must be >= 1");
 }
+
+std::uint32_t Tracer::current_thread_slot() { return thread_slot(); }
 
 std::uint64_t Tracer::now_ns() {
   return static_cast<std::uint64_t>(
@@ -122,6 +152,22 @@ void Tracer::record_span(
   span.span_id = next_span_id();
   std::vector<TraceSpan> batch;
   batch.push_back(std::move(span));
+  flush(batch);
+}
+
+TraceRef Tracer::begin_trace() {
+  if (!options_.enabled) return {};
+  TraceRef ref;
+  ref.trace_id = next_trace_id();
+  ref.span_id = next_span_id();
+  return ref;
+}
+
+void Tracer::record_batch(std::vector<TraceSpan> batch) {
+  if (!options_.enabled || batch.empty()) return;
+  const std::uint32_t slot = thread_slot();
+  for (TraceSpan& span : batch)
+    if (span.thread == 0) span.thread = slot;
   flush(batch);
 }
 

@@ -67,6 +67,19 @@ struct TracerOptions {
   std::size_t capacity = 16384;
 };
 
+/// A handle to a span in some trace — enough to parent further spans
+/// under it from any thread.  The serve reactor carries one of these
+/// through a request's loop-thread/pool-thread handoffs so the whole
+/// lifecycle (parse on the event loop, handle on a pool worker, write
+/// back on the loop) assembles into a single well-nested trace
+/// (docs/OBSERVABILITY.md).  trace_id 0 means "no trace" (tracing
+/// disabled).
+struct TraceRef {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
 class Tracer;
 
 /// RAII span: begins on construction, is recorded into the owning
@@ -80,6 +93,14 @@ class SpanScope {
   /// thread's clock reading).
   SpanScope(Tracer* tracer, std::string_view name, std::string_view category,
             std::uint64_t begin_ns);
+  /// Continues a trace started on another thread: the span is parented
+  /// under `remote_parent` and nested scopes opened on this thread join
+  /// the same trace.  Used by the serve reactor to nest pool-thread
+  /// handler spans inside the request trace the event loop started.  With
+  /// a trace already open on this thread, the remote parent is ignored
+  /// and the scope nests normally; an invalid ref makes the scope inert.
+  SpanScope(Tracer* tracer, std::string_view name, std::string_view category,
+            TraceRef remote_parent);
   ~SpanScope();
 
   SpanScope(const SpanScope&) = delete;
@@ -93,6 +114,9 @@ class SpanScope {
   /// The trace this scope belongs to; 0 when inactive (the access-log
   /// correlation id).
   std::uint64_t trace_id() const { return span_.trace_id; }
+  /// A handle to this span for cross-thread parenting ({0,0} when
+  /// inactive).
+  TraceRef ref() const { return {span_.trace_id, span_.span_id}; }
 
  private:
   Tracer* tracer_ = nullptr;
@@ -111,6 +135,11 @@ class Tracer {
   /// Nanoseconds on the monotonic clock (the span timestamp domain).
   static std::uint64_t now_ns();
 
+  /// The calling thread's stable slot (the Trace Event "tid" track) — for
+  /// stamping manually assembled spans with the thread they actually ran
+  /// on before handing them to another thread's record_batch().
+  static std::uint32_t current_thread_slot();
+
   /// Records one already-closed span with explicit timestamps.  Inside an
   /// open SpanScope on this thread it joins that trace as a child of the
   /// current span; otherwise it forms a single-span trace of its own and
@@ -118,6 +147,24 @@ class Tracer {
   void record_span(std::string_view name, std::string_view category,
                    std::uint64_t begin_ns, std::uint64_t end_ns,
                    std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Opens a trace whose spans will be assembled manually across threads
+  /// (the reactor's request lifecycle): allocates a trace id plus the
+  /// root span's id and counts the trace as started.  The caller builds
+  /// TraceSpans itself — children via allocate_span_id() parented under
+  /// the returned ref — and submits the finished set with record_batch().
+  /// Returns an invalid ref when tracing is disabled.
+  TraceRef begin_trace();
+
+  /// A fresh span id for manual trace assembly (see begin_trace).
+  std::uint64_t allocate_span_id() { return next_span_id(); }
+
+  /// Moves manually assembled spans into the ring under one mutex
+  /// acquisition — the per-request flush of the reactor's request traces.
+  /// Spans must carry their trace/span/parent ids and timestamps; a span
+  /// with thread 0 is stamped with the calling thread's slot.  No-op when
+  /// disabled.
+  void record_batch(std::vector<TraceSpan> batch);
 
   /// Lifetime totals (monotonic; readable while tracing).
   struct Stats {

@@ -352,6 +352,28 @@ util::HttpResponse App::handle_metrics(const util::HttpRequest&) {
           .set(static_cast<double>(stats.shed.load()));
       registry_.gauge("serve.requests.served")
           .set(static_cast<double>(stats.requests.load()));
+      registry_.gauge("serve.accept_errors")
+          .set(static_cast<double>(stats.accept_errors.load()));
+      registry_.gauge("serve.timeouts")
+          .set(static_cast<double>(stats.timeouts.load()));
+      // Connection-lifecycle gauges: what the reactor holds right now.
+      registry_.gauge("serve.connections.active")
+          .set(static_cast<double>(stats.connections_active.load()));
+      registry_.gauge("serve.connections.idle_keepalive")
+          .set(static_cast<double>(stats.connections_idle.load()));
+      // Per-event-loop snapshots (loop index = thread owning the epoll
+      // set): owned connections, dispatched-but-unanswered requests, and
+      // completions waiting to be drained.
+      const std::vector<LoopStats> loops = server_->loop_stats();
+      for (std::size_t i = 0; i < loops.size(); ++i) {
+        const std::string prefix = "serve.loop" + std::to_string(i);
+        registry_.gauge(prefix + ".connections")
+            .set(static_cast<double>(loops[i].connections));
+        registry_.gauge(prefix + ".inflight")
+            .set(static_cast<double>(loops[i].inflight));
+        registry_.gauge(prefix + ".queue_depth")
+            .set(static_cast<double>(loops[i].queue_depth));
+      }
     }
     // The lock-free endpoint atomics fold into the persistent registry
     // with delta semantics (like the sweep counters below), keeping

@@ -29,11 +29,16 @@ struct ClientResponse {
 class LoopbackClient {
  public:
   /// Connects to 127.0.0.1:port.  Throws util::Error on failure.
-  explicit LoopbackClient(int port) {
+  /// rcvbuf_bytes > 0 shrinks SO_RCVBUF before connecting — backpressure
+  /// tests use it to force partial writes on the server side.
+  explicit LoopbackClient(int port, int rcvbuf_bytes = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd_ < 0) throw util::Error("client socket failed");
     const int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (rcvbuf_bytes > 0)
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                   sizeof(rcvbuf_bytes));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -113,6 +118,19 @@ class LoopbackClient {
     response.body = buffer_.substr(header_end + 4, body_length);
     buffer_.erase(0, total);
     return response;
+  }
+
+  /// The raw socket, for tests that need syscall-level control (abrupt
+  /// close, shutdown, socket options).
+  int fd() const { return fd_; }
+
+  /// Closes the socket immediately (mid-response-abort tests); further
+  /// calls on this client throw.
+  void close_now() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
   }
 
   /// True when the server closed the connection and no buffered bytes

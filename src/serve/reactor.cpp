@@ -1,0 +1,205 @@
+#include "serve/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serve/connection.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace wfr::serve {
+
+EventLoop::EventLoop(Server& server, int index)
+    : server_(server), index_(index) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0)
+    throw util::Error("epoll_create1: " + std::string(std::strerror(errno)));
+  event_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (event_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw util::Error("eventfd: " + std::string(std::strerror(errno)));
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = event_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &event) != 0) {
+    ::close(event_fd_);
+    ::close(epoll_fd_);
+    throw util::Error("epoll_ctl(eventfd): " +
+                      std::string(std::strerror(errno)));
+  }
+  completions_.set_wake([fd = event_fd_] {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof(one));
+  });
+}
+
+EventLoop::~EventLoop() {
+  if (thread_.joinable()) thread_.join();
+  connections_.clear();
+  graveyard_.clear();
+  if (event_fd_ >= 0) ::close(event_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::start() {
+  util::require(!thread_.joinable(), "event loop already started");
+  thread_ = std::thread([this] { run(); });
+}
+
+void EventLoop::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::adopt(int fd) {
+  post([this, fd] {
+    auto connection =
+        std::make_unique<Connection>(*this, fd, next_connection_id_++);
+    if (!connection->register_with_loop()) {
+      util::log_warn("epoll_ctl(add) failed for accepted socket: " +
+                     std::string(std::strerror(errno)));
+      return;  // dtor closes the socket
+    }
+    Connection* raw = connection.get();
+    connections_.emplace(fd, std::move(connection));
+    connection_count_.store(connections_.size(), std::memory_order_relaxed);
+    // Bytes may already be waiting (the client often writes immediately
+    // after connect); serve them without another epoll round-trip.
+    raw->on_readable();
+  });
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  completions_.post(std::move(fn));
+}
+
+void EventLoop::request_drain() {
+  draining_.store(true, std::memory_order_release);
+  post([] {});  // wake the loop so it notices
+}
+
+void EventLoop::complete(int fd, std::uint64_t id, std::string wire,
+                         int status, bool close_after,
+                         std::vector<obs::TraceSpan> spans) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end() || it->second->id() != id) return;
+  it->second->on_response(std::move(wire), status, close_after,
+                          std::move(spans));
+}
+
+LoopStats EventLoop::stats() const {
+  LoopStats stats;
+  stats.connections = connection_count_.load(std::memory_order_relaxed);
+  stats.inflight = inflight_.load(std::memory_order_relaxed);
+  stats.queue_depth = completions_.depth();
+  return stats;
+}
+
+void EventLoop::close_connection(Connection& conn) {
+  const auto it = connections_.find(conn.fd());
+  if (it == connections_.end() || it->second.get() != &conn) return;
+  graveyard_.push_back(std::move(it->second));
+  connections_.erase(it);
+  connection_count_.store(connections_.size(), std::memory_order_relaxed);
+}
+
+void EventLoop::sweep_timeouts(std::uint64_t now_ns) {
+  const bool draining = drain_began_;
+  const std::uint64_t idle_ns =
+      static_cast<std::uint64_t>(server_.options_.idle_timeout_ms) *
+      1'000'000ull;
+  std::vector<Connection*> doomed;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->state() == Connection::State::kDispatched) continue;
+    if (draining) {
+      // Idle keep-alives close immediately; a partially received request
+      // (or a stalled write) gets until the drain deadline.
+      if (conn->idle() || now_ns >= drain_deadline_ns_)
+        doomed.push_back(conn.get());
+      continue;
+    }
+    if (idle_ns != 0 && now_ns - conn->last_activity_ns() >= idle_ns)
+      doomed.push_back(conn.get());
+  }
+  for (Connection* conn : doomed) conn->on_timeout(draining);
+}
+
+void EventLoop::run() {
+  epoll_event events[64];
+  std::vector<std::function<void()>> batch;
+  const int poll_interval_ms = server_.options_.poll_interval_ms;
+
+  for (;;) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    if (draining && !drain_began_) {
+      drain_began_ = true;
+      const std::uint64_t now = obs::Tracer::now_ns();
+      drain_deadline_ns_ =
+          now + static_cast<std::uint64_t>(poll_interval_ms) * 1'000'000ull;
+      sweep_timeouts(now);
+      graveyard_.clear();
+    }
+    if (drain_began_ && connections_.empty()) break;
+
+    int timeout_ms = poll_interval_ms;
+    if (drain_began_) {
+      const std::uint64_t now = obs::Tracer::now_ns();
+      const std::uint64_t remaining =
+          drain_deadline_ns_ > now ? drain_deadline_ns_ - now : 0;
+      const int to_deadline = static_cast<int>(remaining / 1'000'000ull) + 1;
+      if (to_deadline < timeout_ms) timeout_ms = to_deadline;
+    }
+
+    const int ready = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      util::log_warn("epoll_wait: " + std::string(std::strerror(errno)));
+      continue;
+    }
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == event_fd_) {
+        std::uint64_t count = 0;
+        [[maybe_unused]] const ssize_t n =
+            ::read(event_fd_, &count, sizeof(count));
+        continue;
+      }
+      // Look up per event: a connection closed earlier in this batch (or
+      // replaced after fd reuse) simply misses.
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      Connection* conn = it->second.get();
+      const std::uint32_t mask = events[i].events;
+      if ((mask & EPOLLIN) != 0) {
+        conn->on_readable();
+      } else if ((mask & EPOLLOUT) != 0) {
+        conn->on_writable();
+      } else if ((mask & (EPOLLERR | EPOLLHUP)) != 0) {
+        conn->on_error();
+      }
+    }
+
+    // Completions posted by pool tasks (responses, adoptions, drain
+    // wake-ups) run after I/O so a response never races its own read.
+    batch.clear();
+    completions_.drain_into(batch);
+    for (std::function<void()>& fn : batch) fn();
+
+    const std::uint64_t now = obs::Tracer::now_ns();
+    const std::uint64_t sweep_interval =
+        static_cast<std::uint64_t>(poll_interval_ms) * 1'000'000ull;
+    if (drain_began_ || now - last_sweep_ns_ >= sweep_interval) {
+      last_sweep_ns_ = now;
+      sweep_timeouts(now);
+    }
+    graveyard_.clear();
+  }
+}
+
+}  // namespace wfr::serve

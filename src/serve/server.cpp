@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -13,7 +14,6 @@
 #include "obs/tracer.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
-#include "util/strings.hpp"
 
 namespace wfr::serve {
 
@@ -38,23 +38,34 @@ void close_if_open(int& fd) {
   }
 }
 
-/// Writes the whole buffer, retrying on partial writes and EINTR.
-/// Returns false when the peer is gone (EPIPE/ECONNRESET).
-bool send_all(int fd, std::string_view data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+/// fd-exhaustion-class accept failures: transient, recoverable by
+/// waiting for connections to close rather than by retrying immediately.
+bool accept_needs_backoff(int error) {
+  return error == EMFILE || error == ENFILE || error == ENOBUFS ||
+         error == ENOMEM;
 }
 
 }  // namespace
+
+const std::string& canned_response_503() {
+  static const std::string wire = [] {
+    util::HttpResponse overloaded =
+        util::http_error(503, "server is saturated; retry later");
+    overloaded.close = true;
+    return util::serialize_response(overloaded);
+  }();
+  return wire;
+}
+
+const std::string& canned_response_408() {
+  static const std::string wire = [] {
+    util::HttpResponse timeout =
+        util::http_error(408, "request not received within idle timeout");
+    timeout.close = true;
+    return util::serialize_response(timeout);
+  }();
+  return wire;
+}
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)), pool_(options_.jobs) {
@@ -63,13 +74,21 @@ Server::Server(ServerOptions options)
                 "port must be in [0, 65535]");
   util::require(options_.poll_interval_ms >= 1,
                 "poll_interval_ms must be >= 1");
+  util::require(options_.io_threads >= 0, "io_threads must be >= 0");
+  util::require(options_.idle_timeout_ms >= 0,
+                "idle_timeout_ms must be >= 0");
   pool_.set_queue_limit(static_cast<std::size_t>(options_.max_queue));
+  if (options_.io_threads == 0)
+    options_.io_threads = pool_.jobs() >= 4 ? 2 : 1;
 }
 
 Server::~Server() {
   request_stop();
-  // Drain any connections still queued or in flight before the pool (a
-  // member) joins, so worker tasks never outlive the routes they use.
+  // Drain order matters: loops finish every dispatched request (the pool
+  // must still be alive to run them), then the pool goes idle, and only
+  // then may members be destroyed.
+  for (const std::unique_ptr<EventLoop>& loop : loops_) loop->request_drain();
+  for (const std::unique_ptr<EventLoop>& loop : loops_) loop->join();
   pool_.wait_idle();
   if (g_signal_wake_fd.load(std::memory_order_relaxed) == wake_pipe_[1] &&
       wake_pipe_[1] >= 0) {
@@ -97,7 +116,8 @@ int Server::start() {
   if (::pipe(wake_pipe_) != 0)
     throw util::Error("pipe: " + std::string(std::strerror(errno)));
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0)
     throw util::Error("socket: " + std::string(std::strerror(errno)));
   const int one = 1;
@@ -113,7 +133,7 @@ int Server::start() {
     throw util::Error("bind " + options_.host + ":" +
                       std::to_string(options_.port) + ": " +
                       std::strerror(errno));
-  if (::listen(listen_fd_, options_.max_queue + pool_.jobs()) != 0)
+  if (::listen(listen_fd_, options_.listen_backlog) != 0)
     throw util::Error("listen: " + std::string(std::strerror(errno)));
 
   sockaddr_in bound{};
@@ -122,6 +142,10 @@ int Server::start() {
                     &length) != 0)
     throw util::Error("getsockname: " + std::string(std::strerror(errno)));
   port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  loops_.reserve(static_cast<std::size_t>(options_.io_threads));
+  for (int i = 0; i < options_.io_threads; ++i)
+    loops_.push_back(std::make_unique<EventLoop>(*this, i));
   return port_;
 }
 
@@ -148,8 +172,17 @@ void Server::install_signal_handlers() {
   ::sigaction(SIGTERM, &action, nullptr);
 }
 
+std::vector<LoopStats> Server::loop_stats() const {
+  std::vector<LoopStats> stats;
+  stats.reserve(loops_.size());
+  for (const std::unique_ptr<EventLoop>& loop : loops_)
+    stats.push_back(loop->stats());
+  return stats;
+}
+
 void Server::serve_forever() {
   util::require(listen_fd_ >= 0, "call start() before serve_forever()");
+  for (const std::unique_ptr<EventLoop>& loop : loops_) loop->start();
 
   while (!stop_.load(std::memory_order_acquire)) {
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
@@ -161,38 +194,45 @@ void Server::serve_forever() {
     if (fds[1].revents != 0) break;  // request_stop or signal
     if ((fds[0].revents & POLLIN) == 0) continue;
 
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      util::log_warn("accept failed: " + std::string(std::strerror(errno)));
-      continue;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-    // Accept timestamp for the worker-side queue_wait span; 0 when no
-    // tracer is attached so untraced serving never reads the clock.
-    obs::Tracer* const tracer = tracer_.load(std::memory_order_acquire);
-    const std::uint64_t accept_ns =
-        tracer != nullptr && tracer->enabled() ? obs::Tracer::now_ns() : 0;
-    if (pool_.try_submit(
-            [this, fd, accept_ns] { handle_connection(fd, accept_ns); })) {
+    // Drain the backlog until the non-blocking accept would block, so a
+    // connect storm costs one poll() round, not one per connection.
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_CLOEXEC | SOCK_NONBLOCK);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        stats_.accept_errors.fetch_add(1, std::memory_order_relaxed);
+        if (accept_needs_backoff(errno)) {
+          // Out of fds (or kernel memory): retrying immediately would
+          // hot-spin at 100% CPU.  Sleep interruptibly on the wake pipe
+          // so shutdown stays responsive, then let poll() try again.
+          util::log_warn("accept failed: " +
+                         std::string(std::strerror(errno)) +
+                         "; backing off " +
+                         std::to_string(options_.accept_backoff_ms) + "ms");
+          pollfd wake{wake_pipe_[0], POLLIN, 0};
+          ::poll(&wake, 1, options_.accept_backoff_ms);
+          break;
+        }
+        util::log_warn("accept failed: " +
+                       std::string(std::strerror(errno)));
+        break;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      loops_[next_loop_ % loops_.size()]->adopt(fd);
+      ++next_loop_;
       stats_.accepted.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      // Bounded accept queue is full: shed load without occupying a
-      // worker.  The body is canned so shedding stays allocation-light.
-      stats_.shed.fetch_add(1, std::memory_order_relaxed);
-      util::HttpResponse overloaded =
-          util::http_error(503, "server is saturated; retry later");
-      overloaded.close = true;
-      send_all(fd, util::serialize_response(overloaded));
-      ::close(fd);
     }
   }
 
-  // Drain: stop accepting, then let every handed-off connection finish.
+  // Drain: stop accepting, then let the loops finish everything already
+  // received (see the shutdown contract in the header).
   stop_.store(true, std::memory_order_release);
   close_if_open(listen_fd_);
+  for (const std::unique_ptr<EventLoop>& loop : loops_) loop->request_drain();
+  for (const std::unique_ptr<EventLoop>& loop : loops_) loop->join();
   pool_.wait_idle();
 }
 
@@ -214,122 +254,6 @@ util::HttpResponse Server::dispatch(const util::HttpRequest& request) const {
                                        " not allowed for " + request.path());
   }
   return util::http_error(404, "no route for " + request.path());
-}
-
-void Server::handle_connection(int fd, std::uint64_t accept_ns) {
-  obs::Tracer* const tracer = tracer_.load(std::memory_order_acquire);
-  const bool tracing = tracer != nullptr && tracer->enabled();
-  if (tracing && accept_ns != 0) {
-    // Time the connection spent queued behind the bounded pool before a
-    // worker picked it up (begin stamped on the accept thread).
-    tracer->record_span("queue_wait", "serve", accept_ns,
-                        obs::Tracer::now_ns());
-  }
-  const bool access_log = util::log_level() == util::LogLevel::kDebug;
-
-  util::HttpLimits limits;
-  limits.max_body_bytes = options_.max_body_bytes;
-  util::HttpParser parser(limits);
-  char buffer[16384];
-
-  // Monotonic begin of the request currently arriving on this connection:
-  // stamped at the first parse attempt, cleared once the request is
-  // served.  0 when neither tracing nor access logging needs the clock.
-  std::uint64_t request_begin_ns = 0;
-
-  for (;;) {
-    // Serve everything already parseable (pipelined requests drain
-    // back-to-back without touching the socket).
-    bool close_connection = false;
-    for (;;) {
-      util::HttpRequest request;
-      const bool timing = tracing || access_log;
-      if (timing && request_begin_ns == 0)
-        request_begin_ns = obs::Tracer::now_ns();
-      const std::uint64_t parse_begin =
-          tracing ? obs::Tracer::now_ns() : 0;
-      const util::HttpParser::Status status = parser.next(&request);
-      if (status == util::HttpParser::Status::kNeedMore) {
-        // Nothing buffered means no request has started arriving yet:
-        // idle keep-alive time must not count into the next request.
-        if (parser.buffer_empty()) request_begin_ns = 0;
-        break;
-      }
-      if (status == util::HttpParser::Status::kError) {
-        util::HttpResponse error = util::http_error(parser.error_status(),
-                                                    parser.error_message());
-        error.close = true;
-        send_all(fd, util::serialize_response(error));
-        close_connection = true;
-        break;
-      }
-
-      // Root span of this request's trace; children below share it via
-      // the thread-local scope stack.
-      obs::SpanScope request_span(tracer, "request", "serve",
-                                  request_begin_ns);
-      if (tracing) {
-        tracer->record_span("parse", "serve", parse_begin,
-                            obs::Tracer::now_ns());
-      }
-      util::HttpResponse response;
-      {
-        obs::SpanScope handle_span(tracer, "handle", "serve");
-        response = dispatch(request);
-      }
-      response.close = response.close || !request.keep_alive();
-      std::string wire;
-      {
-        obs::SpanScope serialize_span(tracer, "serialize", "serve");
-        wire = util::serialize_response(response);
-      }
-      bool sent = false;
-      {
-        obs::SpanScope write_span(tracer, "write", "serve");
-        sent = send_all(fd, wire);
-      }
-      if (request_span.active()) {
-        request_span.arg("method", request.method);
-        request_span.arg("path", std::string(request.path()));
-        request_span.arg("status", std::to_string(response.status));
-      }
-      stats_.requests.fetch_add(1, std::memory_order_relaxed);
-      if (access_log) {
-        const double latency_ms =
-            static_cast<double>(obs::Tracer::now_ns() - request_begin_ns) *
-            1e-6;
-        util::log_debug(util::format(
-            "access trace=%llu %s %s %d %zu %.3fms",
-            static_cast<unsigned long long>(request_span.trace_id()),
-            request.method.c_str(), std::string(request.path()).c_str(),
-            response.status, wire.size(), latency_ms));
-      }
-      request_begin_ns = 0;
-      if (!sent || response.close) {
-        close_connection = true;
-        break;
-      }
-    }
-    if (close_connection) break;
-
-    // Need more bytes.  Poll in ticks so a stop request can close idle
-    // keep-alive connections; a partially received request gets one more
-    // tick to finish arriving before the drain closes it.
-    pollfd fds{fd, POLLIN, 0};
-    const int ready = ::poll(&fds, 1, options_.poll_interval_ms);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (ready == 0) {
-      if (stop_.load(std::memory_order_acquire)) break;
-      continue;
-    }
-    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
-    if (n <= 0) break;  // EOF or error: client is done
-    parser.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
-  }
-  ::close(fd);
 }
 
 }  // namespace wfr::serve

@@ -1,24 +1,29 @@
 #pragma once
-// A blocking-socket HTTP/1.1 server built on util::http and the
-// exec::ThreadPool worker pool — the serving surface behind `wfr serve`
-// (docs/SERVER.md).
+// An event-driven HTTP/1.1 server built on util::http, an epoll reactor
+// (serve/reactor.hpp), and the exec::ThreadPool worker pool — the
+// serving surface behind `wfr serve` (docs/SERVER.md).
 //
 // Threading model:
-//   * The caller of serve_forever() is the accept thread.  Each accepted
-//     connection becomes one pool task that owns the socket for the
-//     connection's whole keep-alive lifetime (request parsing, handler
-//     dispatch, response writes all happen on that worker).
-//   * The pool's pending queue is bounded by max_queue; when it is full
-//     the accept thread sheds load by writing a canned 503 (Connection:
-//     close) and dropping the socket without occupying a worker.
+//   * The caller of serve_forever() is the accept thread: it accepts
+//     non-blocking sockets and hands each to one of io_threads event
+//     loops round-robin.  On EMFILE/ENFILE-class failures it backs off
+//     briefly instead of hot-spinning (stats().accept_errors counts).
+//   * Each EventLoop owns its connections outright (serve/connection.hpp
+//     has the state machine): parsing and response writes happen on the
+//     loop thread; handler dispatch runs on the shared ThreadPool and the
+//     finished response is posted back to the owning loop.
+//   * The pool's pending queue is bounded by max_queue; when it is full a
+//     parsed request is shed with a canned 503 written best-effort
+//     non-blocking (a client that cannot take the bytes gets a plain
+//     close — shedding never occupies the loop).
 //
 // Graceful shutdown (request_stop() or SIGINT/SIGTERM via
 // install_signal_handlers): the accept loop wakes through a self-pipe,
-// stops accepting, and closes the listen socket; workers finish every
-// request already received (queued connections included), give partially
-// received requests one poll tick to complete, then close.  serve_forever
-// returns only after all workers are idle — the drain contract the
-// serve-smoke CI job asserts.
+// stops accepting, and closes the listen socket; the loops close idle
+// keep-alive connections, give partially received requests one poll tick
+// to complete, and finish every request already dispatched.
+// serve_forever returns only after every loop has drained and the pool
+// is idle — the drain contract the serve-smoke CI job asserts.
 //
 // Determinism: handlers are pure functions of the request, and responses
 // carry no clocks or identifiers, so a given request body produces
@@ -29,10 +34,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "serve/reactor.hpp"
 #include "util/http.hpp"
 
 namespace wfr::obs {
@@ -46,20 +54,41 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// TCP port; 0 asks the kernel for an ephemeral port (see port()).
   int port = 8080;
-  /// Worker threads; 0 = exec::resolve_jobs() (WFR_JOBS, then hardware).
+  /// Worker threads for handler dispatch; 0 = exec::resolve_jobs()
+  /// (WFR_JOBS, then hardware).
   int jobs = 0;
-  /// Connections allowed to wait for a worker before the accept thread
-  /// sheds with 503.  Must be >= 1.
+  /// Requests allowed to wait for a worker before a loop sheds with 503.
+  /// Must be >= 1.
   int max_queue = 64;
   /// Request body limit (413 beyond it).
   std::size_t max_body_bytes = 4 * 1024 * 1024;
-  /// Poll tick for worker reads and the accept loop: the upper bound on
-  /// how long shutdown waits for an idle keep-alive connection.
+  /// Tick for the accept loop, the event-loop timeout sweeps, and the
+  /// drain grace a partially received request gets at shutdown.
   int poll_interval_ms = 250;
+  /// Event-loop (reactor) threads; 0 = 1, or 2 when the resolved worker
+  /// count is >= 4.  Each loop owns an epoll set and a share of the
+  /// connections.
+  int io_threads = 0;
+  /// A connection idle (or stalled mid-request / mid-write) longer than
+  /// this is closed — mid-request with a best-effort 408, the slow-loris
+  /// defense.  0 disables.
+  int idle_timeout_ms = 60000;
+  /// Pause after an EMFILE/ENFILE-class accept failure before accepting
+  /// again, so fd exhaustion does not hot-spin the accept thread.
+  int accept_backoff_ms = 50;
+  /// listen(2) backlog (the kernel clamps to net.core.somaxconn); sized
+  /// for connect storms from the sustained-load harness.
+  int listen_backlog = 4096;
 };
 
 /// A request handler: pure function of the request.
 using Handler = std::function<util::HttpResponse(const util::HttpRequest&)>;
+
+/// Canned wire bytes for the shed (503) and idle-timeout (408) responses:
+/// built once, written best-effort non-blocking, never allocated per
+/// event.
+const std::string& canned_response_503();
+const std::string& canned_response_408();
 
 class Server {
  public:
@@ -79,8 +108,8 @@ class Server {
   /// Throws util::Error on bind/listen failure.
   int start();
 
-  /// Runs the accept loop until request_stop(), then drains in-flight
-  /// connections and returns.  Call start() first.
+  /// Runs the accept loop until request_stop(), then drains the event
+  /// loops and returns.  Call start() first.
   void serve_forever();
 
   /// Signals the accept loop to stop (safe from any thread and from
@@ -95,12 +124,14 @@ class Server {
   /// The bound port; valid after start().
   int port() const { return port_; }
   int jobs() const { return pool_.jobs(); }
+  int io_threads() const { return static_cast<int>(loops_.size()); }
 
   /// Attaches a request-lifecycle tracer (not owned; null detaches).  Each
   /// served request becomes one trace — a root "request" span with parse /
-  /// handle / serialize / write children, plus a per-connection queue_wait
-  /// span measured from accept.  Spans never touch response bytes, so the
-  /// /v1 byte-identity contract is unaffected (docs/OBSERVABILITY.md).
+  /// queue_wait / handle / serialize / write children assembled across the
+  /// loop-thread/pool-thread handoff.  Spans never touch response bytes,
+  /// so the /v1 byte-identity contract is unaffected
+  /// (docs/OBSERVABILITY.md).
   void set_tracer(obs::Tracer* tracer) {
     tracer_.store(tracer, std::memory_order_release);
   }
@@ -108,24 +139,37 @@ class Server {
     return tracer_.load(std::memory_order_acquire);
   }
 
-  /// Lifetime totals, readable while serving.
+  /// Lifetime totals and live gauges, readable while serving.
   struct Stats {
-    std::atomic<std::uint64_t> accepted{0};  // connections handed to workers
-    std::atomic<std::uint64_t> shed{0};      // connections answered 503
+    std::atomic<std::uint64_t> accepted{0};  // connections handed to loops
+    std::atomic<std::uint64_t> shed{0};      // requests answered 503
     std::atomic<std::uint64_t> requests{0};  // requests fully served
+    std::atomic<std::uint64_t> accept_errors{0};  // failed accept(2) calls
+    std::atomic<std::uint64_t> timeouts{0};  // closes by idle timeout
+    // Gauges (current values, not totals):
+    std::atomic<std::int64_t> connections_active{0};
+    std::atomic<std::int64_t> connections_idle{0};  // idle keep-alive subset
   };
   const Stats& stats() const { return stats_; }
+
+  /// Per-loop live snapshots (connections / in-flight / queue depth), in
+  /// loop-index order.  Valid after start().
+  std::vector<LoopStats> loop_stats() const;
 
   /// True once request_stop() was called (handlers may consult it).
   bool stopping() const { return stop_.load(std::memory_order_acquire); }
 
  private:
-  void handle_connection(int fd, std::uint64_t accept_ns);
+  friend class Connection;
+  friend class EventLoop;
+
   util::HttpResponse dispatch(const util::HttpRequest& request) const;
 
   ServerOptions options_;
   exec::ThreadPool pool_;
   std::map<std::pair<std::string, std::string>, Handler> routes_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::size_t next_loop_ = 0;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   int port_ = 0;

@@ -209,5 +209,98 @@ TEST(TracerTest, ClearDropsSpansButKeepsStats) {
   EXPECT_EQ(tracer.stats().spans_recorded, 1u);
 }
 
+TEST(TracerTest, BeginTraceAllocatesIdsAndCountsTheTrace) {
+  Tracer tracer;
+  const TraceRef ref = tracer.begin_trace();
+  EXPECT_TRUE(ref.valid());
+  EXPECT_NE(ref.trace_id, 0u);
+  EXPECT_NE(ref.span_id, 0u);
+  EXPECT_EQ(tracer.stats().traces_started, 1u);
+
+  const TraceRef next = tracer.begin_trace();
+  EXPECT_NE(next.trace_id, ref.trace_id);
+  EXPECT_NE(next.span_id, ref.span_id);
+}
+
+TEST(TracerTest, BeginTraceOnDisabledTracerIsInvalid) {
+  Tracer tracer(TracerOptions{/*enabled=*/false, /*capacity=*/16});
+  EXPECT_FALSE(tracer.begin_trace().valid());
+  tracer.record_batch({TraceSpan{}});
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(TracerTest, RecordBatchFlushesAndStampsUnsetThreadSlots) {
+  Tracer tracer;
+  const TraceRef ref = tracer.begin_trace();
+
+  std::vector<TraceSpan> batch;
+  TraceSpan child;
+  child.trace_id = ref.trace_id;
+  child.span_id = tracer.allocate_span_id();
+  child.parent_id = ref.span_id;
+  child.name = "parse";
+  child.begin_ns = 10;
+  child.end_ns = 20;
+  batch.push_back(child);
+  TraceSpan stamped = child;
+  stamped.span_id = tracer.allocate_span_id();
+  stamped.name = "queue_wait";
+  stamped.thread = Tracer::current_thread_slot() + 100;  // pre-stamped
+  batch.push_back(stamped);
+  TraceSpan root;
+  root.trace_id = ref.trace_id;
+  root.span_id = ref.span_id;
+  root.name = "request";
+  root.begin_ns = 0;
+  root.end_ns = 30;
+  batch.push_back(root);
+
+  tracer.record_batch(std::move(batch));
+  const std::vector<TraceSpan> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Manually assembled spans parent under the begin_trace root.
+  EXPECT_EQ(spans[0].parent_id, ref.span_id);
+  EXPECT_EQ(spans[2].span_id, ref.span_id);
+  EXPECT_EQ(spans[2].parent_id, 0u);
+  // thread==0 spans get the flushing thread's slot; pre-stamped ones keep
+  // the slot the work actually ran on.
+  EXPECT_EQ(spans[0].thread, Tracer::current_thread_slot());
+  EXPECT_EQ(spans[1].thread, Tracer::current_thread_slot() + 100);
+}
+
+TEST(TracerTest, RemoteParentScopeContinuesATraceAcrossThreads) {
+  // The serve reactor handoff: the loop begins the trace, a pool thread
+  // opens the "handle" scope under the remote root, and nested scopes on
+  // that thread join the same trace.
+  Tracer tracer;
+  const TraceRef ref = tracer.begin_trace();
+
+  std::thread pool_thread([&tracer, ref] {
+    SpanScope handle(&tracer, "handle", "serve", ref);
+    EXPECT_TRUE(handle.active());
+    EXPECT_EQ(handle.trace_id(), ref.trace_id);
+    SpanScope endpoint(&tracer, "v1_roofline", "app");
+    EXPECT_EQ(endpoint.trace_id(), ref.trace_id);
+  });
+  pool_thread.join();
+
+  const std::vector<TraceSpan> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);  // root not recorded yet — only the subtree
+  const TraceSpan& endpoint = spans[0];
+  const TraceSpan& handle = spans[1];
+  EXPECT_EQ(handle.name, "handle");
+  EXPECT_EQ(handle.trace_id, ref.trace_id);
+  EXPECT_EQ(handle.parent_id, ref.span_id);
+  EXPECT_EQ(endpoint.parent_id, handle.span_id);
+  // No extra trace was started by the continuation.
+  EXPECT_EQ(tracer.stats().traces_started, 1u);
+}
+
+TEST(TracerTest, RemoteParentScopeWithInvalidRefIsInert) {
+  Tracer tracer;
+  SpanScope scope(&tracer, "handle", "serve", TraceRef{});
+  EXPECT_FALSE(scope.active());
+}
+
 }  // namespace
 }  // namespace wfr::obs

@@ -282,14 +282,21 @@ TEST(ServeTest, ShedsWith503WhenAcceptQueueIsFull) {
       LoopbackClient::format_request("GET", "/block", "", /*close=*/true));
   gate.wait_entered(1);
 
-  // Fills the one queue slot (connections are queued on accept, before
-  // any request bytes are read).
+  // Fills the one queue slot.  Shedding happens at dispatch time (a
+  // parsed request fails to enter the bounded pool queue), so wait until
+  // the reactor has actually dispatched this request — two in flight:
+  // one executing, one pending.
   LoopbackClient queued(port);
   queued.send_raw(
       LoopbackClient::format_request("GET", "/block", "", /*close=*/true));
-  // Wait until the accept thread has handed it to the pool.
-  for (int i = 0; i < 500 && server.stats().accepted.load() < 2; ++i)
+  const auto inflight = [&server] {
+    std::size_t total = 0;
+    for (const LoopStats& loop : server.loop_stats()) total += loop.inflight;
+    return total;
+  };
+  for (int i = 0; i < 500 && inflight() < 2; ++i)
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(inflight(), 2u);
   ASSERT_EQ(server.stats().accepted.load(), 2u);
 
   // Third connection: queue full, shed with a canned 503.
