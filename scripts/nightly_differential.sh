@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Nightly differential validation (docs/TESTING.md): runs `wfr check` at
+# campaign seed counts across both generator modes, keeps the rendered
+# tables (the per-topology-class gap distribution is the artifact of
+# record), and leaves one replayable repro file per divergence.
+#
+# Environment:
+#   WFR    path to the wfr binary        (default build/src/cli/wfr)
+#   SEEDS  scenarios per generator mode  (default 2000)
+#   OUT    output directory              (default nightly-differential)
+#
+# Exit status: 0 when every scenario in every mode passed.
+set -uo pipefail
+
+WFR=${WFR:-build/src/cli/wfr}
+SEEDS=${SEEDS:-2000}
+OUT=${OUT:-nightly-differential}
+
+if [ ! -x "$WFR" ]; then
+  echo "nightly_differential: no wfr binary at $WFR (set WFR=...)" >&2
+  exit 2
+fi
+mkdir -p "$OUT"
+
+status=0
+for mode in rectangular irregular; do
+  echo "=== wfr check --seeds $SEEDS --gen $mode ==="
+  if ! "$WFR" check --seeds "$SEEDS" --gen "$mode" \
+      --repro-dir "$OUT/repros-$mode" | tee "$OUT/table-$mode.txt"; then
+    echo "nightly_differential: $mode mode diverged" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "nightly_differential: both modes passed at $SEEDS seeds"
+fi
+exit "$status"

@@ -21,7 +21,99 @@ DifferentialRunner::DifferentialRunner(CheckOptions options)
   util::require(options_.tolerance >= 0.0, "tolerance must be >= 0");
 }
 
+namespace {
+
+// Irregular-mode comparison: the roofline is an upper bound on arbitrary
+// DAGs (path argument for diagonal ceilings, capacity argument for
+// horizontal ones — see scenario_gen.hpp), so assert the bound plus the
+// per-class gap ceiling instead of tight agreement.
+CaseResult run_irregular_case(const GenScenario& scenario,
+                              const CheckOptions& options) {
+  CaseResult r;
+  r.scenario = scenario;
+  auto fail = [&r](std::string message) {
+    r.failures.push_back(std::move(message));
+  };
+
+  const dag::WorkflowGraph graph = scenario.build_graph();
+  const core::WorkflowCharacterization characterization =
+      core::characterize_graph(graph);
+  if (characterization.parallel_tasks != scenario.width) {
+    fail(util::format("characterized parallel_tasks %d != generated max "
+                      "level width %d",
+                      characterization.parallel_tasks, scenario.width));
+  }
+
+  const core::RooflineModel model =
+      core::build_model(scenario.system, characterization);
+  r.model_wall = model.parallelism_wall();
+  if (r.model_wall != scenario.expected_wall) {
+    fail(util::format("parallelism wall mismatch: model %d, expected "
+                      "floor(%d / %d) = %d",
+                      r.model_wall, scenario.system.total_nodes,
+                      scenario.nodes_per_task, scenario.expected_wall));
+  }
+  // Construction keeps width <= wall, so the operating point is the DAG's
+  // parallel width and the upper-bound argument applies there.
+  const double operating_p =
+      std::min(static_cast<double>(characterization.parallel_tasks),
+               static_cast<double>(r.model_wall));
+  r.predicted_tps = model.attainable_tps(operating_p);
+  r.binding_channel =
+      core::channel_name(model.binding_ceiling(operating_p).channel);
+
+  const trace::WorkflowTrace trace =
+      sim::run_workflow(graph, scenario.system.to_machine());
+  const double makespan = trace.makespan_seconds();
+  if (!(makespan > 0.0)) {
+    fail("simulated makespan is not positive");
+    return r;
+  }
+  r.simulated_tps = static_cast<double>(scenario.total_tasks()) / makespan;
+  r.sim_peak_parallel = trace.peak_concurrency();
+  if (r.sim_peak_parallel < 1 || r.sim_peak_parallel > scenario.expected_wall) {
+    fail(util::format("peak concurrency %d outside [1, wall %d]",
+                      r.sim_peak_parallel, scenario.expected_wall));
+  }
+
+  r.relative_error =
+      std::fabs(r.simulated_tps - r.predicted_tps) / r.predicted_tps;
+  r.gap = std::max(0.0, 1.0 - r.simulated_tps / r.predicted_tps);
+  if (!(r.simulated_tps <=
+        r.predicted_tps * (1.0 + options.tolerance))) {
+    fail(util::format(
+        "roofline violated: simulated %s tps exceeds predicted upper bound "
+        "%s tps (by more than tolerance %s)",
+        util::format_double(r.simulated_tps).c_str(),
+        util::format_double(r.predicted_tps).c_str(),
+        util::format_double(options.tolerance).c_str()));
+  }
+  const double ceiling = topology_gap_ceiling(scenario.topology);
+  if (!(r.gap <= ceiling)) {
+    fail(util::format(
+        "gap ceiling exceeded: class %s gap %s > documented ceiling %s "
+        "(predicted %s tps, simulated %s tps)",
+        topology_name(scenario.topology),
+        util::format_double(r.gap).c_str(),
+        util::format_double(ceiling).c_str(),
+        util::format_double(r.predicted_tps).c_str(),
+        util::format_double(r.simulated_tps).c_str()));
+  }
+
+  core::Dot dot;
+  dot.label = "simulated";
+  dot.parallel_tasks = operating_p;
+  dot.tps = r.simulated_tps;
+  r.predicted_bound = core::bound_class_name(model.classify(dot));
+  r.expected_bound = r.predicted_bound;  // no engineered class to pin
+  return r;
+}
+
+}  // namespace
+
 CaseResult DifferentialRunner::run_case(const GenScenario& scenario) const {
+  if (scenario.mode == GenMode::kIrregular)
+    return run_irregular_case(scenario, options_);
   CaseResult r;
   r.scenario = scenario;
   auto fail = [&r](std::string message) {
@@ -78,6 +170,7 @@ CaseResult DifferentialRunner::run_case(const GenScenario& scenario) const {
 
   r.relative_error =
       std::fabs(r.simulated_tps - r.predicted_tps) / r.predicted_tps;
+  r.gap = std::max(0.0, 1.0 - r.simulated_tps / r.predicted_tps);
   if (!(r.relative_error <= options_.tolerance)) {
     fail(util::format(
         "throughput divergence: predicted %s tps, simulated %s tps "
@@ -105,7 +198,7 @@ CaseResult DifferentialRunner::run_case(const GenScenario& scenario) const {
 CheckReport DifferentialRunner::run() const {
   CheckReport report;
   report.options = options_;
-  const ScenarioGen gen(options_.base_seed);
+  const ScenarioGen gen(options_.base_seed, options_.mode);
   exec::ThreadPool pool(options_.jobs);
   report.results = exec::parallel_map<CaseResult>(
       pool, options_.seeds,
@@ -116,7 +209,103 @@ CheckReport DifferentialRunner::run() const {
   return report;
 }
 
+namespace {
+
+// Deterministic nearest-rank percentile over an already-sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto pos = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return sorted[pos];
+}
+
+// Irregular-mode report: gap distribution per topology class against the
+// documented ceiling.
+std::string irregular_table(const CheckReport& report) {
+  const auto& results = report.results;
+  std::string out;
+  out += util::format(
+      "differential check: %zu scenarios, base seed %llu, tolerance %s, "
+      "generator irregular (v%d)\n",
+      results.size(),
+      static_cast<unsigned long long>(report.options.base_seed),
+      util::format_double(report.options.tolerance).c_str(),
+      ScenarioGen::kGenVersion);
+
+  struct ClassRow {
+    std::size_t cases = 0;
+    std::size_t diverged = 0;
+    std::vector<double> gaps;
+  };
+  ClassRow rows[kTopologyCount];
+  ClassRow total;
+  for (const CaseResult& r : results) {
+    ClassRow& row = rows[static_cast<int>(r.scenario.topology)];
+    for (ClassRow* target : {&row, &total}) {
+      ++target->cases;
+      if (!r.passed()) ++target->diverged;
+      target->gaps.push_back(r.gap);
+    }
+  }
+
+  auto line = [&out](std::string_view cls, std::string_view cases,
+                     std::string_view diverged, std::string_view mean,
+                     std::string_view p50, std::string_view p90,
+                     std::string_view max, std::string_view ceiling) {
+    out += util::pad_right(cls, 12);
+    out += util::pad_left(cases, 7);
+    out += util::pad_left(diverged, 10);
+    out += util::pad_left(mean, 10);
+    out += util::pad_left(p50, 9);
+    out += util::pad_left(p90, 9);
+    out += util::pad_left(max, 9);
+    out += util::pad_left(ceiling, 9);
+    out += '\n';
+  };
+  line("class", "cases", "diverged", "gap-mean", "gap-p50", "gap-p90",
+       "gap-max", "ceiling");
+  auto emit = [&line](std::string_view name, ClassRow& row,
+                      std::string_view ceiling) {
+    if (row.cases == 0) {
+      line(name, "0", "0", "-", "-", "-", "-", ceiling);
+      return;
+    }
+    std::sort(row.gaps.begin(), row.gaps.end());
+    double sum = 0.0;
+    for (double g : row.gaps) sum += g;
+    line(name, util::format("%zu", row.cases),
+         util::format("%zu", row.diverged),
+         util::format("%.3f", sum / static_cast<double>(row.cases)),
+         util::format("%.3f", percentile(row.gaps, 0.5)),
+         util::format("%.3f", percentile(row.gaps, 0.9)),
+         util::format("%.3f", row.gaps.back()), ceiling);
+  };
+  // Skip the rectangular class: the irregular generator never draws it.
+  for (int i = 1; i < kTopologyCount; ++i) {
+    const auto topology = static_cast<Topology>(i);
+    emit(topology_name(topology), rows[i],
+         util::format("%.3f", topology_gap_ceiling(topology)));
+  }
+  emit("total", total, "-");
+
+  for (const CaseResult& r : results) {
+    if (r.passed()) continue;
+    out += util::format(
+        "DIVERGENCE index %zu (seed %llu, class %s, regime %s): %s\n",
+        r.scenario.index,
+        static_cast<unsigned long long>(r.scenario.case_seed),
+        topology_name(r.scenario.topology), regime_name(r.scenario.regime),
+        util::join(r.failures, "; ").c_str());
+  }
+  out += util::format("wfr check: %zu passed, %zu diverged\n",
+                      results.size() - report.divergences, report.divergences);
+  return out;
+}
+
+}  // namespace
+
 std::string CheckReport::table() const {
+  if (options.mode == GenMode::kIrregular) return irregular_table(*this);
   std::string out;
   out += util::format(
       "differential check: %zu scenarios, base seed %llu, tolerance %s\n",
@@ -173,6 +362,7 @@ std::string CheckReport::table() const {
 util::Json DifferentialRunner::repro_json(const CaseResult& result) const {
   util::JsonObject o;
   o.set("wfr_check_repro", util::Json(1));
+  o.set("gen", util::Json(std::string(gen_mode_name(result.scenario.mode))));
   o.set("base_seed",
         util::Json(util::format("%llu", static_cast<unsigned long long>(
                                             result.scenario.base_seed))));
@@ -184,6 +374,7 @@ util::Json DifferentialRunner::repro_json(const CaseResult& result) const {
   o.set("relative_error", util::Json(result.relative_error));
   o.set("model_wall", util::Json(result.model_wall));
   o.set("sim_peak_parallel", util::Json(result.sim_peak_parallel));
+  o.set("gap", util::Json(result.gap));
   o.set("binding_channel", util::Json(result.binding_channel));
   o.set("predicted_bound", util::Json(result.predicted_bound));
   o.set("expected_bound", util::Json(result.expected_bound));
@@ -213,17 +404,27 @@ CaseResult DifferentialRunner::replay(const util::Json& repro) const {
                 "not a wfr check repro document (missing wfr_check_repro)");
   const std::uint64_t base_seed = seed_from_json(repro.at("base_seed"));
   const auto index = static_cast<std::size_t>(repro.at("index").as_int());
-  const ScenarioGen gen(base_seed);
+  const GenMode mode = parse_gen_mode(repro.string_or("gen", "rectangular"));
+  const ScenarioGen gen(base_seed, mode);
   const GenScenario scenario = gen.generate(index);
   CaseResult result = run_case(scenario);
   // A repro file is only faithful while the generator's draw sequence is
   // unchanged; detect drift by comparing the regenerated scenario with the
-  // recorded one.
+  // recorded one (and flag a version mismatch explicitly, so a stale file
+  // names the reason instead of just a byte diff).
   if (const util::Json* recorded = repro.as_object().find("scenario")) {
-    if (!(scenario.to_json() == *recorded)) {
+    const auto recorded_version =
+        static_cast<int>(recorded->number_or("gen_version", 0));
+    if (recorded_version != ScenarioGen::kGenVersion) {
+      result.failures.push_back(util::format(
+          "generator version drift: repro was recorded by gen_version %d "
+          "but this binary generates v%d; this repro file is stale",
+          recorded_version, ScenarioGen::kGenVersion));
+    } else if (!(scenario.to_json() == *recorded)) {
       result.failures.push_back(
           "generator drift: the regenerated scenario no longer matches the "
-          "recorded one (gen_version changed?); this repro file is stale");
+          "recorded one (draw sequence changed without a gen_version "
+          "bump?); this repro file is stale");
     }
   }
   return result;

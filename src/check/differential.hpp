@@ -2,12 +2,20 @@
 // Differential oracle: runs every generated scenario through both the
 // analytical Workflow Roofline prediction (core::build_model over a
 // characterize_graph of the scenario DAG) and a full discrete-event
-// execution (sim::run_workflow), and asserts they agree:
+// execution (sim::run_workflow).
+//
+// Rectangular mode asserts they agree:
 //   * predicted tasks/second within a relative tolerance of simulated
 //     tasks/second (scenarios are engineered so the prediction is exact up
 //     to a few parts per thousand — see scenario_gen.hpp);
 //   * exact agreement on the parallelism wall, the binding channel, the
 //     Fig. 3 bound classification, and the simulator's peak concurrency.
+//
+// Irregular mode treats the roofline as the upper bound it is on arbitrary
+// DAGs: it asserts simulated <= predicted * (1 + tolerance), that the gap
+// (1 - simulated/predicted) stays below the documented per-topology-class
+// ceiling, and structural agreement (wall, level width, peak concurrency
+// within the wall) — and reports the gap distribution per class.
 // Divergences are dumped as replayable JSON repro files that record the
 // (base_seed, index) pair, so `wfr check --replay <file>` can regenerate
 // and re-run the exact scenario.
@@ -29,10 +37,14 @@ struct CheckOptions {
   /// Number of scenarios (indices 0..seeds-1).
   std::size_t seeds = 100;
   std::uint64_t base_seed = kDefaultBaseSeed;
-  /// Maximum |simulated - predicted| / predicted throughput.
+  /// Rectangular mode: maximum |simulated - predicted| / predicted
+  /// throughput.  Irregular mode: slack on the upper-bound assertion
+  /// (simulated <= predicted * (1 + tolerance)).
   double tolerance = 0.02;
   /// Worker threads; 0 resolves via WFR_JOBS / hardware (exec::resolve_jobs).
   int jobs = 0;
+  /// Which generator draws scenarios (see scenario_gen.hpp).
+  GenMode mode = GenMode::kRectangular;
 };
 
 /// Outcome of one scenario's analytical-vs-simulated comparison.
@@ -41,6 +53,10 @@ struct CaseResult {
   double predicted_tps = 0.0;
   double simulated_tps = 0.0;
   double relative_error = 0.0;
+  /// Roofline gap, max(0, 1 - simulated/predicted): how far below the
+  /// (upper-bound) prediction the simulator landed.  The irregular-mode
+  /// pass criterion compares this against topology_gap_ceiling().
+  double gap = 0.0;
   int model_wall = 0;
   int sim_peak_parallel = 0;
   std::string binding_channel;
@@ -61,8 +77,10 @@ struct CheckReport {
 
   bool all_passed() const { return divergences == 0; }
 
-  /// Deterministic pass/divergence table (per-regime counts and the max
-  /// relative error, plus one DIVERGENCE line per failed case).
+  /// Deterministic pass/divergence table, plus one DIVERGENCE line per
+  /// failed case.  Rectangular mode: per-regime counts and the max
+  /// relative error.  Irregular mode: per-topology-class gap distribution
+  /// (mean/p50/p90/max) against the documented ceiling.
   std::string table() const;
 };
 

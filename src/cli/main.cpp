@@ -43,15 +43,27 @@
 //       campaign-scale path); --checkpoint/--resume persist and pick up
 //       progress so a killed sweep re-assembles byte-identically.
 //       --cache-cap bounds the memo cache (LRU beyond it).
+//   wfr import   <instance.json>... [--jobs <n>] [--out-dir <dir>]
+//       Convert WfCommons/WfBench workflow instances (wfformat >= 1.4
+//       specification/execution layout or the legacy <= 1.3 inline
+//       layout) to our workflow description JSON on stdout, ready to pipe
+//       into analyze/run/simulate/sweep via --workflow -.  Multiple
+//       inputs merge into one union workflow (task names prefixed per
+//       instance) unless --out-dir writes one file per input.  Output is
+//       byte-identical at any --jobs count.
 //   wfr check    [--seeds <n>] [--tolerance <x>] [--jobs <n>]
-//                [--base-seed <n>] [--repro-dir <dir>]
-//                [--replay <repro.json>]
-//       Differential validation: synthesize seeded scenarios whose
-//       roofline prediction is provably tight, execute each on the
-//       simulator, and assert throughput/wall/binding/classification
-//       agreement.  Divergences exit 1 and dump replayable repro files;
-//       --replay re-runs one recorded scenario.  Output is byte-identical
-//       at any --jobs count.
+//                [--base-seed <n>] [--gen rectangular|irregular]
+//                [--repro-dir <dir>] [--replay <repro.json>]
+//       Differential validation: synthesize seeded scenarios and execute
+//       each on the simulator.  The rectangular generator engineers
+//       provably tight predictions and asserts
+//       throughput/wall/binding/classification agreement; --gen irregular
+//       draws fan-out/fan-in/diamond/multi-phase/straggler topologies
+//       with heterogeneous volumes, asserts the roofline stays an upper
+//       bound, and reports the prediction gap per topology class against
+//       documented ceilings.  Divergences exit 1 and dump replayable
+//       repro files; --replay re-runs one recorded scenario.  Output is
+//       byte-identical at any --jobs count.
 //   wfr compare  --system <spec.json|preset> --before <c.json>
 //                --after <c.json>
 //       Compare two characterizations of the same workflow (before/after
@@ -92,6 +104,8 @@
 #include "dag/wdl.hpp"
 #include "exec/checkpoint.hpp"
 #include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+#include "workflows/wfcommons.hpp"
 #include "plot/ascii.hpp"
 #include "plot/gantt_plot.hpp"
 #include "plot/roofline_plot.hpp"
@@ -115,6 +129,17 @@ using namespace wfr;
 // message instead of silently producing truncated artifacts.
 using util::read_file;
 
+// Workflow inputs accept "-" for stdin so `wfr import` pipes straight
+// into analyze/run/simulate/sweep.
+std::string read_workflow_text(const std::string& arg) {
+  if (arg == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+  }
+  return read_file(arg);
+}
+
 core::SystemSpec load_system(const std::string& arg) {
   if (arg == "perlmutter-gpu") return core::SystemSpec::perlmutter_gpu();
   if (arg == "perlmutter-cpu") return core::SystemSpec::perlmutter_cpu();
@@ -124,6 +149,8 @@ core::SystemSpec load_system(const std::string& arg) {
 
 struct Args {
   std::string command;
+  /// Tokens that are not options ("wfr import a.json b.json").
+  std::vector<std::string> positional;
   /// Options in command-line order; a flag may repeat (e.g. --param).
   std::vector<std::pair<std::string, std::string>> options;
   bool flag(const std::string& name) const {
@@ -156,8 +183,10 @@ Args parse_args(int argc, char** argv) {
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string token = argv[i];
-    if (!util::starts_with(token, "--"))
-      throw util::InvalidArgument("unexpected argument '" + token + "'");
+    if (!util::starts_with(token, "--")) {
+      args.positional.push_back(std::move(token));
+      continue;
+    }
     token = token.substr(2);
     if (i + 1 < argc && !util::starts_with(argv[i + 1], "--")) {
       args.options.emplace_back(token, argv[++i]);
@@ -204,9 +233,10 @@ void print_usage() {
       "               [--sweep-jobs <n>] [--sweep-cache-cap <n>]\n"
       "               [--trace-out <trace.json>] [--trace-cap <spans>]\n"
       "               [--no-trace]\n"
+      "  wfr import   <instance.json>... [--jobs <n>] [--out-dir <dir>]\n"
       "  wfr check    [--seeds <n>] [--tolerance <x>] [--jobs <n>]\n"
-      "               [--base-seed <n>] [--repro-dir <dir>]\n"
-      "               [--replay <repro.json>]\n"
+      "               [--base-seed <n>] [--gen rectangular|irregular]\n"
+      "               [--repro-dir <dir>] [--replay <repro.json>]\n"
       "  wfr compare  --system <spec|preset> --before <c.json>\n"
       "               --after <c.json>\n"
       "  wfr archetype --kind <ensemble|pipeline|fork-join|map-reduce|\n"
@@ -215,6 +245,8 @@ void print_usage() {
       "  wfr presets\n"
       "\n"
       "presets: perlmutter-gpu, perlmutter-cpu, cori-haswell\n"
+      "--workflow accepts - for stdin (e.g. wfr import ... | wfr run\n"
+      "  --workflow -); wfr import reads - as stdin too\n"
       "sweep axes: nodes_per_task (factor), efficiency, parallel_tasks,\n"
       "  total_tasks, total_nodes, fs_gbs, external_gbs, nic_gbs, peak_flops\n"
       "jobs resolution: --jobs > WFR_JOBS > hardware concurrency\n";
@@ -233,7 +265,7 @@ void emit_model_outputs(const core::RooflineModel& model, const Args& args) {
 int cmd_analyze(const Args& args) {
   const core::SystemSpec system = load_system(args.get("system"));
   const dag::WorkflowGraph graph =
-      dag::load_workflow(read_file(args.get("workflow")));
+      dag::load_workflow(read_workflow_text(args.get("workflow")));
 
   const trace::WorkflowTrace trace =
       sim::run_workflow(graph, system.to_machine());
@@ -272,7 +304,7 @@ int cmd_model(const Args& args) {
 int cmd_simulate(const Args& args) {
   const core::SystemSpec system = load_system(args.get("system"));
   const dag::WorkflowGraph graph =
-      dag::load_workflow(read_file(args.get("workflow")));
+      dag::load_workflow(read_workflow_text(args.get("workflow")));
   const trace::WorkflowTrace trace =
       sim::run_workflow(graph, system.to_machine());
   std::cout << trace::describe_trace(trace);
@@ -291,7 +323,7 @@ int cmd_simulate(const Args& args) {
 int cmd_run(const Args& args) {
   const core::SystemSpec system = load_system(args.get("system"));
   const dag::WorkflowGraph graph =
-      dag::load_workflow(read_file(args.get("workflow")));
+      dag::load_workflow(read_workflow_text(args.get("workflow")));
 
   obs::Observation observation;
   sim::RunOptions options;
@@ -507,7 +539,8 @@ int cmd_sweep(const Args& args) {
   } else if (auto path = args.get_optional("workflow")) {
     // Characterize by one serial simulation; the sweep then explores the
     // model around that measured point.
-    const dag::WorkflowGraph graph = dag::load_workflow(read_file(*path));
+    const dag::WorkflowGraph graph =
+        dag::load_workflow(read_workflow_text(*path));
     base = core::characterize_trace(
         graph, sim::run_workflow(graph, system.to_machine()));
   } else {
@@ -678,6 +711,89 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+// wfr import — convert WfCommons/WfBench workflow instances to our
+// workflow description JSON (docs/SERVER.md has the HTTP equivalent).
+// One input prints its converted workflow; several inputs merge into one
+// union workflow (task names prefixed with their instance name so ids
+// stay unique) unless --out-dir writes one converted file per input.
+// Conversion fans across the thread pool; output is byte-identical at
+// any --jobs count.  The per-instance summary goes to stderr so stdout
+// stays pipeable into --workflow -.
+int cmd_import(const Args& args) {
+  const std::vector<std::string>& inputs = args.positional;
+  if (inputs.empty())
+    throw util::InvalidArgument(
+        "import needs at least one WfCommons instance file (or - for stdin)");
+
+  int jobs = 0;
+  if (auto flag = args.get_optional("jobs"))
+    jobs = static_cast<int>(parse_long_flag_in("jobs", *flag, 1, 1 << 16));
+
+  // Read serially (stdin only works once), convert in parallel.
+  std::vector<std::string> texts;
+  texts.reserve(inputs.size());
+  for (const std::string& input : inputs)
+    texts.push_back(read_workflow_text(input));
+
+  exec::ThreadPool pool(jobs);
+  const std::vector<workflows::WfInstance> instances =
+      exec::parallel_map<workflows::WfInstance>(
+          pool, texts.size(),
+          [&texts](std::size_t i) {
+            return workflows::import_wfcommons(texts[i]);
+          });
+
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const workflows::WfInstance& inst = instances[i];
+    std::cerr << util::format(
+        "wfr import: %s: %zu tasks, %zu files, %s layout%s\n",
+        inst.graph.name().c_str(), inst.graph.task_count(), inst.file_count,
+        inst.legacy ? "legacy" : "specification",
+        inst.schema_version.empty()
+            ? ""
+            : (" (schema " + inst.schema_version + ")").c_str());
+  }
+
+  if (auto dir = args.get_optional("out-dir")) {
+    std::filesystem::create_directories(*dir);
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      const std::string stem =
+          inputs[i] == "-" ? util::format("stdin-%zu", i)
+                           : std::filesystem::path(inputs[i]).stem().string();
+      const std::string path =
+          (std::filesystem::path(*dir) / (stem + ".json")).string();
+      util::write_file(path,
+                       dag::save_workflow_text(instances[i].graph) + "\n");
+      std::cout << "wrote " << path << "\n";
+    }
+    return 0;
+  }
+
+  if (instances.size() == 1) {
+    std::cout << dag::save_workflow_text(instances[0].graph) << "\n";
+    return 0;
+  }
+
+  // Merge into one union workflow so a glob of instances still pipes into
+  // a single run/sweep.
+  dag::WorkflowGraph merged("imported");
+  for (const workflows::WfInstance& inst : instances) {
+    const auto base = static_cast<dag::TaskId>(merged.task_count());
+    const auto count = static_cast<dag::TaskId>(inst.graph.task_count());
+    for (dag::TaskId id = 0; id < count; ++id) {
+      dag::TaskSpec spec = inst.graph.task(id);
+      spec.name = inst.graph.name() + "/" + spec.name;
+      merged.add_task(std::move(spec));
+    }
+    for (dag::TaskId id = 0; id < count; ++id)
+      for (dag::TaskId pred : inst.graph.predecessors(id))
+        merged.add_dependency(base + pred, base + id);
+  }
+  merged.validate();
+  std::cout << dag::save_workflow_text(merged) << "\n";
+  return 0;
+}
+
 // wfr check — the differential validation harness (docs/TESTING.md):
 // seed-generate scenarios, feed each through both the analytical roofline
 // and the simulator, and print a deterministic pass/divergence table.
@@ -693,6 +809,8 @@ int cmd_check(const Args& args) {
     options.jobs = static_cast<int>(parse_long_flag_in("jobs", *jobs, 1, 1 << 16));
   if (auto seed = args.get_optional("base-seed"))
     options.base_seed = parse_u64_flag("base-seed", *seed);
+  if (auto gen = args.get_optional("gen"))
+    options.mode = check::parse_gen_mode(*gen);
 
   if (auto path = args.get_optional("replay")) {
     const util::Json repro = util::Json::parse(read_file(*path));
@@ -787,11 +905,15 @@ int cmd_presets() {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    if (args.command != "import" && !args.positional.empty())
+      throw util::InvalidArgument("unexpected argument '" +
+                                  args.positional.front() + "'");
     if (args.command == "analyze") return cmd_analyze(args);
     if (args.command == "model") return cmd_model(args);
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "run") return cmd_run(args);
     if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "import") return cmd_import(args);
     if (args.command == "serve") return cmd_serve(args);
     if (args.command == "check") return cmd_check(args);
     if (args.command == "compare") return cmd_compare(args);

@@ -6,6 +6,9 @@
 #include "core/characterization.hpp"
 #include "core/model.hpp"
 #include "core/system_spec.hpp"
+#include "dag/graph.hpp"
+#include "dag/wdl.hpp"
+#include "workflows/wfcommons.hpp"
 #include "plot/roofline_plot.hpp"
 #include "util/error.hpp"
 #include "util/file.hpp"
@@ -31,13 +34,29 @@ core::SystemSpec parse_system(const util::Json& json) {
   return core::SystemSpec::from_json(json);
 }
 
+/// Workflow field of a request: a characterization object, an inline
+/// workflow description ({"tasks": [...]}; characterized structurally),
+/// or an inline WfCommons instance (an object with a "workflow" member;
+/// imported, then characterized).
+core::WorkflowCharacterization parse_workflow(const util::Json& json) {
+  if (json.is_object()) {
+    if (workflows::looks_like_wfcommons(json))
+      return core::characterize_graph(
+          workflows::import_wfcommons_json(json).graph);
+    if (const util::Json* tasks = json.as_object().find("tasks")) {
+      if (tasks->is_array())
+        return core::characterize_graph(dag::load_workflow_json(json));
+    }
+  }
+  return core::WorkflowCharacterization::from_json(json);
+}
+
 /// Builds the one scenario a /v1/roofline or /v1/svg body describes.
 exec::Scenario parse_scenario(const util::Json& body) {
   util::require(body.is_object(), "request body must be a JSON object");
   exec::Scenario scenario;
   scenario.system = parse_system(body.at("system"));
-  scenario.workflow =
-      core::WorkflowCharacterization::from_json(body.at("workflow"));
+  scenario.workflow = parse_workflow(body.at("workflow"));
   if (const util::Json* target = body.as_object().find("target_makespan")) {
     scenario.workflow.target_makespan_seconds =
         target->is_string() ? util::parse_seconds(target->as_string())
@@ -85,6 +104,41 @@ util::Json ceilings_json(const core::RooflineModel& model, int wall) {
   return util::Json(std::move(ceilings));
 }
 
+/// The /v1/roofline response object for an evaluated scenario (shared
+/// with /v1/import, which nests it under "roofline").
+util::JsonObject roofline_body(const exec::Scenario& scenario,
+                               const exec::ScenarioResult& result) {
+  util::JsonObject out;
+  out.set("workflow", util::Json(scenario.workflow.name));
+  out.set("system", util::Json(scenario.system.name));
+  out.set("parallelism_wall", util::Json(result.parallelism_wall));
+  out.set("attainable_tps_at_wall", util::Json(result.attainable_tps_at_wall));
+  util::JsonObject binding;
+  binding.set("label", util::Json(result.binding_label));
+  binding.set("channel", util::Json(result.binding_channel));
+  out.set("binding", util::Json(std::move(binding)));
+  out.set("slot_seconds", util::Json(result.slot_seconds));
+  out.set("campaign_makespan_seconds",
+          util::Json(result.campaign_makespan_seconds));
+  out.set("ceilings", ceilings_json(*result.model, result.parallelism_wall));
+
+  if (scenario.workflow.has_measurement()) {
+    core::RooflineModel model = *result.model;
+    model.add_measured_dot();
+    const core::Dot& dot = model.dots().back();
+    util::JsonObject measured;
+    measured.set("parallel_tasks", util::Json(dot.parallel_tasks));
+    measured.set("tps", util::Json(dot.tps));
+    measured.set("efficiency", util::Json(model.efficiency(dot)));
+    measured.set("bound_class",
+                 util::Json(core::bound_class_name(model.classify(dot))));
+    if (model.has_targets())
+      measured.set("zone", util::Json(core::zone_name(model.zone_of(dot))));
+    out.set("measured", util::Json(std::move(measured)));
+  }
+  return out;
+}
+
 }  // namespace
 
 App::App(AppOptions options)
@@ -109,6 +163,8 @@ void App::bind(Server& server) {
   server.route("POST", "/v1/roofline",
                handle(roofline_metrics_, &App::handle_roofline));
   server.route("POST", "/v1/sweep", handle(sweep_metrics_, &App::handle_sweep));
+  server.route("POST", "/v1/import",
+               handle(import_metrics_, &App::handle_import));
   server.route("GET", "/v1/svg", handle(svg_metrics_, &App::handle_svg));
   server.route("POST", "/v1/svg", handle(svg_metrics_, &App::handle_svg));
   server.route("GET", "/healthz",
@@ -161,6 +217,15 @@ util::HttpResponse App::roofline_from_bytes(std::string_view body) {
   return observed(roofline_metrics_, &App::handle_roofline, request);
 }
 
+util::HttpResponse App::import_from_bytes(std::string_view body) {
+  util::HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/import";
+  request.version = "HTTP/1.1";
+  request.body.assign(body);
+  return observed(import_metrics_, &App::handle_import, request);
+}
+
 util::HttpResponse App::sweep_from_bytes(std::string_view body,
                                          std::string_view query) {
   util::HttpRequest request;
@@ -179,34 +244,63 @@ util::HttpResponse App::handle_roofline(const util::HttpRequest& request) {
   const util::Json body = util::Json::parse(request.body);
   const exec::Scenario scenario = parse_scenario(body);
   const exec::ScenarioResult result = runner_.run_models({scenario}).front();
+  util::HttpResponse response;
+  response.body = util::Json(roofline_body(scenario, result)).dump() + "\n";
+  return response;
+}
+
+util::HttpResponse App::handle_import(const util::HttpRequest& request) {
+  const util::Json body = util::Json::parse(request.body);
+  util::require(body.is_object(), "request body must be a JSON object");
+
+  // Either a bare WfCommons document, or {"workflow": <document>,
+  // "system": <preset|spec>} to also evaluate the imported instance's
+  // roofline.  A bare document's own "workflow" member is the instance's
+  // inner object, never itself WfCommons-shaped, so the wrapped form is
+  // unambiguous.
+  const util::Json* doc = &body;
+  const util::Json* wrapped = body.as_object().find("workflow");
+  if (wrapped != nullptr && workflows::looks_like_wfcommons(*wrapped))
+    doc = wrapped;
+  const workflows::WfInstance instance =
+      workflows::import_wfcommons_json(*doc);
+  const core::WorkflowCharacterization characterization =
+      core::characterize_graph(instance.graph);
+
+  std::size_t dependencies = 0;
+  const auto count = static_cast<dag::TaskId>(instance.graph.task_count());
+  for (dag::TaskId id = 0; id < count; ++id)
+    dependencies += instance.graph.predecessors(id).size();
 
   util::JsonObject out;
-  out.set("workflow", util::Json(scenario.workflow.name));
-  out.set("system", util::Json(scenario.system.name));
-  out.set("parallelism_wall", util::Json(result.parallelism_wall));
-  out.set("attainable_tps_at_wall", util::Json(result.attainable_tps_at_wall));
-  util::JsonObject binding;
-  binding.set("label", util::Json(result.binding_label));
-  binding.set("channel", util::Json(result.binding_channel));
-  out.set("binding", util::Json(std::move(binding)));
-  out.set("slot_seconds", util::Json(result.slot_seconds));
-  out.set("campaign_makespan_seconds",
-          util::Json(result.campaign_makespan_seconds));
-  out.set("ceilings", ceilings_json(*result.model, result.parallelism_wall));
+  out.set("name", util::Json(instance.graph.name()));
+  out.set("schema_version", util::Json(instance.schema_version));
+  out.set("layout",
+          util::Json(instance.legacy ? "legacy" : "specification"));
+  out.set("tasks", util::Json(instance.graph.task_count()));
+  out.set("files", util::Json(instance.file_count));
+  out.set("dependencies", util::Json(dependencies));
+  out.set("levels", util::Json(instance.graph.level_count()));
+  out.set("parallel_tasks", util::Json(characterization.parallel_tasks));
+  if (instance.makespan_seconds >= 0.0)
+    out.set("recorded_makespan_seconds",
+            util::Json(instance.makespan_seconds));
+  out.set("workflow", dag::save_workflow(instance.graph));
+  out.set("characterization", characterization.to_json());
 
-  if (scenario.workflow.has_measurement()) {
-    core::RooflineModel model = *result.model;
-    model.add_measured_dot();
-    const core::Dot& dot = model.dots().back();
-    util::JsonObject measured;
-    measured.set("parallel_tasks", util::Json(dot.parallel_tasks));
-    measured.set("tps", util::Json(dot.tps));
-    measured.set("efficiency", util::Json(model.efficiency(dot)));
-    measured.set("bound_class",
-                 util::Json(core::bound_class_name(model.classify(dot))));
-    if (model.has_targets())
-      measured.set("zone", util::Json(core::zone_name(model.zone_of(dot))));
-    out.set("measured", util::Json(std::move(measured)));
+  if (const util::Json* system_json = body.as_object().find("system")) {
+    exec::Scenario scenario;
+    scenario.system = parse_system(*system_json);
+    scenario.workflow = characterization;
+    if (const util::Json* target = body.as_object().find("target_makespan")) {
+      scenario.workflow.target_makespan_seconds =
+          target->is_string() ? util::parse_seconds(target->as_string())
+                              : target->as_number();
+    }
+    scenario.label = scenario.workflow.name;
+    const exec::ScenarioResult result =
+        runner_.run_models({scenario}).front();
+    out.set("roofline", util::Json(roofline_body(scenario, result)));
   }
 
   util::HttpResponse response;

@@ -7,6 +7,11 @@
 //                      ceilings, parallelism wall, binding-ceiling
 //                      classification, and the measured operating point
 //                      out.
+//   POST /v1/import    WfCommons/WfBench workflow instance JSON in (bare
+//                      or wrapped as {"workflow": ..., "system": ...});
+//                      the imported DAG, its characterization, and — when
+//                      a "system" is supplied — the resulting roofline
+//                      out.
 //   POST /v1/sweep     parameter grid in; one evaluated point per grid
 //                      cell out, as JSON rows or NDJSON
 //                      (?format=ndjson or "format" in the body).  All
@@ -85,11 +90,13 @@ class App {
   /// and corpus replay exercise exactly the production code — including
   /// the domain-error-to-400 mapping.
   util::HttpResponse roofline_from_bytes(std::string_view body);
+  util::HttpResponse import_from_bytes(std::string_view body);
   util::HttpResponse sweep_from_bytes(std::string_view body,
                                       std::string_view query = {});
 
   // Handlers are public so tests can exercise them without sockets.
   util::HttpResponse handle_roofline(const util::HttpRequest& request);
+  util::HttpResponse handle_import(const util::HttpRequest& request);
   util::HttpResponse handle_sweep(const util::HttpRequest& request);
   util::HttpResponse handle_svg(const util::HttpRequest& request);
   util::HttpResponse handle_healthz(const util::HttpRequest& request);
@@ -136,14 +143,16 @@ class App {
   exec::SweepRunner runner_;
   obs::Tracer tracer_;
   EndpointMetrics roofline_metrics_{"roofline"};
+  EndpointMetrics import_metrics_{"import"};
   EndpointMetrics sweep_metrics_{"sweep"};
   EndpointMetrics svg_metrics_{"svg"};
   EndpointMetrics healthz_metrics_{"healthz"};
   EndpointMetrics metrics_metrics_{"metrics"};
   EndpointMetrics trace_metrics_{"trace"};
-  const std::array<EndpointMetrics*, 6> endpoints_{
-      &roofline_metrics_, &sweep_metrics_,   &svg_metrics_,
-      &healthz_metrics_,  &metrics_metrics_, &trace_metrics_};
+  const std::array<EndpointMetrics*, 7> endpoints_{
+      &roofline_metrics_, &import_metrics_,  &sweep_metrics_,
+      &svg_metrics_,      &healthz_metrics_, &metrics_metrics_,
+      &trace_metrics_};
   std::atomic<std::uint64_t> responses_2xx_{0};
   std::atomic<std::uint64_t> responses_4xx_{0};
   std::atomic<std::uint64_t> responses_5xx_{0};

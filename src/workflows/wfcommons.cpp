@@ -1,0 +1,287 @@
+#include "workflows/wfcommons.hpp"
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wfr::workflows {
+
+namespace {
+
+// Per-core flop rate assumed when the instance records no machine: most
+// published traces ran on ~GHz cores, and the exact constant only scales
+// the synthesized compute diagonal, not the io volumes.
+constexpr double kDefaultFlopsPerCoreSecond = 1e9;
+
+double checked_file_bytes(double bytes, const std::string& file) {
+  if (!(bytes >= 0.0) || !(bytes <= kMaxImportFileBytes))
+    throw util::ParseError(util::format(
+        "file '%s': size %g bytes out of range [0, %g]", file.c_str(), bytes,
+        kMaxImportFileBytes));
+  return bytes;
+}
+
+double checked_runtime(double seconds, const std::string& task) {
+  if (!(seconds >= 0.0) || !(seconds <= kMaxImportRuntimeSeconds))
+    throw util::ParseError(util::format(
+        "task '%s': runtime %g s out of range [0, %g]", task.c_str(), seconds,
+        kMaxImportRuntimeSeconds));
+  return seconds;
+}
+
+double checked_cores(double cores, const std::string& task) {
+  if (!(cores >= 1.0) || !(cores <= kMaxImportCores))
+    throw util::ParseError(util::format(
+        "task '%s': core count %g out of range [1, %g]", task.c_str(), cores,
+        kMaxImportCores));
+  return cores;
+}
+
+// First recorded machine's per-core flop rate (speedInMHz / speed, MHz).
+double machine_flops_per_core(const util::Json* machines) {
+  if (machines == nullptr || !machines->is_array()) {
+    return kDefaultFlopsPerCoreSecond;
+  }
+  for (const util::Json& m : machines->as_array()) {
+    if (!m.is_object()) continue;
+    const util::Json* cpu = m.as_object().find("cpu");
+    if (cpu == nullptr || !cpu->is_object()) continue;
+    double mhz = cpu->number_or("speedInMHz", 0.0);
+    if (mhz <= 0.0) mhz = cpu->number_or("speed", 0.0);
+    if (mhz > 0.0 && mhz <= 1e6) return mhz * 1e6;
+  }
+  return kDefaultFlopsPerCoreSecond;
+}
+
+struct TaskDraft {
+  dag::TaskSpec spec;
+  std::vector<std::string> parents;
+  std::vector<std::string> children;
+};
+
+void check_duplicate(std::unordered_set<std::string>& seen,
+                     const std::string& id) {
+  if (!seen.insert(id).second)
+    throw util::ParseError("duplicate task id '" + id + "'");
+}
+
+// Applies a measured runtime: the simulator honors the recorded duration,
+// and the model gets a synthesized compute volume so the instance has a
+// compute diagonal in addition to its io volumes.
+void apply_runtime(dag::TaskSpec& spec, double runtime, double cores,
+                   double flops_per_core) {
+  spec.fixed_duration_seconds = runtime;
+  spec.demand.flops_per_node = runtime * cores * flops_per_core;
+}
+
+// wfformat >= 1.4: workflow.specification + optional workflow.execution.
+WfInstance import_specification(const util::Json& doc, const util::Json& wf,
+                                const util::Json& spec_section) {
+  WfInstance out;
+  out.graph = dag::WorkflowGraph(doc.string_or("name", "wfcommons"));
+  out.schema_version = doc.string_or("schemaVersion", "");
+
+  // File table: id -> size.
+  std::unordered_map<std::string, double> file_bytes;
+  if (const util::Json* files = spec_section.as_object().find("files")) {
+    for (const util::Json& f : files->as_array()) {
+      const std::string id = f.at("id").as_string();
+      file_bytes[id] =
+          checked_file_bytes(f.at("sizeInBytes").as_number(), id);
+    }
+  }
+  out.file_count = file_bytes.size();
+
+  // Execution table: task id -> (runtime, cores), plus the machine clock.
+  std::unordered_map<std::string, std::pair<double, double>> execution;
+  double flops_per_core = kDefaultFlopsPerCoreSecond;
+  if (const util::Json* exec_section = wf.as_object().find("execution")) {
+    flops_per_core =
+        machine_flops_per_core(exec_section->as_object().find("machines"));
+    out.makespan_seconds =
+        exec_section->number_or("makespanInSeconds", -1.0);
+    if (const util::Json* tasks = exec_section->as_object().find("tasks")) {
+      for (const util::Json& t : tasks->as_array()) {
+        const std::string id = t.at("id").as_string();
+        const double runtime =
+            checked_runtime(t.number_or("runtimeInSeconds", 0.0), id);
+        const double cores = checked_cores(t.number_or("coreCount", 1.0), id);
+        execution[id] = {runtime, cores};
+      }
+    }
+  }
+
+  const util::Json& tasks = spec_section.at("tasks");
+  if (tasks.as_array().empty())
+    throw util::ParseError("workflow has no tasks");
+
+  std::unordered_set<std::string> seen;
+  std::vector<TaskDraft> drafts;
+  for (const util::Json& t : tasks.as_array()) {
+    TaskDraft draft;
+    const std::string name = t.string_or("name", "");
+    std::string id = t.string_or("id", "");
+    if (id.empty()) id = name;
+    if (id.empty()) throw util::ParseError("task without id or name");
+    check_duplicate(seen, id);
+    draft.spec.name = id;
+    draft.spec.kind = name.empty() || name == id ? t.string_or("category", "")
+                                                 : name;
+    auto sum_files = [&](const char* key, double* bytes) {
+      const util::Json* refs = t.as_object().find(key);
+      if (refs == nullptr) return;
+      for (const util::Json& ref : refs->as_array()) {
+        const std::string& file = ref.as_string();
+        const auto it = file_bytes.find(file);
+        if (it == file_bytes.end())
+          throw util::ParseError(util::format(
+              "task '%s' references unknown file '%s'", id.c_str(),
+              file.c_str()));
+        *bytes += it->second;
+      }
+    };
+    sum_files("inputFiles", &draft.spec.demand.fs_read_bytes);
+    sum_files("outputFiles", &draft.spec.demand.fs_write_bytes);
+    if (const auto it = execution.find(id); it != execution.end())
+      apply_runtime(draft.spec, it->second.first, it->second.second,
+                    flops_per_core);
+    auto read_refs = [&t](const char* key, std::vector<std::string>* into) {
+      if (const util::Json* refs = t.as_object().find(key))
+        for (const util::Json& ref : refs->as_array())
+          into->push_back(ref.as_string());
+    };
+    read_refs("parents", &draft.parents);
+    read_refs("children", &draft.children);
+    drafts.push_back(std::move(draft));
+  }
+
+  for (TaskDraft& draft : drafts) out.graph.add_task(std::move(draft.spec));
+  for (const TaskDraft& draft : drafts) {
+    // spec was moved; recover this draft's id from position.
+    const dag::TaskId id = static_cast<dag::TaskId>(&draft - drafts.data());
+    for (const std::string& parent : draft.parents) {
+      const dag::TaskId from = out.graph.find_task_or_invalid(parent);
+      if (from == dag::kInvalidTask)
+        throw util::ParseError(util::format(
+            "task '%s' references unknown parent '%s'",
+            out.graph.task(id).name.c_str(), parent.c_str()));
+      out.graph.add_dependency(from, id);
+    }
+    for (const std::string& child : draft.children) {
+      const dag::TaskId to = out.graph.find_task_or_invalid(child);
+      if (to == dag::kInvalidTask)
+        throw util::ParseError(util::format(
+            "task '%s' references unknown child '%s'",
+            out.graph.task(id).name.c_str(), child.c_str()));
+      out.graph.add_dependency(id, to);
+    }
+  }
+  out.graph.validate();
+  return out;
+}
+
+// wfformat <= 1.3: workflow.tasks[] with inline files[].
+WfInstance import_legacy(const util::Json& doc, const util::Json& wf,
+                         const util::Json& tasks) {
+  WfInstance out;
+  out.legacy = true;
+  out.graph = dag::WorkflowGraph(doc.string_or("name", "wfcommons"));
+  out.schema_version = doc.string_or("schemaVersion", "");
+  out.makespan_seconds = wf.number_or("makespanInSeconds", -1.0);
+  const double flops_per_core =
+      machine_flops_per_core(wf.as_object().find("machines"));
+
+  if (tasks.as_array().empty())
+    throw util::ParseError("workflow has no tasks");
+
+  std::unordered_set<std::string> seen;
+  std::unordered_set<std::string> files;
+  std::vector<TaskDraft> drafts;
+  for (const util::Json& t : tasks.as_array()) {
+    TaskDraft draft;
+    const std::string id = t.at("name").as_string();
+    check_duplicate(seen, id);
+    draft.spec.name = id;
+    draft.spec.kind = t.string_or("category", t.string_or("type", ""));
+    if (const util::Json* file_list = t.as_object().find("files")) {
+      for (const util::Json& f : file_list->as_array()) {
+        const std::string file = f.string_or("name", f.string_or("id", "?"));
+        files.insert(file);
+        double bytes = f.number_or("sizeInBytes", -1.0);
+        if (bytes < 0.0) bytes = f.number_or("size", 0.0);
+        bytes = checked_file_bytes(bytes, file);
+        const std::string link = f.string_or("link", "input");
+        if (link == "output") {
+          draft.spec.demand.fs_write_bytes += bytes;
+        } else {
+          draft.spec.demand.fs_read_bytes += bytes;
+        }
+      }
+    }
+    double runtime = t.number_or("runtimeInSeconds", -1.0);
+    if (runtime < 0.0) runtime = t.number_or("runtime", -1.0);
+    if (runtime >= 0.0) {
+      runtime = checked_runtime(runtime, id);
+      double cores = t.number_or("cores", 0.0);
+      if (cores <= 0.0) cores = t.number_or("coreCount", 1.0);
+      apply_runtime(draft.spec, runtime, checked_cores(cores, id),
+                    flops_per_core);
+    }
+    if (const util::Json* parents = t.as_object().find("parents"))
+      for (const util::Json& p : parents->as_array())
+        draft.parents.push_back(p.as_string());
+    drafts.push_back(std::move(draft));
+  }
+  out.file_count = files.size();
+
+  for (TaskDraft& draft : drafts) out.graph.add_task(std::move(draft.spec));
+  for (const TaskDraft& draft : drafts) {
+    const dag::TaskId id = static_cast<dag::TaskId>(&draft - drafts.data());
+    for (const std::string& parent : draft.parents) {
+      const dag::TaskId from = out.graph.find_task_or_invalid(parent);
+      if (from == dag::kInvalidTask)
+        throw util::ParseError(util::format(
+            "task '%s' references unknown parent '%s'",
+            out.graph.task(id).name.c_str(), parent.c_str()));
+      out.graph.add_dependency(from, id);
+    }
+  }
+  out.graph.validate();
+  return out;
+}
+
+}  // namespace
+
+bool looks_like_wfcommons(const util::Json& doc) {
+  if (!doc.is_object()) return false;
+  const util::Json* wf = doc.as_object().find("workflow");
+  return wf != nullptr && wf->is_object();
+}
+
+WfInstance import_wfcommons_json(const util::Json& doc) {
+  if (!looks_like_wfcommons(doc))
+    throw util::ParseError(
+        "not a WfCommons workflow document (missing 'workflow' object)");
+  const util::Json& wf = doc.at("workflow");
+  if (const util::Json* spec = wf.as_object().find("specification")) {
+    if (spec->is_object() && spec->as_object().contains("tasks"))
+      return import_specification(doc, wf, *spec);
+  }
+  if (const util::Json* tasks = wf.as_object().find("tasks")) {
+    if (tasks->is_array()) return import_legacy(doc, wf, *tasks);
+  }
+  throw util::ParseError(
+      "WfCommons document has neither workflow.specification.tasks nor "
+      "workflow.tasks");
+}
+
+WfInstance import_wfcommons(std::string_view text) {
+  return import_wfcommons_json(util::Json::parse(text));
+}
+
+}  // namespace wfr::workflows

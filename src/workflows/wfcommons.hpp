@@ -1,0 +1,70 @@
+#pragma once
+// WfCommons / WfBench workflow-instance importer: maps published workflow
+// JSON (https://wfcommons.org — Montage, Epigenomics, Seismology, ... and
+// WfBench-generated instances) onto our DAG so real instances can be
+// characterized, simulated, swept, checked, and served.
+//
+// Two on-disk layouts are supported:
+//   * the split specification/execution layout (wfformat >= 1.4):
+//     workflow.specification.tasks[] (id/parents/inputFiles/outputFiles)
+//     + specification.files[] (id/sizeInBytes) + optional
+//     workflow.execution.tasks[] (runtimeInSeconds/coreCount) and
+//     execution.machines[] (cpu.speedInMHz);
+//   * the legacy inline layout (wfformat <= 1.3): workflow.tasks[] with
+//     per-task files[] ({name, size, link: input|output}), runtime, cores,
+//     and workflow.machines[].
+//
+// Mapping onto dag::TaskSpec:
+//   * input file bytes  -> demand.fs_read_bytes
+//   * output file bytes -> demand.fs_write_bytes
+//   * measured runtime  -> fixed_duration_seconds (the simulator honors
+//     the recorded duration) and, with the machine's per-core clock
+//     (1 flop/cycle nominal; 1 GF/s/core when no machine is recorded),
+//     runtime x cores x rate -> demand.flops_per_node so the analytical
+//     model sees a compute diagonal too;
+//   * parents (and children, when present) -> dependencies.
+//
+// Hardening (fuzzed by tests/fuzz `import`): rejects documents without a
+// workflow object, duplicate task ids, references to unknown parents or
+// files, cyclic dependencies, and out-of-range volumes (file sizes above
+// 1e18 bytes, runtimes outside [0, 1e9] s, core counts outside [1, 1e6]).
+
+#include <string>
+#include <string_view>
+
+#include "dag/graph.hpp"
+#include "util/json.hpp"
+
+namespace wfr::workflows {
+
+/// Sanity caps on imported volumes; anything beyond these is a corrupt or
+/// hostile instance, not a real workflow.
+inline constexpr double kMaxImportFileBytes = 1e18;
+inline constexpr double kMaxImportRuntimeSeconds = 1e9;
+inline constexpr double kMaxImportCores = 1e6;
+
+/// An imported instance: the DAG plus provenance the caller may report.
+struct WfInstance {
+  dag::WorkflowGraph graph;
+  /// The document's schemaVersion member ("" when absent).
+  std::string schema_version;
+  /// True when the legacy (<= 1.3) inline-files layout was parsed.
+  bool legacy = false;
+  /// Distinct files referenced by the instance.
+  std::size_t file_count = 0;
+  /// Recorded execution makespan, seconds; -1 when absent.
+  double makespan_seconds = -1.0;
+};
+
+/// True when `doc` is shaped like a WfCommons instance (an object with an
+/// object `workflow` member) — used to accept inline instances over HTTP.
+bool looks_like_wfcommons(const util::Json& doc);
+
+/// Imports a parsed WfCommons document.  Throws util::ParseError on
+/// malformed instances and util::InvalidArgument on cyclic dependencies.
+WfInstance import_wfcommons_json(const util::Json& doc);
+
+/// Parses and imports WfCommons JSON text.
+WfInstance import_wfcommons(std::string_view text);
+
+}  // namespace wfr::workflows

@@ -129,5 +129,100 @@ TEST(DifferentialTest, ReplayRejectsForeignDocuments) {
                util::Error);
 }
 
+// --- Irregular mode ----------------------------------------------------------
+
+CheckOptions irregular_options(std::size_t seeds = 60) {
+  CheckOptions options;
+  options.mode = GenMode::kIrregular;
+  options.seeds = seeds;
+  options.jobs = 2;
+  return options;
+}
+
+TEST(IrregularDifferentialTest, RooflineIsAnUpperBoundAcrossSeeds) {
+  const DifferentialRunner runner(irregular_options());
+  const CheckReport report = runner.run();
+  EXPECT_TRUE(report.all_passed()) << report.table();
+  ASSERT_EQ(report.results.size(), 60u);
+  for (const CaseResult& result : report.results) {
+    EXPECT_TRUE(result.passed()) << "index " << result.scenario.index;
+    // The upper-bound assertion itself, restated independently.
+    EXPECT_LE(result.simulated_tps,
+              result.predicted_tps * (1.0 + runner.options().tolerance));
+    EXPECT_GE(result.gap, 0.0);
+    EXPECT_LE(result.gap, topology_gap_ceiling(result.scenario.topology));
+    EXPECT_EQ(result.model_wall, result.scenario.expected_wall);
+    EXPECT_GE(result.sim_peak_parallel, 1);
+    EXPECT_LE(result.sim_peak_parallel, result.scenario.expected_wall);
+  }
+}
+
+TEST(IrregularDifferentialTest, TableReportsGapDistributionPerClass) {
+  const DifferentialRunner runner(irregular_options());
+  const std::string table = runner.run().table();
+  EXPECT_NE(table.find("generator irregular"), std::string::npos) << table;
+  EXPECT_NE(table.find("gap-max"), std::string::npos);
+  EXPECT_NE(table.find("ceiling"), std::string::npos);
+  EXPECT_NE(table.find("fan-out"), std::string::npos);
+  EXPECT_NE(table.find("straggler"), std::string::npos);
+  EXPECT_NE(table.find("wfr check: 60 passed, 0 diverged"),
+            std::string::npos);
+}
+
+TEST(IrregularDifferentialTest, TableIsByteIdenticalAcrossJobCounts) {
+  CheckOptions options = irregular_options(40);
+  options.jobs = 1;
+  const std::string serial = DifferentialRunner(options).run().table();
+  options.jobs = 8;
+  const std::string parallel = DifferentialRunner(options).run().table();
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(IrregularDifferentialTest, ReproRoundTripCarriesTheModeAndGap) {
+  const DifferentialRunner runner(irregular_options(1));
+  const CaseResult result =
+      runner.run_case(ScenarioGen(kDefaultBaseSeed, GenMode::kIrregular)
+                          .generate(0));
+  const util::Json repro = runner.repro_json(result);
+  EXPECT_EQ(repro.at("gen").as_string(), "irregular");
+  EXPECT_DOUBLE_EQ(repro.at("gap").as_number(), result.gap);
+
+  const CaseResult replayed = runner.replay(repro);
+  EXPECT_TRUE(replayed.passed()) << (replayed.failures.empty()
+                                         ? std::string()
+                                         : replayed.failures.front());
+  EXPECT_EQ(replayed.scenario.mode, GenMode::kIrregular);
+  EXPECT_DOUBLE_EQ(replayed.simulated_tps, result.simulated_tps);
+}
+
+TEST(IrregularDifferentialTest, ReplayDetectsGenVersionDrift) {
+  const DifferentialRunner runner(irregular_options(1));
+  const CaseResult result =
+      runner.run_case(ScenarioGen(kDefaultBaseSeed, GenMode::kIrregular)
+                          .generate(3));
+  const util::Json repro = runner.repro_json(result);
+
+  // A repro recorded by an older generator version must be flagged as
+  // stale, not silently replayed against the new draw sequence.
+  util::JsonObject tampered_scenario;
+  for (const auto& [key, value] : repro.at("scenario").as_object().members())
+    tampered_scenario.set(
+        key, key == "gen_version"
+                 ? util::Json(ScenarioGen::kGenVersion - 1)
+                 : value);
+  util::JsonObject tampered;
+  for (const auto& [key, value] : repro.as_object().members())
+    tampered.set(key, key == "scenario"
+                          ? util::Json(std::move(tampered_scenario))
+                          : value);
+
+  const CaseResult replayed = runner.replay(util::Json(std::move(tampered)));
+  bool flagged = false;
+  for (const std::string& failure : replayed.failures)
+    flagged = flagged ||
+              failure.find("generator version drift") != std::string::npos;
+  EXPECT_TRUE(flagged);
+}
+
 }  // namespace
 }  // namespace wfr::check

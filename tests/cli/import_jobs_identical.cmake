@@ -1,0 +1,30 @@
+# Asserts the import determinism contract: the merged workflow emitted for
+# multiple WfCommons instances is byte-identical at --jobs 1, 2, and 8.
+# Usage: cmake -DWFR=<wfr-binary> -DDATA=<data-dir> -DOUT_DIR=<scratch> -P this-file
+foreach(variable WFR DATA OUT_DIR)
+  if(NOT DEFINED ${variable})
+    message(FATAL_ERROR "missing -D${variable}=...")
+  endif()
+endforeach()
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+foreach(jobs 1 2 8)
+  execute_process(
+    COMMAND ${WFR} import --jobs ${jobs}
+      ${DATA}/wfcommons/montage-small.json
+      ${DATA}/wfcommons/epigenomics-small.json
+      ${DATA}/wfcommons/seismology-legacy.json
+    OUTPUT_VARIABLE output_${jobs}
+    RESULT_VARIABLE status_${jobs}
+    ERROR_QUIET)
+  if(NOT status_${jobs} EQUAL 0)
+    message(FATAL_ERROR "wfr import --jobs ${jobs} exited ${status_${jobs}}")
+  endif()
+  file(WRITE ${OUT_DIR}/import_jobs_${jobs}.json "${output_${jobs}}")
+endforeach()
+
+if(NOT output_1 STREQUAL output_2 OR NOT output_1 STREQUAL output_8)
+  message(FATAL_ERROR
+    "wfr import output differs across --jobs 1/2/8; see ${OUT_DIR}")
+endif()
+message(STATUS "wfr import output byte-identical at --jobs 1/2/8")

@@ -1,0 +1,32 @@
+# Asserts the import -> run pipeline: a real WfCommons instance piped from
+# `wfr import` through stdin (`--workflow -`) must produce a roofline for
+# every checked-in sample.
+# Usage: cmake -DWFR=<wfr-binary> -DDATA=<data-dir> -DOUT_DIR=<scratch> -P this-file
+foreach(variable WFR DATA OUT_DIR)
+  if(NOT DEFINED ${variable})
+    message(FATAL_ERROR "missing -D${variable}=...")
+  endif()
+endforeach()
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+foreach(instance montage-small epigenomics-small seismology-legacy)
+  execute_process(
+    COMMAND ${WFR} import ${DATA}/wfcommons/${instance}.json
+    COMMAND ${WFR} analyze --workflow - --system perlmutter-cpu
+    OUTPUT_VARIABLE output
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+      "wfr import ${instance} | wfr analyze exited ${status}")
+  endif()
+  file(WRITE ${OUT_DIR}/${instance}_roofline.txt "${output}")
+  if(NOT output MATCHES "Workflow Roofline: '${instance}' on 'perlmutter-cpu'")
+    message(FATAL_ERROR
+      "no roofline in the ${instance} pipeline output:\n${output}")
+  endif()
+  if(NOT output MATCHES "parallel tasks:")
+    message(FATAL_ERROR
+      "roofline output for ${instance} lacks the ceilings:\n${output}")
+  endif()
+endforeach()
+message(STATUS "import | analyze produced a roofline for all 3 instances")

@@ -8,6 +8,7 @@
 #include "util/http.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
+#include "workflows/wfcommons.hpp"
 
 namespace wfr::fuzz {
 
@@ -163,12 +164,44 @@ std::string run_serve(std::string_view input) {
   return label;
 }
 
+std::string run_import(std::string_view input) {
+  util::Json doc;
+  try {
+    doc = util::Json::parse(input);
+  } catch (const util::ParseError&) {
+    return "reject:json";
+  }
+  workflows::WfInstance instance;
+  try {
+    instance = workflows::import_wfcommons_json(doc);
+  } catch (const util::Error& e) {
+    // Bucket by reject path so --require-distinct can prove each corpus
+    // entry covers a different loader branch.
+    const std::string_view what = e.what();
+    const auto has = [&](const char* text) {
+      return what.find(text) != std::string_view::npos;
+    };
+    if (has("duplicate task id")) return "reject:duplicate-task";
+    if (has("out of range")) return "reject:size";
+    if (has("unknown")) return "reject:ref";
+    if (has("cycle")) return "reject:cycle";
+    return "reject:shape";
+  }
+  // Accepted instances must characterize cleanly and serialize -> reparse
+  // byte-identically (the import CLI and /v1/import contracts).
+  core::characterize_graph(instance.graph);
+  const std::string dumped = dag::save_workflow(instance.graph).dump();
+  if (util::Json::parse(dumped).dump() != dumped) return "fail:round-trip";
+  return instance.legacy ? "ok:legacy" : "ok:spec";
+}
+
 const std::vector<Target>& targets() {
   static const std::vector<Target> kTargets = {
       {"json", "util::Json::parse + serializer round-trip", run_json},
       {"http", "util::HttpParser request framing", run_http},
       {"spec", "workflow/system/characterization spec loaders", run_spec},
       {"serve", "/v1/roofline and /v1/sweep handlers", run_serve},
+      {"import", "WfCommons/WfBench instance loader", run_import},
   };
   return kTargets;
 }

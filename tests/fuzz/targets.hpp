@@ -50,4 +50,10 @@ std::string run_spec(std::string_view input);
 /// remainder is the request body.
 std::string run_serve(std::string_view input);
 
+/// workflows::import_wfcommons over untrusted instance bytes: both the
+/// wfformat 1.4+ specification layout and the legacy inline layout, plus
+/// every reject path (shape, duplicate ids, dangling refs, cycles,
+/// out-of-range volumes).
+std::string run_import(std::string_view input);
+
 }  // namespace wfr::fuzz

@@ -596,6 +596,107 @@ TEST(ServeTest, AccessLogEmitsOneLinePerRequestAtDebugLevel) {
   EXPECT_NE(err.find("POST /v1/roofline 200 "), std::string::npos) << err;
 }
 
+// A minimal WfCommons wfformat 1.5 instance for the import endpoint.
+const char* kWfCommonsBody = R"({
+  "name": "tiny-spec",
+  "schemaVersion": "1.5",
+  "workflow": {
+    "specification": {
+      "tasks": [
+        {"name": "split", "id": "split_1", "parents": [],
+         "children": ["work_1"],
+         "inputFiles": ["in.dat"], "outputFiles": ["mid.dat"]},
+        {"name": "work", "id": "work_1", "parents": ["split_1"],
+         "children": [],
+         "inputFiles": ["mid.dat"], "outputFiles": ["out.dat"]}
+      ],
+      "files": [
+        {"id": "in.dat", "sizeInBytes": 1048576},
+        {"id": "mid.dat", "sizeInBytes": 524288},
+        {"id": "out.dat", "sizeInBytes": 262144}
+      ]
+    },
+    "execution": {
+      "tasks": [
+        {"id": "split_1", "runtimeInSeconds": 2.5, "coreCount": 1},
+        {"id": "work_1", "runtimeInSeconds": 7.5, "coreCount": 2}
+      ],
+      "machines": [
+        {"nodeName": "m0", "cpu": {"coreCount": 8, "speedInMHz": 2400}}
+      ]
+    }
+  }
+})";
+
+TEST(ServeTest, ImportReturnsTheDagAndCharacterization) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const ClientResponse response =
+      client.request("POST", "/v1/import", kWfCommonsBody);
+  ASSERT_EQ(response.status, 200);
+  const util::Json body = util::Json::parse(response.body);
+  EXPECT_EQ(body.at("name").as_string(), "tiny-spec");
+  EXPECT_EQ(body.at("layout").as_string(), "specification");
+  EXPECT_EQ(body.at("tasks").as_int(), 2);
+  EXPECT_EQ(body.at("files").as_int(), 3);
+  EXPECT_EQ(body.at("dependencies").as_int(), 1);
+  EXPECT_TRUE(body.as_object().contains("workflow"));
+  EXPECT_TRUE(body.as_object().contains("characterization"));
+  // No system supplied: no roofline section.
+  EXPECT_FALSE(body.as_object().contains("roofline"));
+}
+
+TEST(ServeTest, ImportWithASystemAddsTheRoofline) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const std::string wrapped =
+      std::string(R"({"system": "perlmutter-cpu", "workflow": )") +
+      kWfCommonsBody + "}";
+  const ClientResponse response =
+      client.request("POST", "/v1/import", wrapped);
+  ASSERT_EQ(response.status, 200);
+  const util::Json body = util::Json::parse(response.body);
+  ASSERT_TRUE(body.as_object().contains("roofline"));
+  const util::Json& roofline = body.at("roofline");
+  EXPECT_TRUE(roofline.as_object().contains("parallelism_wall"));
+  EXPECT_TRUE(roofline.as_object().contains("binding"));
+  EXPECT_TRUE(roofline.as_object().contains("ceilings"));
+}
+
+TEST(ServeTest, ImportResponsesAreByteIdenticalAcrossPosts) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const ClientResponse first =
+      client.request("POST", "/v1/import", kWfCommonsBody);
+  const ClientResponse second =
+      client.request("POST", "/v1/import", kWfCommonsBody);
+  ASSERT_EQ(first.status, 200);
+  ASSERT_EQ(second.status, 200);
+  EXPECT_EQ(first.body, second.body);
+}
+
+TEST(ServeTest, ImportRejectsNonWfcommonsBodies) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const ClientResponse response =
+      client.request("POST", "/v1/import", R"({"hello": "world"})");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("WfCommons"), std::string::npos);
+}
+
+TEST(ServeTest, RooflineAcceptsAnInlineWfcommonsWorkflow) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const std::string body =
+      std::string(R"({"system": "perlmutter-cpu", "workflow": )") +
+      kWfCommonsBody + "}";
+  const ClientResponse response =
+      client.request("POST", "/v1/roofline", body);
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"parallelism_wall\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"binding\""), std::string::npos);
+}
+
 TEST(ServeTest, AccessLogIsSilentAtDefaultLevel) {
   const util::LogLevel saved = util::log_level();
   util::set_log_level(util::LogLevel::kWarn);  // the startup default

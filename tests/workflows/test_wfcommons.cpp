@@ -1,0 +1,198 @@
+#include "workflows/wfcommons.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace wfr::workflows {
+namespace {
+
+// A minimal wfformat 1.4+ instance: split -> work, sizes/runtimes chosen so
+// the expected demand volumes are exact in double arithmetic.
+const char* kSpecDoc = R"({
+  "name": "tiny-spec",
+  "schemaVersion": "1.5",
+  "workflow": {
+    "specification": {
+      "tasks": [
+        {"name": "split", "id": "split_1", "parents": [],
+         "children": ["work_1"],
+         "inputFiles": ["in.dat"], "outputFiles": ["mid.dat"]},
+        {"name": "work", "id": "work_1", "parents": ["split_1"],
+         "children": [],
+         "inputFiles": ["mid.dat"], "outputFiles": ["out.dat"]}
+      ],
+      "files": [
+        {"id": "in.dat", "sizeInBytes": 1048576},
+        {"id": "mid.dat", "sizeInBytes": 524288},
+        {"id": "out.dat", "sizeInBytes": 262144}
+      ]
+    },
+    "execution": {
+      "makespanInSeconds": 10.0,
+      "tasks": [
+        {"id": "split_1", "runtimeInSeconds": 2.5, "coreCount": 1},
+        {"id": "work_1", "runtimeInSeconds": 7.5, "coreCount": 2}
+      ],
+      "machines": [
+        {"nodeName": "m0", "cpu": {"coreCount": 8, "speedInMHz": 2400}}
+      ]
+    }
+  }
+})";
+
+const char* kLegacyDoc = R"({
+  "name": "tiny-legacy",
+  "schemaVersion": "1.3",
+  "workflow": {
+    "machines": [
+      {"nodeName": "m0", "cpu": {"coreCount": 4, "speedInMHz": 3000}}
+    ],
+    "tasks": [
+      {"name": "a", "category": "gen", "runtime": 1.5, "cores": 1,
+       "parents": [], "children": ["b"],
+       "files": [{"name": "a.out", "size": 4096, "link": "output"}]},
+      {"name": "b", "category": "use", "runtime": 3.0, "cores": 1,
+       "parents": ["a"], "children": [],
+       "files": [{"name": "a.out", "size": 4096, "link": "input"},
+                 {"name": "b.out", "size": 8192, "link": "output"}]}
+    ]
+  }
+})";
+
+TEST(WfCommonsTest, ImportsTheSpecificationLayout) {
+  const WfInstance instance = import_wfcommons(kSpecDoc);
+  EXPECT_FALSE(instance.legacy);
+  EXPECT_EQ(instance.schema_version, "1.5");
+  EXPECT_EQ(instance.file_count, 3u);
+  EXPECT_DOUBLE_EQ(instance.makespan_seconds, 10.0);
+  ASSERT_EQ(instance.graph.task_count(), 2u);
+  EXPECT_EQ(instance.graph.name(), "tiny-spec");
+
+  const dag::TaskId split = instance.graph.find_task("split_1");
+  const dag::TaskId work = instance.graph.find_task("work_1");
+  const dag::TaskSpec& split_spec = instance.graph.task(split);
+  EXPECT_EQ(split_spec.kind, "split");
+  EXPECT_DOUBLE_EQ(split_spec.demand.fs_read_bytes, 1048576.0);
+  EXPECT_DOUBLE_EQ(split_spec.demand.fs_write_bytes, 524288.0);
+  EXPECT_DOUBLE_EQ(split_spec.fixed_duration_seconds, 2.5);
+  // flops = runtime * cores * (speedInMHz * 1e6).
+  EXPECT_DOUBLE_EQ(split_spec.demand.flops_per_node, 2.5 * 1 * 2400e6);
+
+  const dag::TaskSpec& work_spec = instance.graph.task(work);
+  EXPECT_DOUBLE_EQ(work_spec.demand.flops_per_node, 7.5 * 2 * 2400e6);
+  ASSERT_EQ(instance.graph.predecessors(work).size(), 1u);
+  EXPECT_EQ(instance.graph.predecessors(work)[0], split);
+}
+
+TEST(WfCommonsTest, ImportsTheLegacyInlineLayout) {
+  const WfInstance instance = import_wfcommons(kLegacyDoc);
+  EXPECT_TRUE(instance.legacy);
+  EXPECT_EQ(instance.schema_version, "1.3");
+  EXPECT_EQ(instance.file_count, 2u);
+  ASSERT_EQ(instance.graph.task_count(), 2u);
+
+  const dag::TaskId b = instance.graph.find_task("b");
+  const dag::TaskSpec& b_spec = instance.graph.task(b);
+  EXPECT_EQ(b_spec.kind, "use");
+  EXPECT_DOUBLE_EQ(b_spec.demand.fs_read_bytes, 4096.0);
+  EXPECT_DOUBLE_EQ(b_spec.demand.fs_write_bytes, 8192.0);
+  EXPECT_DOUBLE_EQ(b_spec.fixed_duration_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(b_spec.demand.flops_per_node, 3.0 * 1 * 3000e6);
+  ASSERT_EQ(instance.graph.predecessors(b).size(), 1u);
+}
+
+TEST(WfCommonsTest, MachineSpeedFallsBackToOneGigahertzPerCore) {
+  // No machines section: flops default to 1e9 per core-second.
+  util::Json doc = util::Json::parse(kSpecDoc);
+  const std::string text = doc.dump();
+  const std::string stripped =
+      text.substr(0, text.find(",\"machines\"")) + "}}}";
+  const WfInstance instance = import_wfcommons(stripped);
+  const dag::TaskId work = instance.graph.find_task("work_1");
+  EXPECT_DOUBLE_EQ(instance.graph.task(work).demand.flops_per_node,
+                   7.5 * 2 * 1e9);
+}
+
+TEST(WfCommonsTest, LooksLikeWfcommonsProbesTheShape) {
+  EXPECT_TRUE(looks_like_wfcommons(util::Json::parse(kSpecDoc)));
+  EXPECT_TRUE(looks_like_wfcommons(util::Json::parse(kLegacyDoc)));
+  EXPECT_FALSE(looks_like_wfcommons(
+      util::Json::parse(R"({"tasks": [{"name": "a"}]})")));
+  EXPECT_FALSE(looks_like_wfcommons(util::Json::parse("42")));
+}
+
+TEST(WfCommonsTest, RejectsDocumentsWithoutAWorkflowObject) {
+  EXPECT_THROW(import_wfcommons(R"({"name": "x"})"), util::ParseError);
+  EXPECT_THROW(import_wfcommons(R"({"workflow": {"neither": true}})"),
+               util::ParseError);
+}
+
+TEST(WfCommonsTest, RejectsDuplicateTaskIds) {
+  const char* doc = R"({"workflow": {"specification": {"tasks": [
+    {"name": "a", "id": "a_1", "parents": [], "children": [],
+     "inputFiles": [], "outputFiles": []},
+    {"name": "a", "id": "a_1", "parents": [], "children": [],
+     "inputFiles": [], "outputFiles": []}
+  ], "files": []}, "execution": {"tasks": []}}})";
+  try {
+    import_wfcommons(doc);
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate task id"),
+              std::string::npos);
+  }
+}
+
+TEST(WfCommonsTest, RejectsDanglingFileAndTaskReferences) {
+  const char* ghost_file = R"({"workflow": {"specification": {"tasks": [
+    {"name": "a", "id": "a_1", "parents": [], "children": [],
+     "inputFiles": ["ghost.dat"], "outputFiles": []}
+  ], "files": []}, "execution": {"tasks": []}}})";
+  EXPECT_THROW(import_wfcommons(ghost_file), util::ParseError);
+
+  const char* ghost_parent = R"({"workflow": {"specification": {"tasks": [
+    {"name": "a", "id": "a_1", "parents": ["nobody"], "children": [],
+     "inputFiles": [], "outputFiles": []}
+  ], "files": []}, "execution": {"tasks": []}}})";
+  EXPECT_THROW(import_wfcommons(ghost_parent), util::ParseError);
+}
+
+TEST(WfCommonsTest, RejectsDependencyCycles) {
+  const char* doc = R"({"workflow": {"specification": {"tasks": [
+    {"name": "a", "id": "a_1", "parents": ["b_1"], "children": ["b_1"],
+     "inputFiles": [], "outputFiles": []},
+    {"name": "b", "id": "b_1", "parents": ["a_1"], "children": ["a_1"],
+     "inputFiles": [], "outputFiles": []}
+  ], "files": []}, "execution": {"tasks": []}}})";
+  EXPECT_THROW(import_wfcommons(doc), util::InvalidArgument);
+}
+
+TEST(WfCommonsTest, RejectsOutOfRangeVolumes) {
+  const char* huge_file = R"({"workflow": {"specification": {"tasks": [
+    {"name": "a", "id": "a_1", "parents": [], "children": [],
+     "inputFiles": ["big.dat"], "outputFiles": []}
+  ], "files": [{"id": "big.dat", "sizeInBytes": 1e24}]},
+  "execution": {"tasks": []}}})";
+  EXPECT_THROW(import_wfcommons(huge_file), util::ParseError);
+
+  const char* huge_runtime = R"({"workflow": {"specification": {"tasks": [
+    {"name": "a", "id": "a_1", "parents": [], "children": [],
+     "inputFiles": [], "outputFiles": []}
+  ], "files": []}, "execution": {"tasks": [
+    {"id": "a_1", "runtimeInSeconds": 1e12, "coreCount": 1}
+  ]}}})";
+  EXPECT_THROW(import_wfcommons(huge_runtime), util::ParseError);
+}
+
+TEST(WfCommonsTest, RejectsEmptyWorkflows) {
+  const char* doc = R"({"workflow": {"specification":
+    {"tasks": [], "files": []}, "execution": {"tasks": []}}})";
+  EXPECT_THROW(import_wfcommons(doc), util::ParseError);
+}
+
+}  // namespace
+}  // namespace wfr::workflows
