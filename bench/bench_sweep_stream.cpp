@@ -1,17 +1,23 @@
 // Campaign-scale streaming sweep benchmark (BENCH_sweep_1m): streams a
-// large all-distinct parameter grid through SweepRunner::stream_models
-// with a modest LRU cache cap and measures sustained throughput
-// (points/s) plus memory behaviour — peak RSS and the RSS growth across
-// the stream, which must stay flat regardless of grid size (the whole
-// point of the streaming layer; docs/PARALLELISM.md).
+// large all-distinct parameter grid through SweepRunner::stream_lines —
+// the flattened per-scenario hot path behind `wfr sweep --stream` — with
+// a modest LRU cache cap and measures sustained throughput (points/s)
+// plus memory behaviour — peak RSS and the RSS growth across the stream,
+// which must stay flat regardless of grid size (the whole point of the
+// streaming layer; docs/PARALLELISM.md).
 //
-// Two in-binary correctness floors exit the process nonzero when
+// Four in-binary correctness floors exit the process nonzero when
 // violated (bugs, not perf regressions):
 //   * stream_matches_batch — streamed bytes of a small subgrid equal the
 //     buffering run_models bytes;
 //   * resume_matches — streaming rows [0,k) and [k,n) in two separate
 //     runner lifetimes concatenates to the uninterrupted byte sequence
-//     (the library-level checkpoint/resume contract).
+//     (the library-level checkpoint/resume contract);
+//   * lines_match_models — the flattened stream_lines bytes equal the
+//     stream_models + scenario_result_line bytes;
+//   * shard_merge_matches — a 3-way stride shard split of the subgrid,
+//     merged back through exec::merge_shard_outputs, equals the
+//     single-stream bytes (the multi-process contract; exec/shard.hpp).
 // Throughput and RSS are judged against bench/baselines/BENCH_sweep_1m
 // .json by scripts/check_bench.py (RSS units gate lower-is-better).
 //
@@ -24,19 +30,20 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common.hpp"
 #include "core/model.hpp"
+#include "exec/shard.hpp"
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
 #include "util/units.hpp"
-
-#ifdef __linux__
-#include <fstream>
-#endif
 
 namespace {
 
@@ -117,7 +124,7 @@ void stream_into(const exec::SweepGrid& grid, std::size_t start,
 
 int main() {
   bench::banner("SWEEP1M",
-                "campaign-scale streaming sweep (stream_models + LRU cache)");
+                "campaign-scale streaming sweep (stream_lines + LRU cache)");
   bench::emit_result_line("sweep1m/hardware_jobs", exec::hardware_jobs(),
                           "jobs");
 
@@ -164,6 +171,58 @@ int main() {
   bench::emit_result_line("resume_matches", resume_matches ? 1.0 : 0.0,
                           "bool");
 
+  // Correctness floor 3: the flattened hot path emits the same bytes as
+  // serializing stream_models results.
+  std::string lines;
+  {
+    exec::SweepRunner runner({0});
+    runner.stream_lines(small, {},
+                        [&lines](std::size_t, std::string_view line) {
+                          lines += line;
+                        });
+  }
+  const bool lines_match = lines == batch;
+  std::printf("stream_lines vs stream_models: %s\n",
+              lines_match ? "byte-identical" : "DIVERGED");
+  bench::emit_result_line("lines_match_models", lines_match ? 1.0 : 0.0,
+                          "bool");
+
+  // Correctness floor 4: a 3-way stride shard split, each shard streamed
+  // on its own runner into its own part file, merges back byte-identical
+  // to the single stream.
+  bool shard_merge_matches = false;
+  {
+    namespace fs = std::filesystem;
+    std::vector<std::string> parts;
+    for (int i = 0; i < 3; ++i) {
+      exec::StreamOptions stream;
+      stream.shard = {3, i, exec::ShardMode::kStride};
+      const std::string path =
+          (fs::temp_directory_path() /
+           ("wfr_bench_sweep_shard" + std::to_string(i) + ".ndjson"))
+              .string();
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      exec::SweepRunner runner({0});
+      runner.stream_lines(small, stream,
+                          [&out](std::size_t, std::string_view line) {
+                            out.write(line.data(),
+                                      static_cast<std::streamsize>(
+                                          line.size()));
+                          });
+      out.close();
+      parts.push_back(path);
+    }
+    std::ostringstream merged;
+    exec::merge_shard_outputs(parts, exec::ShardMode::kStride, small.size(),
+                              merged);
+    for (const std::string& path : parts) fs::remove(path);
+    shard_merge_matches = merged.str() == batch;
+  }
+  std::printf("3-way shard merge: %s\n",
+              shard_merge_matches ? "byte-identical" : "DIVERGED");
+  bench::emit_result_line("shard_merge_matches",
+                          shard_merge_matches ? 1.0 : 0.0, "bool");
+
   // The campaign: stream the large grid with a modest cache cap.  The
   // sink only counts bytes — resident state must stay O(window + cap).
   std::size_t points = 1 << 16;
@@ -179,11 +238,11 @@ int main() {
   std::uint64_t rows = 0;
   std::uint64_t bytes = 0;
   const auto start = std::chrono::steady_clock::now();
-  runner.stream_models(grid, {},
-                       [&](std::size_t, const exec::ScenarioResult& r) {
-                         ++rows;
-                         bytes += exec::scenario_result_line(r).size() + 1;
-                       });
+  runner.stream_lines(grid, {},
+                      [&](std::size_t, std::string_view line) {
+                        ++rows;
+                        bytes += line.size();
+                      });
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -223,7 +282,7 @@ int main() {
     std::printf("row count MISMATCH: %llu of %zu emitted\n",
                 static_cast<unsigned long long>(rows), grid.size());
 
-  const bool ok =
-      stream_matches && resume_matches && cache_capped && rows_complete;
+  const bool ok = stream_matches && resume_matches && lines_match &&
+                  shard_merge_matches && cache_capped && rows_complete;
   return ok ? 0 : 1;
 }

@@ -32,6 +32,8 @@
 //                [--stream] [--reorder-window <n>]
 //                [--checkpoint <ckpt.json>] [--checkpoint-every <rows>]
 //                [--resume <ckpt.json>]
+//                [--shards <n> (--spawn | --shard-id <i>)]
+//                [--shard-mode stride|block]
 //       Fan a what-if parameter grid (cross product of every --param
 //       axis) across the scenario thread pool and tabulate each point's
 //       parallelism wall, attainable throughput, and binding ceiling.
@@ -42,7 +44,13 @@
 //       as they complete (deterministic order, flat RSS — the
 //       campaign-scale path); --checkpoint/--resume persist and pick up
 //       progress so a killed sweep re-assembles byte-identically.
-//       --cache-cap bounds the memo cache (LRU beyond it).
+//       --cache-cap bounds the memo cache (LRU beyond it).  --shards N
+//       splits the grid deterministically across N worker processes:
+//       --spawn forks the workers, retries a failed shard once, and
+//       merges their part files byte-identically to a single-process
+//       stream; --shard-id I runs one worker by hand (e.g. one per
+//       host).  --shard-mode picks the row interleaving (stride keeps
+//       per-shard progress uniform; block favors the memo cache).
 //   wfr import   <instance.json>... [--jobs <n>] [--out-dir <dir>]
 //       Convert WfCommons/WfBench workflow instances (wfformat >= 1.4
 //       specification/execution layout or the legacy <= 1.3 inline
@@ -78,10 +86,16 @@
 //
 // System presets: perlmutter-gpu, perlmutter-cpu, cori-haswell.
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -103,6 +117,7 @@
 #include "core/system_spec.hpp"
 #include "dag/wdl.hpp"
 #include "exec/checkpoint.hpp"
+#include "exec/shard.hpp"
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
 #include "workflows/wfcommons.hpp"
@@ -227,6 +242,8 @@ void print_usage() {
       "               [--stream] [--reorder-window <n>]\n"
       "               [--checkpoint <ckpt.json>] [--checkpoint-every <rows>]\n"
       "               [--resume <ckpt.json>]\n"
+      "               [--shards <n> (--spawn | --shard-id <i>)]\n"
+      "               [--shard-mode stride|block]\n"
       "  wfr serve    [--port <n>] [--host <addr>] [--jobs <n>]\n"
       "               [--io-threads <n>] [--idle-timeout <ms>]\n"
       "               [--max-queue <n>] [--max-body <bytes>]\n"
@@ -382,23 +399,167 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+// One streaming sweep execution — the whole grid or one shard of it:
+// open (or resume into) the NDJSON output, stream rows through
+// SweepRunner::stream_lines, and persist flush-then-checkpoint prefix
+// ranges.  Shared by the in-process `--stream` path and the forked
+// `--spawn` shard workers, so both emit the same bytes by construction.
+struct StreamJob {
+  exec::ShardSpec shard;
+  std::size_t reorder_window = 1024;
+  std::string ndjson_path;      ///< empty: no file output
+  std::string checkpoint_path;  ///< empty: no checkpointing
+  std::string resume_path;      ///< empty: fresh run
+  std::size_t checkpoint_every = 4096;
+  bool echo_stdout = true;
+  /// Throw (after flushing checkpoints written so far) once this many new
+  /// rows have been emitted — the crash half of the resume tests.
+  std::optional<std::uint64_t> abort_after;
+  /// Crash injection for the --spawn retry path: throw *before* emitting
+  /// row fail_after, as if the worker died mid-run, leaving whatever the
+  /// last checkpoint covered plus possibly-unflushed tail bytes
+  /// (WFR_SWEEP_TEST_FAIL_SHARD).
+  std::optional<std::uint64_t> fail_after;
+};
+
+struct StreamJobStats {
+  std::uint64_t new_rows = 0;
+  exec::SweepStats sweep;
+};
+
+StreamJobStats run_stream_job(const exec::SweepGrid& grid,
+                              const exec::SweepOptions& options,
+                              const StreamJob& job,
+                              obs::MetricsRegistry* metrics) {
+  exec::StreamOptions stream;
+  stream.reorder_window = job.reorder_window;
+  stream.shard = job.shard;
+  const std::uint64_t shard_rows = job.shard.rows(grid.size());
+
+  std::uint64_t ndjson_bytes = 0;
+  std::ofstream out;
+  if (!job.resume_path.empty()) {
+    const exec::SweepCheckpoint ckpt = exec::validate_resume(
+        job.resume_path, grid.grid_hash(), job.shard, shard_rows,
+        job.ndjson_path);
+    stream.start_row = static_cast<std::size_t>(ckpt.rows);
+    ndjson_bytes = ckpt.ndjson_bytes;
+    out.open(job.ndjson_path, std::ios::binary | std::ios::app);
+  } else if (!job.ndjson_path.empty()) {
+    out.open(job.ndjson_path, std::ios::binary | std::ios::trunc);
+  }
+  if (!job.ndjson_path.empty() && !out)
+    throw util::Error("cannot write '" + job.ndjson_path +
+                      "': failed to open for writing");
+
+  exec::SweepRunner runner(options);
+  std::uint64_t rows_done = stream.start_row;
+  StreamJobStats result;
+
+  // Flush-then-checkpoint: the output file is always at least as long as
+  // the checkpoint claims, even if the process dies right after.
+  auto save = [&] {
+    out.flush();
+    if (!out)
+      throw util::Error("cannot write '" + job.ndjson_path +
+                        "': flush failed");
+    exec::save_checkpoint(
+        job.checkpoint_path,
+        {grid.grid_hash(), rows_done, ndjson_bytes, job.shard});
+  };
+
+  runner.stream_lines(
+      grid, stream, [&](std::size_t row, std::string_view line) {
+        if (job.fail_after && result.new_rows >= *job.fail_after)
+          throw util::Error(util::format(
+              "injected failure after %llu rows (WFR_SWEEP_TEST_FAIL_SHARD)",
+              static_cast<unsigned long long>(result.new_rows)));
+        if (job.echo_stdout) std::cout << line;
+        if (!job.ndjson_path.empty()) {
+          out.write(line.data(), static_cast<std::streamsize>(line.size()));
+          if (!out)
+            throw util::Error("cannot write '" + job.ndjson_path +
+                              "': write failed");
+          ndjson_bytes += line.size();
+        }
+        rows_done = row + 1;
+        ++result.new_rows;
+        if (!job.checkpoint_path.empty() &&
+            rows_done % job.checkpoint_every == 0)
+          save();
+        if (job.abort_after && result.new_rows >= *job.abort_after)
+          throw util::Error(util::format(
+              "sweep aborted after %llu rows (--abort-after-rows)",
+              static_cast<unsigned long long>(result.new_rows)));
+      });
+
+  if (!job.ndjson_path.empty()) {
+    out.flush();
+    if (!out)
+      throw util::Error("cannot write '" + job.ndjson_path +
+                        "': flush failed");
+    out.close();
+  }
+  if (!job.checkpoint_path.empty())
+    exec::save_checkpoint(
+        job.checkpoint_path,
+        {grid.grid_hash(), rows_done, ndjson_bytes, job.shard});
+
+  result.sweep = runner.stats();
+  if (metrics != nullptr) runner.export_metrics(*metrics);
+  return result;
+}
+
+// WFR_SWEEP_TEST_FAIL_SHARD="i" (die before the first row) or "i:rows"
+// (die after emitting `rows` rows): the crash-injection hook behind the
+// spawn retry tests.  Returns the fail row when the hook targets
+// `shard_index`, nullopt otherwise.
+std::optional<std::uint64_t> parse_fail_shard_hook(const std::string& spec,
+                                                   int shard_index) {
+  const auto colon = spec.find(':');
+  const std::string id = spec.substr(0, colon);
+  if (parse_long_flag("WFR_SWEEP_TEST_FAIL_SHARD", id) != shard_index)
+    return std::nullopt;
+  if (colon == std::string::npos) return 0;
+  return parse_u64_flag("WFR_SWEEP_TEST_FAIL_SHARD", spec.substr(colon + 1));
+}
+
 // wfr sweep --stream — the campaign-scale path: rows stream to stdout
 // (and --ndjson) in deterministic row order as slots complete, with no
 // end-of-grid buffering, so RSS stays flat at any grid size.  With
 // --checkpoint the sweep periodically persists its progress (grid hash,
 // emitted-row prefix, output byte count; exec/checkpoint.hpp) and
 // --resume picks up where a killed run left off, re-assembling the
-// NDJSON file byte-identically to an uninterrupted run.
+// NDJSON file byte-identically to an uninterrupted run.  With
+// --shards N --shard-id I this process streams only shard I of the grid
+// (shard-local rows, shard-keyed checkpoints; exec/shard.hpp) — the
+// worker half of the multi-process driver below.
 int run_sweep_stream(const Args& args, const exec::SweepGrid& grid,
                      exec::SweepOptions options) {
   if (args.get_optional("svg"))
     throw util::InvalidArgument(
         "--svg buffers every scenario model; drop --stream to render it");
 
-  exec::StreamOptions stream;
+  StreamJob job;
   if (auto window = args.get_optional("reorder-window"))
-    stream.reorder_window = static_cast<std::size_t>(
+    job.reorder_window = static_cast<std::size_t>(
         parse_long_flag_in("reorder-window", *window, 1, 1 << 24));
+
+  if (auto shards = args.get_optional("shards"))
+    job.shard.count =
+        static_cast<int>(parse_long_flag_in("shards", *shards, 1, 1 << 12));
+  if (auto id = args.get_optional("shard-id")) {
+    if (!args.get_optional("shards"))
+      throw util::InvalidArgument("--shard-id needs --shards");
+    job.shard.index = static_cast<int>(
+        parse_long_flag_in("shard-id", *id, 0, job.shard.count - 1));
+  } else if (job.shard.sharded()) {
+    throw util::InvalidArgument(
+        "--shards without --spawn needs --shard-id (which slice this "
+        "process owns)");
+  }
+  if (auto mode = args.get_optional("shard-mode"))
+    job.shard.mode = exec::parse_shard_mode(*mode);
 
   const auto ndjson_path = args.get_optional("ndjson");
   auto checkpoint_path = args.get_optional("checkpoint");
@@ -410,117 +571,228 @@ int run_sweep_stream(const Args& args, const exec::SweepGrid& grid,
   // Resuming keeps checkpointing to the same file unless overridden.
   if (resume_path && !checkpoint_path) checkpoint_path = resume_path;
 
-  std::size_t checkpoint_every = 4096;
   if (auto every = args.get_optional("checkpoint-every"))
-    checkpoint_every = static_cast<std::size_t>(
+    job.checkpoint_every = static_cast<std::size_t>(
         parse_long_flag_in("checkpoint-every", *every, 1, 1 << 30));
-  std::optional<std::uint64_t> abort_after;
   if (auto rows = args.get_optional("abort-after-rows"))
-    abort_after = parse_u64_flag("abort-after-rows", *rows);
+    job.abort_after = parse_u64_flag("abort-after-rows", *rows);
+  if (job.shard.sharded())
+    if (const char* hook = std::getenv("WFR_SWEEP_TEST_FAIL_SHARD"))
+      job.fail_after = parse_fail_shard_hook(hook, job.shard.index);
 
-  std::uint64_t ndjson_bytes = 0;
-  std::ofstream out;
-  if (resume_path) {
-    const exec::SweepCheckpoint ckpt = exec::load_checkpoint(*resume_path);
-    util::require(ckpt.grid_hash == grid.grid_hash(),
-                  "checkpoint '" + *resume_path +
-                      "' does not match this sweep grid (checkpoint " +
-                      util::to_hex(ckpt.grid_hash) + ", grid " +
-                      util::to_hex(grid.grid_hash()) + ")");
-    util::require(ckpt.rows <= grid.size(),
-                  "checkpoint '" + *resume_path + "' records " +
-                      std::to_string(ckpt.rows) + " rows but the grid has " +
-                      std::to_string(grid.size()) + " points");
-    std::error_code ec;
-    const std::uintmax_t size = std::filesystem::file_size(*ndjson_path, ec);
-    if (ec)
-      throw util::Error("cannot read '" + *ndjson_path +
-                        "' for resume: " + ec.message());
-    util::require(
-        size >= ckpt.ndjson_bytes,
-        "'" + *ndjson_path + "' is shorter than checkpoint '" + *resume_path +
-            "' records (" + std::to_string(size) + " < " +
-            std::to_string(ckpt.ndjson_bytes) + " bytes)");
-    // Rows emitted after the last checkpoint are re-evaluated: truncate
-    // the file to the checkpointed byte count and append from there.
-    if (size > ckpt.ndjson_bytes) {
-      std::filesystem::resize_file(*ndjson_path, ckpt.ndjson_bytes, ec);
-      if (ec)
-        throw util::Error("cannot write '" + *ndjson_path +
-                          "': truncate for resume failed: " + ec.message());
-    }
-    stream.start_row = static_cast<std::size_t>(ckpt.rows);
-    ndjson_bytes = ckpt.ndjson_bytes;
-    out.open(*ndjson_path, std::ios::binary | std::ios::app);
-  } else if (ndjson_path) {
-    out.open(*ndjson_path, std::ios::binary | std::ios::trunc);
+  job.ndjson_path = ndjson_path.value_or("");
+  job.checkpoint_path = checkpoint_path.value_or("");
+  job.resume_path = resume_path.value_or("");
+
+  obs::MetricsRegistry registry;
+  const auto metrics_path = args.get_optional("metrics");
+  const StreamJobStats run =
+      run_stream_job(grid, options, job, metrics_path ? &registry : nullptr);
+
+  if (job.shard.sharded()) {
+    std::cout << util::format(
+        "sweep shard %d/%d (%s) of '%s' on '%s': %llu of %zu points, "
+        "%llu emitted, %llu evaluated, %llu cache hits, %llu evictions\n",
+        job.shard.index, job.shard.count,
+        exec::shard_mode_name(job.shard.mode),
+        grid.base_workflow().name.c_str(), grid.base_system().name.c_str(),
+        static_cast<unsigned long long>(job.shard.rows(grid.size())),
+        grid.size(), static_cast<unsigned long long>(run.new_rows),
+        static_cast<unsigned long long>(run.sweep.cache_misses),
+        static_cast<unsigned long long>(run.sweep.cache_hits),
+        static_cast<unsigned long long>(run.sweep.cache_evictions));
+  } else {
+    std::cout << util::format(
+        "sweep of '%s' on '%s': %zu points, %llu emitted, %llu evaluated, "
+        "%llu cache hits, %llu evictions\n",
+        grid.base_workflow().name.c_str(), grid.base_system().name.c_str(),
+        grid.size(), static_cast<unsigned long long>(run.new_rows),
+        static_cast<unsigned long long>(run.sweep.cache_misses),
+        static_cast<unsigned long long>(run.sweep.cache_hits),
+        static_cast<unsigned long long>(run.sweep.cache_evictions));
   }
-  if (ndjson_path && !out)
-    throw util::Error("cannot write '" + *ndjson_path +
-                      "': failed to open for writing");
-
-  exec::SweepRunner runner(options);
-  std::uint64_t rows_done = stream.start_row;
-  std::uint64_t new_rows = 0;
-
-  // Flush-then-checkpoint: the output file is always at least as long as
-  // the checkpoint claims, even if the process dies right after.
-  auto save = [&] {
-    out.flush();
-    if (!out)
-      throw util::Error("cannot write '" + *ndjson_path + "': flush failed");
-    exec::save_checkpoint(*checkpoint_path,
-                          {grid.grid_hash(), rows_done, ndjson_bytes});
-  };
-
-  runner.stream_models(
-      grid, stream, [&](std::size_t row, const exec::ScenarioResult& r) {
-        const std::string line = exec::scenario_result_line(r) + "\n";
-        std::cout << line;
-        if (ndjson_path) {
-          out.write(line.data(), static_cast<std::streamsize>(line.size()));
-          if (!out)
-            throw util::Error("cannot write '" + *ndjson_path +
-                              "': write failed");
-          ndjson_bytes += line.size();
-        }
-        rows_done = row + 1;
-        ++new_rows;
-        if (checkpoint_path && rows_done % checkpoint_every == 0) save();
-        if (abort_after && new_rows >= *abort_after)
-          throw util::Error(util::format(
-              "sweep aborted after %llu rows (--abort-after-rows)",
-              static_cast<unsigned long long>(new_rows)));
-      });
-
-  if (ndjson_path) {
-    out.flush();
-    if (!out)
-      throw util::Error("cannot write '" + *ndjson_path + "': flush failed");
-    out.close();
-  }
-  if (checkpoint_path)
-    exec::save_checkpoint(*checkpoint_path,
-                          {grid.grid_hash(), rows_done, ndjson_bytes});
-
-  const exec::SweepStats stats = runner.stats();
-  std::cout << util::format(
-      "sweep of '%s' on '%s': %zu points, %llu emitted, %llu evaluated, "
-      "%llu cache hits, %llu evictions\n",
-      grid.base_workflow().name.c_str(), grid.base_system().name.c_str(),
-      grid.size(), static_cast<unsigned long long>(new_rows),
-      static_cast<unsigned long long>(stats.cache_misses),
-      static_cast<unsigned long long>(stats.cache_hits),
-      static_cast<unsigned long long>(stats.cache_evictions));
   if (ndjson_path) std::cout << "wrote " << *ndjson_path << "\n";
   if (checkpoint_path) std::cout << "wrote " << *checkpoint_path << "\n";
 
-  if (auto path = args.get_optional("metrics")) {
-    obs::MetricsRegistry registry;
-    runner.export_metrics(registry);
-    util::write_file(*path, registry.snapshot().pretty() + "\n");
-    std::cout << "wrote " << *path << "\n";
+  if (metrics_path) {
+    util::write_file(*metrics_path, registry.snapshot().pretty() + "\n");
+    std::cout << "wrote " << *metrics_path << "\n";
   }
+  return 0;
+}
+
+// wfr sweep --stream --shards N --spawn — the multi-process campaign
+// driver: fork one shard worker per shard (strictly before any thread
+// pool exists), monitor them, retry a failed shard once (resuming from
+// its checkpoint when checkpointing is on), and merge the per-shard part
+// files byte-identically to a single-process stream.  Workers write
+// '<ndjson>.shard<i>' and checkpoint to '<checkpoint>.shard<i>'; both
+// are scaffolding, removed once the merged output is durable.
+int run_sweep_spawn(const Args& args, const exec::SweepGrid& grid,
+                    const exec::SweepOptions& options) {
+  for (const char* flag : {"shard-id", "metrics", "abort-after-rows", "svg"})
+    if (args.get_optional(flag))
+      throw util::InvalidArgument(std::string("--") + flag +
+                                  " cannot be combined with --spawn");
+  const auto shards_flag = args.get_optional("shards");
+  if (!shards_flag)
+    throw util::InvalidArgument("--spawn needs --shards <n>");
+  const int shards =
+      static_cast<int>(parse_long_flag_in("shards", *shards_flag, 1, 1 << 12));
+  exec::ShardMode mode = exec::ShardMode::kStride;
+  if (auto name = args.get_optional("shard-mode"))
+    mode = exec::parse_shard_mode(*name);
+  const auto ndjson_path = args.get_optional("ndjson");
+  if (!ndjson_path)
+    throw util::InvalidArgument(
+        "--spawn needs --ndjson: shard workers write '<out>.shard<i>' part "
+        "files and the merged output lands at <out>");
+
+  StreamJob base;
+  base.echo_stdout = false;
+  if (auto window = args.get_optional("reorder-window"))
+    base.reorder_window = static_cast<std::size_t>(
+        parse_long_flag_in("reorder-window", *window, 1, 1 << 24));
+  if (auto every = args.get_optional("checkpoint-every"))
+    base.checkpoint_every = static_cast<std::size_t>(
+        parse_long_flag_in("checkpoint-every", *every, 1, 1 << 30));
+  auto checkpoint_path = args.get_optional("checkpoint");
+  const auto resume_path = args.get_optional("resume");
+  if (resume_path && !checkpoint_path) checkpoint_path = resume_path;
+
+  // Workers split the job budget: an unset --jobs gives each child an
+  // equal share of the hardware instead of N full pools.
+  exec::SweepOptions child_options = options;
+  if (child_options.jobs == 0)
+    child_options.jobs = std::max(1, exec::resolve_jobs(0) / shards);
+
+  auto part_path = [&](int i) {
+    return *ndjson_path + ".shard" + std::to_string(i);
+  };
+  auto ckpt_path = [&](int i) {
+    return checkpoint_path
+               ? *checkpoint_path + ".shard" + std::to_string(i)
+               : std::string();
+  };
+
+  // Fork strictly before any SweepRunner exists: a child must never
+  // inherit a half-alive thread pool.  `allow_resume` gates whether the
+  // child picks up its per-shard checkpoint (initial runs only under
+  // --resume; retries whenever checkpointing is on) — a fresh run never
+  // silently resumes from a stale checkpoint of an earlier campaign.
+  auto spawn = [&](int shard_id, bool allow_resume) -> pid_t {
+    std::cout.flush();
+    std::cerr.flush();
+    const pid_t pid = ::fork();
+    if (pid < 0)
+      throw util::Error(util::format("fork of shard %d/%d failed: %s",
+                                     shard_id, shards,
+                                     std::strerror(errno)));
+    if (pid > 0) return pid;
+    int status = 1;
+    try {
+      StreamJob job = base;
+      job.shard = {shards, shard_id, mode};
+      job.ndjson_path = part_path(shard_id);
+      job.checkpoint_path = ckpt_path(shard_id);
+      if (allow_resume && !job.checkpoint_path.empty() &&
+          std::filesystem::exists(job.checkpoint_path) &&
+          std::filesystem::exists(job.ndjson_path))
+        job.resume_path = job.checkpoint_path;
+      if (const char* hook = std::getenv("WFR_SWEEP_TEST_FAIL_SHARD"))
+        job.fail_after = parse_fail_shard_hook(hook, shard_id);
+      run_stream_job(grid, child_options, job, nullptr);
+      status = 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wfr: shard %d/%d: %s\n", shard_id, shards,
+                   e.what());
+    }
+    std::_Exit(status);
+  };
+
+  struct Child {
+    pid_t pid;
+    int shard;
+    bool retried;
+  };
+  std::vector<Child> running;
+  running.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i)
+    running.push_back({spawn(i, resume_path.has_value()), i, false});
+
+  auto kill_all = [&running] {
+    for (const Child& c : running) ::kill(c.pid, SIGKILL);
+    for (const Child& c : running) ::waitpid(c.pid, nullptr, 0);
+    running.clear();
+  };
+
+  while (!running.empty()) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      const std::string reason = std::strerror(errno);
+      kill_all();
+      throw util::Error("waitpid for shard workers failed: " + reason);
+    }
+    const auto it =
+        std::find_if(running.begin(), running.end(),
+                     [pid](const Child& c) { return c.pid == pid; });
+    if (it == running.end()) continue;
+    const Child child = *it;
+    running.erase(it);
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      std::cout << util::format("shard %d/%d done\n", child.shard, shards);
+      continue;
+    }
+    const std::string reason =
+        WIFSIGNALED(status)
+            ? util::format("killed by signal %d", WTERMSIG(status))
+            : util::format("exit status %d",
+                           WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    if (child.retried) {
+      kill_all();
+      throw util::Error(util::format(
+          "shard %d/%d failed twice (%s); giving up", child.shard, shards,
+          reason.c_str()));
+    }
+    // One retry, resuming from the shard's checkpoint when there is one.
+    // The injected-failure hook is cleared first so a test crash is not
+    // replayed forever.
+    ::unsetenv("WFR_SWEEP_TEST_FAIL_SHARD");
+    std::cout << util::format("shard %d/%d failed (%s); retrying%s\n",
+                              child.shard, shards, reason.c_str(),
+                              checkpoint_path ? " from its checkpoint" : "");
+    running.push_back(
+        {spawn(child.shard, checkpoint_path.has_value()), child.shard, true});
+  }
+
+  std::vector<std::string> parts;
+  parts.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) parts.push_back(part_path(i));
+  {
+    std::ofstream out(*ndjson_path, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw util::Error("cannot write '" + *ndjson_path +
+                        "': failed to open for writing");
+    exec::merge_shard_outputs(parts, mode, grid.size(), out);
+    out.flush();
+    if (!out)
+      throw util::Error("cannot write '" + *ndjson_path + "': flush failed");
+  }
+  // The merged file is the durable artifact; parts and per-shard
+  // checkpoints are scaffolding.
+  std::error_code ec;
+  for (int i = 0; i < shards; ++i) {
+    std::filesystem::remove(parts[static_cast<std::size_t>(i)], ec);
+    if (checkpoint_path) std::filesystem::remove(ckpt_path(i), ec);
+  }
+
+  std::cout << util::format(
+      "sweep of '%s' on '%s': %zu points across %d shards (%s)\n",
+      grid.base_workflow().name.c_str(), grid.base_system().name.c_str(),
+      grid.size(), shards, exec::shard_mode_name(mode));
+  std::cout << "wrote " << *ndjson_path << "\n";
   return 0;
 }
 
@@ -570,11 +842,14 @@ int cmd_sweep(const Args& args) {
     options.cache_capacity =
         static_cast<std::size_t>(parse_u64_flag("cache-cap", *cap));
 
-  if (args.flag("stream"))
-    return run_sweep_stream(args, exec::SweepGrid(system, base, axes),
-                            options);
+  if (args.flag("stream")) {
+    const exec::SweepGrid grid(system, base, axes);
+    if (args.flag("spawn")) return run_sweep_spawn(args, grid, options);
+    return run_sweep_stream(args, grid, options);
+  }
   for (const char* flag :
-       {"checkpoint", "checkpoint-every", "resume", "abort-after-rows"})
+       {"checkpoint", "checkpoint-every", "resume", "abort-after-rows",
+        "shards", "shard-id", "shard-mode", "spawn"})
     if (args.get_optional(flag))
       throw util::InvalidArgument(std::string("--") + flag +
                                   " needs --stream");

@@ -22,14 +22,20 @@ double WorkflowCharacterization::target_throughput_tps() const {
 }
 
 void WorkflowCharacterization::validate() const {
-  util::require(total_tasks >= 1, "total_tasks must be >= 1");
-  util::require(parallel_tasks >= 1, "parallel_tasks must be >= 1");
-  util::require(parallel_tasks <= total_tasks,
-                "parallel_tasks cannot exceed total_tasks");
-  util::require(nodes_per_task >= 1, "nodes_per_task must be >= 1");
+  // Error text is built lazily: validate() runs once per grid point in a
+  // campaign sweep, so the happy path must not construct messages.
+  if (!(total_tasks >= 1))
+    throw util::InvalidArgument("total_tasks must be >= 1");
+  if (!(parallel_tasks >= 1))
+    throw util::InvalidArgument("parallel_tasks must be >= 1");
+  if (!(parallel_tasks <= total_tasks))
+    throw util::InvalidArgument("parallel_tasks cannot exceed total_tasks");
+  if (!(nodes_per_task >= 1))
+    throw util::InvalidArgument("nodes_per_task must be >= 1");
   auto non_negative = [this](double v, const char* field) {
-    util::require(v >= 0.0, util::format("workflow '%s': %s must be >= 0",
-                                         name.c_str(), field));
+    if (!(v >= 0.0))
+      throw util::InvalidArgument(util::format(
+          "workflow '%s': %s must be >= 0", name.c_str(), field));
   };
   non_negative(flops_per_node, "flops_per_node");
   non_negative(dram_bytes_per_node, "dram_bytes_per_node");

@@ -53,6 +53,20 @@ double Ceiling::tps_at(double parallel_tasks) const {
   return std::numeric_limits<double>::infinity();
 }
 
+double CeilingSpec::tps_at(double parallel_tasks) const {
+  switch (kind) {
+    case CeilingKind::kDiagonal:
+      return seconds_per_task > 0.0
+                 ? parallel_tasks * tasks_per_instance / seconds_per_task
+                 : std::numeric_limits<double>::infinity();
+    case CeilingKind::kHorizontal:
+      return tps_limit;
+    case CeilingKind::kWall:
+      return std::numeric_limits<double>::infinity();
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
 Ceiling Ceiling::diagonal(Channel channel, std::string label,
                           double seconds_per_task, double tasks_per_instance) {
   util::require(seconds_per_task >= 0.0,
@@ -268,106 +282,150 @@ std::string RooflineModel::report() const {
   return out;
 }
 
-RooflineModel build_model(const SystemSpec& system,
-                          const WorkflowCharacterization& workflow) {
-  RooflineModel model(system, workflow);
-  const WorkflowCharacterization& w = model.workflow();
-  const SystemSpec& s = model.system();
-
+void compute_ceilings(const SystemSpec& s,
+                      const WorkflowCharacterization& w,
+                      std::vector<CeilingSpec>& out) {
+  out.clear();
+  // Error text is built only on the failing path: this lambda runs for
+  // every demanded channel of every grid point in a campaign sweep.
   auto need = [&](double volume, double rate, const char* what) {
-    util::require(rate > 0.0,
-                  util::format("workflow '%s' demands %s but system '%s' "
-                               "lacks that channel",
-                               w.name.c_str(), what, s.name.c_str()));
+    if (!(rate > 0.0))
+      throw util::InvalidArgument(
+          util::format("workflow '%s' demands %s but system '%s' "
+                       "lacks that channel",
+                       w.name.c_str(), what, s.name.c_str()));
     return volume / rate;
   };
   // Diagonal ceilings bound critical-path traversals (one per parallel
   // slot); each traversal completes total/parallel tasks.
   const double tasks_per_slot = static_cast<double>(w.total_tasks) /
                                 static_cast<double>(w.parallel_tasks);
+  auto diagonal = [&](Channel channel, double seconds_per_task) {
+    CeilingSpec c;
+    c.kind = CeilingKind::kDiagonal;
+    c.channel = channel;
+    c.seconds_per_task = seconds_per_task;
+    c.tasks_per_instance = tasks_per_slot;
+    out.push_back(c);
+  };
+  auto horizontal = [&](Channel channel, double tps_limit) {
+    CeilingSpec c;
+    c.kind = CeilingKind::kHorizontal;
+    c.channel = channel;
+    c.tps_limit = tps_limit;
+    out.push_back(c);
+  };
 
-  if (w.flops_per_node > 0.0) {
-    const double sec = need(w.flops_per_node, s.node.peak_flops, "flops");
-    model.add_ceiling(Ceiling::diagonal(
-        Channel::kCompute,
-        util::format("Compute %s @ %s",
-                     util::format_flops(w.flops_per_node).c_str(),
-                     util::format_flops_rate(s.node.peak_flops).c_str()),
-        sec, tasks_per_slot));
-  }
-  if (w.dram_bytes_per_node > 0.0) {
-    const double sec = need(w.dram_bytes_per_node, s.node.dram_gbs, "DRAM");
-    model.add_ceiling(Ceiling::diagonal(
-        Channel::kDram,
-        util::format("CPU Bytes %s @ %s",
-                     util::format_bytes(w.dram_bytes_per_node).c_str(),
-                     util::format_rate(s.node.dram_gbs).c_str()),
-        sec, tasks_per_slot));
-  }
-  if (w.hbm_bytes_per_node > 0.0) {
-    const double sec = need(w.hbm_bytes_per_node, s.node.hbm_gbs, "HBM");
-    model.add_ceiling(Ceiling::diagonal(
-        Channel::kHbm,
-        util::format("HBM Bytes %s @ %s",
-                     util::format_bytes(w.hbm_bytes_per_node).c_str(),
-                     util::format_rate(s.node.hbm_gbs).c_str()),
-        sec, tasks_per_slot));
-  }
-  if (w.pcie_bytes_per_node > 0.0) {
-    const double sec = need(w.pcie_bytes_per_node, s.node.pcie_gbs, "PCIe");
-    model.add_ceiling(Ceiling::diagonal(
-        Channel::kPcie,
-        util::format("PCIe Bytes %s @ %s",
-                     util::format_bytes(w.pcie_bytes_per_node).c_str(),
-                     util::format_rate(s.node.pcie_gbs).c_str()),
-        sec, tasks_per_slot));
-  }
+  if (w.flops_per_node > 0.0)
+    diagonal(Channel::kCompute,
+             need(w.flops_per_node, s.node.peak_flops, "flops"));
+  if (w.dram_bytes_per_node > 0.0)
+    diagonal(Channel::kDram,
+             need(w.dram_bytes_per_node, s.node.dram_gbs, "DRAM"));
+  if (w.hbm_bytes_per_node > 0.0)
+    diagonal(Channel::kHbm, need(w.hbm_bytes_per_node, s.node.hbm_gbs, "HBM"));
+  if (w.pcie_bytes_per_node > 0.0)
+    diagonal(Channel::kPcie,
+             need(w.pcie_bytes_per_node, s.node.pcie_gbs, "PCIe"));
   if (w.network_bytes_per_task > 0.0) {
     const double aggregate_nic =
         s.node.nic_gbs * static_cast<double>(w.nodes_per_task);
-    const double sec =
-        need(w.network_bytes_per_task, aggregate_nic, "network");
-    model.add_ceiling(Ceiling::diagonal(
-        Channel::kNetwork,
-        util::format("Network %s @ %d x %s",
-                     util::format_bytes(w.network_bytes_per_task).c_str(),
-                     w.nodes_per_task,
-                     util::format_rate(s.node.nic_gbs).c_str()),
-        sec, tasks_per_slot));
+    diagonal(Channel::kNetwork,
+             need(w.network_bytes_per_task, aggregate_nic, "network"));
   }
-  if (w.overhead_seconds_per_task > 0.0) {
-    model.add_ceiling(Ceiling::diagonal(
-        Channel::kOverhead,
-        util::format("Control-flow overhead %s/task",
-                     util::format_seconds(w.overhead_seconds_per_task).c_str()),
-        w.overhead_seconds_per_task, tasks_per_slot));
-  }
-  if (w.fs_bytes_per_task > 0.0) {
-    const double sec = need(w.fs_bytes_per_task, s.fs_gbs, "filesystem");
-    model.add_ceiling(Ceiling::horizontal(
-        Channel::kFilesystem,
-        util::format("File System %s @ %s",
-                     util::format_bytes(w.fs_bytes_per_task).c_str(),
-                     util::format_rate(s.fs_gbs).c_str()),
-        1.0 / sec));
-  }
-  if (w.external_bytes_per_task > 0.0) {
-    const double sec =
-        need(w.external_bytes_per_task, s.external_gbs, "external");
-    model.add_ceiling(Ceiling::horizontal(
-        Channel::kExternal,
-        util::format("System External %s @ %s",
-                     util::format_bytes(w.external_bytes_per_task).c_str(),
-                     util::format_rate(s.external_gbs).c_str()),
-        1.0 / sec));
-  }
+  if (w.overhead_seconds_per_task > 0.0)
+    diagonal(Channel::kOverhead, w.overhead_seconds_per_task);
+  if (w.fs_bytes_per_task > 0.0)
+    horizontal(Channel::kFilesystem,
+               1.0 / need(w.fs_bytes_per_task, s.fs_gbs, "filesystem"));
+  if (w.external_bytes_per_task > 0.0)
+    horizontal(Channel::kExternal,
+               1.0 / need(w.external_bytes_per_task, s.external_gbs,
+                          "external"));
 
   const int wall = s.parallelism_wall(w.nodes_per_task);
-  util::require(wall >= 1,
-                util::format("tasks of %d nodes do not fit on '%s' (%d nodes)",
-                             w.nodes_per_task, s.name.c_str(), s.total_nodes));
-  model.add_ceiling(Ceiling::wall(
-      util::format("System parallelism @ %d tasks", wall), wall));
+  if (!(wall >= 1))
+    throw util::InvalidArgument(
+        util::format("tasks of %d nodes do not fit on '%s' (%d nodes)",
+                     w.nodes_per_task, s.name.c_str(), s.total_nodes));
+  CeilingSpec c;
+  c.kind = CeilingKind::kWall;
+  c.channel = Channel::kParallelism;
+  c.max_parallel_tasks = wall;
+  out.push_back(c);
+}
+
+std::string ceiling_label(const CeilingSpec& spec, const SystemSpec& s,
+                          const WorkflowCharacterization& w) {
+  switch (spec.channel) {
+    case Channel::kCompute:
+      return util::format("Compute %s @ %s",
+                          util::format_flops(w.flops_per_node).c_str(),
+                          util::format_flops_rate(s.node.peak_flops).c_str());
+    case Channel::kDram:
+      return util::format("CPU Bytes %s @ %s",
+                          util::format_bytes(w.dram_bytes_per_node).c_str(),
+                          util::format_rate(s.node.dram_gbs).c_str());
+    case Channel::kHbm:
+      return util::format("HBM Bytes %s @ %s",
+                          util::format_bytes(w.hbm_bytes_per_node).c_str(),
+                          util::format_rate(s.node.hbm_gbs).c_str());
+    case Channel::kPcie:
+      return util::format("PCIe Bytes %s @ %s",
+                          util::format_bytes(w.pcie_bytes_per_node).c_str(),
+                          util::format_rate(s.node.pcie_gbs).c_str());
+    case Channel::kNetwork:
+      return util::format("Network %s @ %d x %s",
+                          util::format_bytes(w.network_bytes_per_task).c_str(),
+                          w.nodes_per_task,
+                          util::format_rate(s.node.nic_gbs).c_str());
+    case Channel::kOverhead:
+      return util::format(
+          "Control-flow overhead %s/task",
+          util::format_seconds(w.overhead_seconds_per_task).c_str());
+    case Channel::kFilesystem:
+      return util::format("File System %s @ %s",
+                          util::format_bytes(w.fs_bytes_per_task).c_str(),
+                          util::format_rate(s.fs_gbs).c_str());
+    case Channel::kExternal:
+      return util::format("System External %s @ %s",
+                          util::format_bytes(w.external_bytes_per_task).c_str(),
+                          util::format_rate(s.external_gbs).c_str());
+    case Channel::kParallelism:
+      return util::format("System parallelism @ %d tasks",
+                          spec.max_parallel_tasks);
+    case Channel::kCustom:
+      break;
+  }
+  return "custom";
+}
+
+RooflineModel build_model(const SystemSpec& system,
+                          const WorkflowCharacterization& workflow) {
+  RooflineModel model(system, workflow);
+  const WorkflowCharacterization& w = model.workflow();
+  const SystemSpec& s = model.system();
+
+  std::vector<CeilingSpec> specs;
+  compute_ceilings(s, w, specs);
+  for (const CeilingSpec& spec : specs) {
+    switch (spec.kind) {
+      case CeilingKind::kDiagonal:
+        model.add_ceiling(Ceiling::diagonal(spec.channel,
+                                            ceiling_label(spec, s, w),
+                                            spec.seconds_per_task,
+                                            spec.tasks_per_instance));
+        break;
+      case CeilingKind::kHorizontal:
+        model.add_ceiling(Ceiling::horizontal(
+            spec.channel, ceiling_label(spec, s, w), spec.tps_limit));
+        break;
+      case CeilingKind::kWall:
+        model.add_ceiling(
+            Ceiling::wall(ceiling_label(spec, s, w), spec.max_parallel_tasks));
+        break;
+    }
+  }
 
   if (w.has_measurement()) model.add_measured_dot();
   return model;

@@ -79,6 +79,40 @@ struct Ceiling {
   static Ceiling wall(std::string label, int max_parallel_tasks);
 };
 
+/// The label-free numeric core of one ceiling — what compute_ceilings
+/// emits.  The campaign-scale sweep hot path works on these directly (no
+/// string formatting or vector copies per grid point); build_model wraps
+/// each one in a labeled Ceiling.
+struct CeilingSpec {
+  CeilingKind kind = CeilingKind::kDiagonal;
+  Channel channel = Channel::kCustom;
+  double seconds_per_task = 0.0;
+  double tasks_per_instance = 1.0;
+  double tps_limit = 0.0;
+  int max_parallel_tasks = 0;
+
+  /// Same geometry as Ceiling::tps_at: throughput bound at
+  /// `parallel_tasks`, +inf for walls.
+  double tps_at(double parallel_tasks) const;
+};
+
+/// Computes the standard model's ceilings into `out` (cleared first):
+/// one diagonal per demanded node channel, horizontal
+/// filesystem/external ceilings, and the parallelism wall, in
+/// build_model's order.  Performs the same demand/wall checks — and
+/// throws the same errors — as build_model; inputs must already be
+/// validated.  Reuses `out`'s capacity, so a caller looping over a
+/// million grid points allocates nothing after the first.
+void compute_ceilings(const SystemSpec& system,
+                      const WorkflowCharacterization& workflow,
+                      std::vector<CeilingSpec>& out);
+
+/// The display label build_model attaches to `spec`.  Ceiling math and
+/// presentation meet only here, so the sweep hot path can format exactly
+/// one label (its binding ceiling's) instead of all of them.
+std::string ceiling_label(const CeilingSpec& spec, const SystemSpec& system,
+                          const WorkflowCharacterization& workflow);
+
 /// One plotted point: a measured (or projected) workflow execution.
 struct Dot {
   std::string label;

@@ -9,10 +9,14 @@
 namespace wfr::core {
 
 void SystemSpec::validate() const {
-  util::require(total_nodes >= 1, "system must have >= 1 node");
+  // Error text is built lazily: validate() runs once per grid point in a
+  // campaign sweep, so the happy path must not construct messages.
+  if (!(total_nodes >= 1))
+    throw util::InvalidArgument("system must have >= 1 node");
   auto non_negative = [this](double v, const char* field) {
-    util::require(v >= 0.0, util::format("system '%s': %s must be >= 0",
-                                         name.c_str(), field));
+    if (!(v >= 0.0))
+      throw util::InvalidArgument(util::format(
+          "system '%s': %s must be >= 0", name.c_str(), field));
   };
   non_negative(node.peak_flops, "node.peak_flops");
   non_negative(node.dram_gbs, "node.dram_gbs");
@@ -24,7 +28,8 @@ void SystemSpec::validate() const {
 }
 
 int SystemSpec::parallelism_wall(int nodes_per_task) const {
-  util::require(nodes_per_task >= 1, "nodes_per_task must be >= 1");
+  if (!(nodes_per_task >= 1))
+    throw util::InvalidArgument("nodes_per_task must be >= 1");
   return total_nodes / nodes_per_task;
 }
 

@@ -1,7 +1,10 @@
 #include "exec/checkpoint.hpp"
 
+#include <filesystem>
+
 #include "util/error.hpp"
 #include "util/file.hpp"
+#include "util/strings.hpp"
 
 namespace wfr::exec {
 
@@ -9,6 +12,15 @@ util::Json checkpoint_to_json(const SweepCheckpoint& checkpoint) {
   util::JsonObject doc;
   doc.set("wfr_sweep_checkpoint", util::Json(kSweepCheckpointVersion));
   doc.set("grid_hash", util::Json(util::to_hex(checkpoint.grid_hash)));
+  // Unsharded checkpoints omit the member so their bytes (and old
+  // readers) are unchanged.
+  if (checkpoint.shard.sharded()) {
+    util::JsonObject shard;
+    shard.set("count", util::Json(checkpoint.shard.count));
+    shard.set("index", util::Json(checkpoint.shard.index));
+    shard.set("mode", util::Json(shard_mode_name(checkpoint.shard.mode)));
+    doc.set("shard", util::Json(std::move(shard)));
+  }
   util::JsonArray range;
   range.emplace_back(std::int64_t{0});
   range.emplace_back(static_cast<std::int64_t>(checkpoint.rows));
@@ -37,6 +49,18 @@ SweepCheckpoint checkpoint_from_json(const util::Json& json) {
 
   SweepCheckpoint checkpoint;
   checkpoint.grid_hash = util::hash_from_hex(doc.at("grid_hash").as_string());
+
+  if (const util::Json* shard = doc.find("shard")) {
+    checkpoint.shard.count = static_cast<int>(shard->at("count").as_int());
+    checkpoint.shard.index = static_cast<int>(shard->at("index").as_int());
+    try {
+      checkpoint.shard.mode =
+          parse_shard_mode(shard->at("mode").as_string());
+      checkpoint.shard.validate();
+    } catch (const util::Error& e) {
+      throw util::ParseError(std::string("sweep checkpoint: ") + e.what());
+    }
+  }
 
   const util::JsonArray& completed = doc.at("completed").as_array();
   if (completed.size() != 1)
@@ -67,7 +91,57 @@ void save_checkpoint(const std::string& path,
 }
 
 SweepCheckpoint load_checkpoint(const std::string& path) {
-  return checkpoint_from_json(util::Json::parse(util::read_file(path)));
+  // read_file already names the path on IO failure; annotate everything
+  // downstream (JSON syntax, shape, hex) with it too.
+  const std::string text = util::read_file(path);
+  try {
+    return checkpoint_from_json(util::Json::parse(text));
+  } catch (const util::Error& e) {
+    throw util::ParseError("checkpoint '" + path + "': " + e.what());
+  }
+}
+
+SweepCheckpoint validate_resume(const std::string& checkpoint_path,
+                                const util::Hash128& grid_hash,
+                                const ShardSpec& shard,
+                                std::uint64_t shard_rows,
+                                const std::string& ndjson_path) {
+  const SweepCheckpoint ckpt = load_checkpoint(checkpoint_path);
+  util::require(ckpt.grid_hash == grid_hash,
+                "checkpoint '" + checkpoint_path +
+                    "' does not match this sweep grid (checkpoint " +
+                    util::to_hex(ckpt.grid_hash) + ", grid " +
+                    util::to_hex(grid_hash) + ")");
+  util::require(
+      ckpt.shard.count == shard.count && ckpt.shard.index == shard.index &&
+          ckpt.shard.mode == shard.mode,
+      util::format("checkpoint '%s' was written by shard %d/%d (%s) but "
+                   "this run is shard %d/%d (%s)",
+                   checkpoint_path.c_str(), ckpt.shard.index,
+                   ckpt.shard.count, shard_mode_name(ckpt.shard.mode),
+                   shard.index, shard.count, shard_mode_name(shard.mode)));
+  util::require(ckpt.rows <= shard_rows,
+                "checkpoint '" + checkpoint_path + "' records " +
+                    std::to_string(ckpt.rows) + " rows but the grid has " +
+                    std::to_string(shard_rows) + " points");
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(ndjson_path, ec);
+  if (ec)
+    throw util::Error("cannot read '" + ndjson_path +
+                      "' for resume: " + ec.message());
+  util::require(size >= ckpt.ndjson_bytes,
+                "'" + ndjson_path + "' is shorter than checkpoint '" +
+                    checkpoint_path + "' records (" + std::to_string(size) +
+                    " < " + std::to_string(ckpt.ndjson_bytes) + " bytes)");
+  // Rows emitted after the last checkpoint are re-evaluated: truncate the
+  // file to the checkpointed byte count and append from there.
+  if (size > ckpt.ndjson_bytes) {
+    std::filesystem::resize_file(ndjson_path, ckpt.ndjson_bytes, ec);
+    if (ec)
+      throw util::Error("cannot write '" + ndjson_path +
+                        "': truncate for resume failed: " + ec.message());
+  }
+  return ckpt;
 }
 
 }  // namespace wfr::exec

@@ -7,12 +7,18 @@
 // Format (versioned JSON, written atomically via util::write_file_atomic):
 //   {"wfr_sweep_checkpoint": 1,
 //    "grid_hash": "<32 lowercase hex chars>",
+//    "shard": {"count": N, "index": I, "mode": "stride"},   (sharded only)
 //    "completed": [[0, <rows>]],
 //    "ndjson_bytes": <bytes>}
 //
 // Because stream_models emits rows in strictly increasing order, the
 // completed set is always a single prefix range [0, rows) in version 1;
-// the range-list encoding leaves room for future sharded producers.
+// the range-list encoding leaves room for future non-prefix producers.
+// Sharded sweeps checkpoint per shard: rows are *shard-local* (the
+// shard's emission order is itself a strictly increasing prefix — see
+// exec/shard.hpp) and the "shard" member pins the spec, so a checkpoint
+// can never resume under a different shard split.  Unsharded checkpoints
+// omit the member and stay byte-compatible with pre-shard readers.
 // ndjson_bytes is the exact size of the output file after `rows` rows:
 // on resume the partial file is truncated to this length (discarding any
 // rows emitted after the last checkpoint) and appending continues at
@@ -23,6 +29,7 @@
 #include <cstdint>
 #include <string>
 
+#include "exec/shard.hpp"
 #include "util/hash.hpp"
 #include "util/json.hpp"
 
@@ -33,18 +40,20 @@ inline constexpr int kSweepCheckpointVersion = 1;
 struct SweepCheckpoint {
   /// SweepGrid::grid_hash() of the grid this checkpoint belongs to.
   util::Hash128 grid_hash;
-  /// Rows [0, rows) have been fully emitted.
+  /// Shard-local rows [0, rows) have been fully emitted.
   std::uint64_t rows = 0;
   /// Exact NDJSON output size, in bytes, after `rows` rows.
   std::uint64_t ndjson_bytes = 0;
+  /// The shard this checkpoint tracks (default: the whole grid).
+  ShardSpec shard;
 };
 
 /// Serializes to the versioned JSON document above.
 util::Json checkpoint_to_json(const SweepCheckpoint& checkpoint);
 
 /// Parses and validates a checkpoint document.  Throws ParseError on an
-/// unknown version, a malformed shape, or a completed set that is not a
-/// single prefix range.
+/// unknown version, a malformed shape, an invalid shard member, or a
+/// completed set that is not a single prefix range.
 SweepCheckpoint checkpoint_from_json(const util::Json& json);
 
 /// Writes `checkpoint` to `path` atomically (temp file + rename), so a
@@ -53,7 +62,24 @@ SweepCheckpoint checkpoint_from_json(const util::Json& json);
 void save_checkpoint(const std::string& path,
                      const SweepCheckpoint& checkpoint);
 
-/// Reads and validates the checkpoint at `path`.
+/// Reads and validates the checkpoint at `path`.  Every parse/shape
+/// failure is rethrown with the offending path prefixed, so a corrupt
+/// checkpoint dies loudly naming its file instead of silently restarting
+/// the sweep from zero.
 SweepCheckpoint load_checkpoint(const std::string& path);
+
+/// Loads the checkpoint at `checkpoint_path` and cross-checks it against
+/// the sweep it is about to resume: the grid fingerprint, the shard spec
+/// (count/index/mode must all match), the row count (`shard_rows` = rows
+/// this shard owns), and the NDJSON output at `ndjson_path`, which must
+/// exist and hold at least ndjson_bytes bytes.  Bytes past the
+/// checkpoint (rows emitted after the last save) are truncated away so
+/// appending from row `rows` re-assembles byte-identically.  Throws with
+/// the offending path in every message.
+SweepCheckpoint validate_resume(const std::string& checkpoint_path,
+                                const util::Hash128& grid_hash,
+                                const ShardSpec& shard,
+                                std::uint64_t shard_rows,
+                                const std::string& ndjson_path);
 
 }  // namespace wfr::exec

@@ -1,6 +1,7 @@
 #include "exec/sweep.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "core/advisor.hpp"
@@ -54,6 +55,58 @@ util::Hash128 scenario_hash(const Scenario& scenario) {
   h.f64(w.target_makespan_seconds);
   h.u64(scenario.seed);
   return h.digest();
+}
+
+ModelSummary evaluate_model_summary(const Scenario& scenario,
+                                    std::vector<core::CeilingSpec>& scratch) {
+  // Same validation order as the RooflineModel constructor build_model
+  // funnels through, so both paths throw identical errors.
+  scenario.system.validate();
+  scenario.workflow.validate();
+  core::compute_ceilings(scenario.system, scenario.workflow, scratch);
+
+  // compute_ceilings always appends exactly one wall (it throws when the
+  // tasks don't fit), so the scans below match RooflineModel's
+  // parallelism_wall / binding_ceiling semantics: min wall, strict < so
+  // ties keep the first ceiling.
+  int wall = std::numeric_limits<int>::max();
+  for (const core::CeilingSpec& c : scratch)
+    if (c.kind == core::CeilingKind::kWall)
+      wall = std::min(wall, c.max_parallel_tasks);
+
+  const double wall_p = static_cast<double>(wall);
+  const core::CeilingSpec* binding = nullptr;
+  const core::CeilingSpec* binding_at_one = nullptr;
+  double best = std::numeric_limits<double>::infinity();
+  double best_at_one = std::numeric_limits<double>::infinity();
+  for (const core::CeilingSpec& c : scratch) {
+    if (c.kind == core::CeilingKind::kWall) continue;
+    const double tps = c.tps_at(wall_p);
+    if (tps < best) {
+      best = tps;
+      binding = &c;
+    }
+    const double tps_one = c.tps_at(1.0);
+    if (tps_one < best_at_one) {
+      best_at_one = tps_one;
+      binding_at_one = &c;
+    }
+  }
+  if (binding == nullptr)
+    throw util::InvalidArgument(
+        "model has no throughput ceilings (only walls)");
+
+  ModelSummary summary;
+  summary.parallelism_wall = wall;
+  summary.attainable_tps_at_wall = best;
+  summary.binding_label =
+      core::ceiling_label(*binding, scenario.system, scenario.workflow);
+  summary.binding_channel = core::channel_name(binding->channel);
+  summary.slot_seconds = binding_at_one->seconds_per_task;
+  summary.campaign_makespan_seconds =
+      static_cast<double>(scenario.workflow.total_tasks) /
+      summary.attainable_tps_at_wall;
+  return summary;
 }
 
 ScenarioResult evaluate_model_scenario(const Scenario& scenario) {
@@ -138,23 +191,51 @@ void SweepRunner::complete_entry(const CacheKey& key) {
 SweepRunner::SweepRunner(SweepOptions options)
     : pool_(options.jobs), cache_capacity_(options.cache_capacity) {}
 
-std::string scenario_result_line(const ScenarioResult& result) {
-  util::JsonObject line;
-  line.set("sweep", util::Json(result.label));
-  if (!result.scenario.params.empty()) {
-    util::JsonObject params;
-    for (const auto& [name, value] : result.scenario.params)
-      params.set(name, util::Json(value));
-    line.set("params", util::Json(std::move(params)));
+void append_result_line(
+    std::string& out, std::string_view label,
+    const std::vector<std::pair<std::string, double>>& params, int wall,
+    double attainable_tps, std::string_view binding, std::string_view channel,
+    double slot_seconds, double campaign_makespan_s) {
+  // Field order, escaping, and number formatting mirror the Json
+  // serializer exactly (json_append_escaped + format_double, the same
+  // routines Json::dump uses), so this writer and a JsonObject built from
+  // the same fields emit identical bytes.
+  out += "{\"sweep\":";
+  util::json_append_escaped(out, label);
+  if (!params.empty()) {
+    out += ",\"params\":{";
+    bool first = true;
+    for (const auto& [name, value] : params) {
+      if (!first) out += ',';
+      first = false;
+      util::json_append_escaped(out, name);
+      out += ':';
+      util::append_double(out, value);
+    }
+    out += '}';
   }
-  line.set("wall", util::Json(result.parallelism_wall));
-  line.set("attainable_tps", util::Json(result.attainable_tps_at_wall));
-  line.set("binding", util::Json(result.binding_label));
-  line.set("channel", util::Json(result.binding_channel));
-  line.set("slot_seconds", util::Json(result.slot_seconds));
-  line.set("campaign_makespan_s",
-           util::Json(result.campaign_makespan_seconds));
-  return util::Json(std::move(line)).dump();
+  out += ",\"wall\":";
+  util::append_double(out, static_cast<double>(wall));
+  out += ",\"attainable_tps\":";
+  util::append_double(out, attainable_tps);
+  out += ",\"binding\":";
+  util::json_append_escaped(out, binding);
+  out += ",\"channel\":";
+  util::json_append_escaped(out, channel);
+  out += ",\"slot_seconds\":";
+  util::append_double(out, slot_seconds);
+  out += ",\"campaign_makespan_s\":";
+  util::append_double(out, campaign_makespan_s);
+  out += '}';
+}
+
+std::string scenario_result_line(const ScenarioResult& result) {
+  std::string line;
+  append_result_line(line, result.label, result.scenario.params,
+                     result.parallelism_wall, result.attainable_tps_at_wall,
+                     result.binding_label, result.binding_channel,
+                     result.slot_seconds, result.campaign_makespan_seconds);
+  return line;
 }
 
 namespace {
@@ -172,11 +253,14 @@ bool known_axis(const std::string& name) {
   return false;
 }
 
+// Error text is built only on the failing path — this runs per integer
+// axis per grid point.
 int positive_int_param(const std::string& name, double value) {
   const int rounded = static_cast<int>(std::llround(value));
-  util::require(rounded >= 1 && std::abs(value - rounded) < 1e-9,
-                "sweep axis '" + name + "' needs positive integers, got " +
-                    util::format("%g", value));
+  if (!(rounded >= 1 && std::abs(value - rounded) < 1e-9))
+    throw util::InvalidArgument(
+        "sweep axis '" + name + "' needs positive integers, got " +
+        util::format("%g", value));
   return rounded;
 }
 
@@ -188,11 +272,17 @@ SweepGrid::SweepGrid(core::SystemSpec base_system,
     : base_system_(std::move(base_system)),
       base_workflow_(std::move(base_workflow)),
       axes_(std::move(axes)) {
-  for (const ParamAxis& axis : axes_) {
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    const ParamAxis& axis = axes_[i];
     util::require(known_axis(axis.name),
                   "unknown sweep axis '" + axis.name + "'");
     util::require(!axis.values.empty(),
                   "sweep axis '" + axis.name + "' has no values");
+    // A repeated axis would emit duplicate JSON keys in params{} — reject
+    // it here, where the message can still name the axis.
+    for (std::size_t j = 0; j < i; ++j)
+      util::require(axes_[j].name != axis.name,
+                    "duplicate sweep axis '" + axis.name + "'");
     util::require(points_ <= std::numeric_limits<std::size_t>::max() /
                                  axis.values.size(),
                   "sweep grid size overflows");
@@ -201,27 +291,38 @@ SweepGrid::SweepGrid(core::SystemSpec base_system,
 }
 
 Scenario SweepGrid::at(std::size_t flat) const {
-  util::require(flat < points_,
-                util::format("sweep grid index %zu out of range (%zu points)",
-                             flat, points_));
   Scenario scenario;
-  scenario.system = base_system_;
-  scenario.workflow = base_workflow_;
+  at_into(flat, scenario);
+  return scenario;
+}
 
-  // Row-major cross product: the first axis varies slowest.
+void SweepGrid::at_into(std::size_t flat, Scenario& out) const {
+  if (flat >= points_)
+    throw util::InvalidArgument(
+        util::format("sweep grid index %zu out of range (%zu points)", flat,
+                     points_));
+  out.system = base_system_;
+  out.workflow = base_workflow_;
+  out.seed = 0;
+
+  // Row-major cross product: the first axis varies slowest.  The params
+  // vector is resized (not rebuilt) so its name strings keep their
+  // capacity across points.
+  out.params.resize(axes_.size());
   std::size_t remainder = flat;
   std::size_t stride = points_;
-  for (const ParamAxis& axis : axes_) {
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    const ParamAxis& axis = axes_[i];
     stride /= axis.values.size();
-    const double value = axis.values[remainder / stride];
+    out.params[i].first = axis.name;
+    out.params[i].second = axis.values[remainder / stride];
     remainder %= stride;
-    scenario.params.emplace_back(axis.name, value);
   }
 
   double intra_factor = 1.0;
   double efficiency = 1.0;
   bool scale_intra = false;
-  for (const auto& [name, value] : scenario.params) {
+  for (const auto& [name, value] : out.params) {
     if (name == "nodes_per_task") {
       intra_factor = value;
       scale_intra = true;
@@ -229,33 +330,39 @@ Scenario SweepGrid::at(std::size_t flat) const {
       efficiency = value;
       scale_intra = true;
     } else if (name == "parallel_tasks") {
-      scenario.workflow.parallel_tasks = positive_int_param(name, value);
+      out.workflow.parallel_tasks = positive_int_param(name, value);
     } else if (name == "total_tasks") {
-      scenario.workflow.total_tasks = positive_int_param(name, value);
+      out.workflow.total_tasks = positive_int_param(name, value);
     } else if (name == "total_nodes") {
-      scenario.system.total_nodes = positive_int_param(name, value);
+      out.system.total_nodes = positive_int_param(name, value);
     } else if (name == "fs_gbs") {
-      scenario.system.fs_gbs = value;
+      out.system.fs_gbs = value;
     } else if (name == "external_gbs") {
-      scenario.system.external_gbs = value;
+      out.system.external_gbs = value;
     } else if (name == "nic_gbs") {
-      scenario.system.node.nic_gbs = value;
+      out.system.node.nic_gbs = value;
     } else if (name == "peak_flops") {
-      scenario.system.node.peak_flops = value;
+      out.system.node.peak_flops = value;
     }
   }
   if (scale_intra) {
-    scenario.workflow = core::scale_intra_task_parallelism(
-        scenario.workflow, intra_factor, efficiency);
+    out.workflow = core::scale_intra_task_parallelism(out.workflow,
+                                                      intra_factor,
+                                                      efficiency);
   }
 
-  std::string label;
-  for (const auto& [name, value] : scenario.params) {
-    if (!label.empty()) label += " ";
-    label += name + "=" + util::format("%g", value);
+  out.label.clear();
+  char value_text[32];
+  for (const auto& [name, value] : out.params) {
+    if (!out.label.empty()) out.label += ' ';
+    out.label += name;
+    out.label += '=';
+    // The same "%g" bytes util::format produced here before; snprintf
+    // into a stack buffer keeps the per-point label free of temporaries.
+    std::snprintf(value_text, sizeof(value_text), "%g", value);
+    out.label += value_text;
   }
-  scenario.label = label.empty() ? base_workflow_.name : label;
-  return scenario;
+  if (out.label.empty()) out.label = base_workflow_.name;
 }
 
 util::Hash128 SweepGrid::grid_hash() const {
@@ -292,7 +399,11 @@ constexpr std::size_t kNoError = std::numeric_limits<std::size_t>::max();
 
 /// Shared state of one streaming fan-out: a claim frontier throttled
 /// against the emit frontier (bounded reorder window), a ring of
-/// completed-but-unemitted rows, and first-by-index error capture.
+/// completed-but-unemitted rows, and first-by-index error capture.  Rows
+/// circulate by swap — worker scratch into the ring, ring slot into the
+/// emit scratch — so Row heap capacity (NDJSON buffers, scenario
+/// strings) is recycled instead of reallocated every row.
+template <typename Row>
 struct StreamState {
   std::mutex mutex;
   std::condition_variable can_claim;
@@ -301,15 +412,18 @@ struct StreamState {
   std::size_t emit_next = 0;
   std::size_t end = 0;
   std::size_t window = 1;
-  std::vector<ScenarioResult> ring;
+  std::vector<Row> ring;
   std::vector<char> ready;
+  /// The row currently handed to emit (single emitter; reused).
+  Row emit_value;
   bool emitting = false;
   std::size_t live_runners = 0;
   std::exception_ptr error;
   std::size_t error_index = kNoError;
 };
 
-void record_stream_error(StreamState& state, std::size_t index,
+template <typename Row>
+void record_stream_error(StreamState<Row>& state, std::size_t index,
                          std::exception_ptr error) {
   std::unique_lock<std::mutex> lock(state.mutex);
   if (index < state.error_index) {
@@ -319,53 +433,43 @@ void record_stream_error(StreamState& state, std::size_t index,
   state.can_claim.notify_all();
 }
 
-}  // namespace
-
-void SweepRunner::stream_models(const SweepGrid& grid,
-                                const StreamOptions& options,
-                                const RowSink& sink) {
-  util::require(static_cast<bool>(sink), "stream_models needs a sink");
-  util::require(options.reorder_window >= 1,
-                "stream reorder_window must be >= 1");
-  util::require(options.start_row <= grid.size(),
-                util::format("stream start_row %zu beyond grid (%zu points)",
-                             options.start_row, grid.size()));
-  const std::size_t end = grid.size();
-  if (options.start_row >= end) return;
-
-  auto evaluate = [this](const Scenario& scenario) {
-    return evaluate_cached<ScenarioResult>(scenario, [](const Scenario& s) {
-      return evaluate_model_scenario(s);
-    });
-  };
-  // A cache hit returns the first-evaluated point's presentation
-  // metadata; restore the requested row's own label (the run_models
-  // pattern, docs/PARALLELISM.md).
-  auto evaluate_row = [&](std::size_t row) {
-    Scenario scenario = grid.at(row);
-    ScenarioResult result = evaluate(scenario);
-    result.label = scenario.label;
-    result.scenario = std::move(scenario);
-    return result;
-  };
+/// The streaming engine shared by stream_models and stream_lines: claim
+/// rows [start, end) against the emit frontier, evaluate out of order,
+/// emit strictly in order with a single emitter and no end-of-stream
+/// barrier.  `make_eval()` runs once per worker and returns that
+/// worker's eval(row, Row&) — per-worker scratch (arenas, reused
+/// scenarios) lives in the returned closure.  `emit(row, Row&)` observes
+/// the RowSink protocol.
+template <typename Row, typename MakeEval, typename Emit>
+void run_stream_engine(ThreadPool& pool, std::size_t start, std::size_t end,
+                       std::size_t window, const MakeEval& make_eval,
+                       const Emit& emit) {
+  if (start >= end) return;
 
   // Single-job pools stream inline: claim order == emit order, no window
-  // bookkeeping, exceptions propagate at the failing row.
-  if (pool_.jobs() == 1) {
-    for (std::size_t row = options.start_row; row < end; ++row)
-      sink(row, evaluate_row(row));
+  // bookkeeping, exceptions propagate at the failing row, one Row of
+  // scratch for the whole run.
+  if (pool.jobs() == 1) {
+    auto eval = make_eval();
+    Row value{};
+    for (std::size_t row = start; row < end; ++row) {
+      eval(row, value);
+      emit(row, value);
+    }
     return;
   }
 
-  StreamState state;
-  state.next_claim = options.start_row;
-  state.emit_next = options.start_row;
+  StreamState<Row> state;
+  state.next_claim = start;
+  state.emit_next = start;
   state.end = end;
-  state.window = options.reorder_window;
+  state.window = window;
   state.ring.resize(state.window);
   state.ready.assign(state.window, 0);
 
   auto worker = [&] {
+    auto eval = make_eval();
+    Row scratch{};
     for (;;) {
       std::size_t row;
       {
@@ -379,32 +483,30 @@ void SweepRunner::stream_models(const SweepGrid& grid,
           break;
         row = state.next_claim++;
       }
-      ScenarioResult result;
       try {
-        result = evaluate_row(row);
+        eval(row, scratch);
       } catch (...) {
         record_stream_error(state, row, std::current_exception());
         continue;
       }
       std::unique_lock<std::mutex> lock(state.mutex);
-      state.ring[row % state.window] = std::move(result);
+      using std::swap;
+      swap(state.ring[row % state.window], scratch);
       state.ready[row % state.window] = 1;
       // Drain the contiguous head.  Only one worker emits at a time and
-      // rows leave in strictly increasing order; the sink runs unlocked
-      // so evaluation continues behind it.
+      // rows leave in strictly increasing order; emit runs unlocked so
+      // evaluation continues behind it.
       while (!state.emitting && state.error_index == kNoError &&
              state.emit_next < state.end &&
              state.ready[state.emit_next % state.window]) {
         state.emitting = true;
         const std::size_t emit_row = state.emit_next;
-        ScenarioResult value =
-            std::move(state.ring[emit_row % state.window]);
-        state.ring[emit_row % state.window] = ScenarioResult{};
+        swap(state.ring[emit_row % state.window], state.emit_value);
         state.ready[emit_row % state.window] = 0;
         lock.unlock();
         std::exception_ptr sink_error;
         try {
-          sink(emit_row, value);
+          emit(emit_row, state.emit_value);
         } catch (...) {
           sink_error = std::current_exception();
         }
@@ -426,15 +528,111 @@ void SweepRunner::stream_models(const SweepGrid& grid,
     if (--state.live_runners == 0) state.done.notify_all();
   };
 
-  const std::size_t rows = end - options.start_row;
+  const std::size_t rows = end - start;
   const std::size_t runners =
-      std::min<std::size_t>(static_cast<std::size_t>(pool_.jobs()), rows);
+      std::min<std::size_t>(static_cast<std::size_t>(pool.jobs()), rows);
   state.live_runners = runners;
-  for (std::size_t r = 0; r < runners; ++r) pool_.submit(worker);
+  for (std::size_t r = 0; r < runners; ++r) pool.submit(worker);
 
   std::unique_lock<std::mutex> lock(state.mutex);
   state.done.wait(lock, [&state] { return state.live_runners == 0; });
   if (state.error) std::rethrow_exception(state.error);
+}
+
+/// Shared option validation for the streaming entry points; returns the
+/// number of shard-local rows.
+std::size_t check_stream_options(const SweepGrid& grid,
+                                 const StreamOptions& options,
+                                 bool have_sink, const char* who) {
+  util::require(have_sink, std::string(who) + " needs a sink");
+  util::require(options.reorder_window >= 1,
+                "stream reorder_window must be >= 1");
+  options.shard.validate();
+  const std::size_t rows = options.shard.rows(grid.size());
+  if (options.shard.sharded()) {
+    util::require(options.start_row <= rows,
+                  util::format("stream start_row %zu beyond shard (%zu rows)",
+                               options.start_row, rows));
+  } else {
+    util::require(options.start_row <= rows,
+                  util::format("stream start_row %zu beyond grid (%zu points)",
+                               options.start_row, rows));
+  }
+  return rows;
+}
+
+}  // namespace
+
+void SweepRunner::stream_models(const SweepGrid& grid,
+                                const StreamOptions& options,
+                                const RowSink& sink) {
+  const std::size_t rows = check_stream_options(
+      grid, options, static_cast<bool>(sink), "stream_models");
+  const std::size_t total = grid.size();
+  const ShardSpec shard = options.shard;
+
+  auto make_eval = [this, &grid, shard, total] {
+    std::function<ScenarioResult(const Scenario&)> eval_model =
+        [](const Scenario& s) { return evaluate_model_scenario(s); };
+    return [this, &grid, shard, total,
+            eval_model = std::move(eval_model)](std::size_t row,
+                                                ScenarioResult& out) {
+      Scenario scenario = grid.at(shard.global_row(row, total));
+      out = evaluate_cached<ScenarioResult>(scenario, eval_model);
+      // A cache hit returns the first-evaluated point's presentation
+      // metadata; restore the requested row's own label (the run_models
+      // pattern, docs/PARALLELISM.md).
+      out.label = scenario.label;
+      out.scenario = std::move(scenario);
+    };
+  };
+  run_stream_engine<ScenarioResult>(
+      pool_, options.start_row, rows, options.reorder_window, make_eval,
+      [&sink](std::size_t row, ScenarioResult& value) { sink(row, value); });
+}
+
+void SweepRunner::stream_lines(const SweepGrid& grid,
+                               const StreamOptions& options,
+                               const LineSink& sink) {
+  const std::size_t rows = check_stream_options(
+      grid, options, static_cast<bool>(sink), "stream_lines");
+  const std::size_t total = grid.size();
+  const ShardSpec shard = options.shard;
+
+  // Per-worker arena: the materialized scenario and the label-free
+  // ceiling set keep their heap capacity across every point the worker
+  // evaluates; the only per-point string the hot path creates is the
+  // binding label inside the memoized summary.
+  struct Arena {
+    Scenario scenario;
+    std::vector<core::CeilingSpec> ceilings;
+  };
+  auto make_eval = [this, &grid, shard, total] {
+    auto arena = std::make_shared<Arena>();
+    std::function<ModelSummary(const Scenario&)> eval_summary =
+        [arena](const Scenario& s) {
+          return evaluate_model_summary(s, arena->ceilings);
+        };
+    return [this, &grid, shard, total, arena,
+            eval_summary = std::move(eval_summary)](std::size_t row,
+                                                    std::string& out) {
+      grid.at_into(shard.global_row(row, total), arena->scenario);
+      const ModelSummary summary =
+          evaluate_cached<ModelSummary>(arena->scenario, eval_summary);
+      out.clear();
+      append_result_line(out, arena->scenario.label, arena->scenario.params,
+                         summary.parallelism_wall,
+                         summary.attainable_tps_at_wall, summary.binding_label,
+                         summary.binding_channel, summary.slot_seconds,
+                         summary.campaign_makespan_seconds);
+      out += '\n';
+    };
+  };
+  run_stream_engine<std::string>(
+      pool_, options.start_row, rows, options.reorder_window, make_eval,
+      [&sink](std::size_t row, std::string& line) {
+        sink(row, std::string_view(line));
+      });
 }
 
 }  // namespace wfr::exec

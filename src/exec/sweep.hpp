@@ -41,6 +41,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <typeinfo>
 #include <unordered_map>
 #include <utility>
@@ -49,6 +50,7 @@
 #include <atomic>
 
 #include "core/model.hpp"
+#include "exec/shard.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
@@ -111,6 +113,42 @@ struct ScenarioResult {
 /// Deterministic bytes: field order fixed, params in axis order.
 std::string scenario_result_line(const ScenarioResult& result);
 
+/// Appends the NDJSON object of one sweep result to `out` (no trailing
+/// newline, `out` not cleared).  scenario_result_line is built on this
+/// writer, so the two produce identical bytes; the streaming hot path
+/// calls it directly with a reused row buffer instead of materializing
+/// Json values per point.
+void append_result_line(
+    std::string& out, std::string_view label,
+    const std::vector<std::pair<std::string, double>>& params, int wall,
+    double attainable_tps, std::string_view binding, std::string_view channel,
+    double slot_seconds, double campaign_makespan_s);
+
+/// The wall/attainable/binding summary of one scenario without the
+/// assembled RooflineModel — the campaign hot path's result type.  All
+/// fields are derived from the canonical scenario parameters (never the
+/// label or grid coordinates), so a memoized summary is reusable
+/// verbatim across cache hits.
+struct ModelSummary {
+  int parallelism_wall = 0;
+  double attainable_tps_at_wall = 0.0;
+  double slot_seconds = 0.0;
+  double campaign_makespan_seconds = 0.0;
+  /// Display label of the ceiling binding at the wall — the only label
+  /// the hot path formats (core::ceiling_label of the binding spec).
+  std::string binding_label;
+  /// core::channel_name() of the binding ceiling (static storage).
+  const char* binding_channel = "";
+};
+
+/// Evaluates one scenario to its summary, using `scratch` for the
+/// ceiling set so a worker looping over a grid reuses one allocation.
+/// Performs the same validation — and throws the same errors — as
+/// core::build_model; the summary fields are byte-for-byte the ones
+/// evaluate_model_scenario derives from the full model.
+ModelSummary evaluate_model_summary(const Scenario& scenario,
+                                    std::vector<core::CeilingSpec>& scratch);
+
 /// One axis of a parameter grid (see SweepGrid for the known names).
 struct ParamAxis {
   std::string name;
@@ -142,6 +180,11 @@ class SweepGrid {
   /// InvalidArgument when out of range or when an integer axis lands on a
   /// non-integral value.
   Scenario at(std::size_t flat) const;
+
+  /// at(flat) into a caller-owned scenario, reusing its string/vector
+  /// capacity — the streaming hot path's variant (zero steady-state
+  /// allocations for grids without intra-task-scaling axes).
+  void at_into(std::size_t flat, Scenario& out) const;
 
   /// Fingerprint of the grid definition (base system + base workflow +
   /// axes), the identity a checkpoint is keyed on: resuming under a
@@ -199,8 +242,15 @@ struct StreamOptions {
   /// memory tighter.  Must be >= 1.
   std::size_t reorder_window = 1024;
   /// First row to evaluate and emit; rows below are assumed already
-  /// emitted by a previous run (checkpoint resume).
+  /// emitted by a previous run (checkpoint resume).  Shard-local when
+  /// `shard` splits the grid (identical to the flat grid row otherwise).
   std::size_t start_row = 0;
+  /// The slice of the grid this stream owns (default: all of it).  Row
+  /// indices seen by sinks are shard-local: the stream walks this
+  /// shard's rows 0..shard.rows(grid.size()), mapping each to its global
+  /// flat index via shard.global_row, so per-shard checkpoints stay
+  /// simple prefix ranges.
+  ShardSpec shard;
 };
 
 /// Evaluates scenarios on a pool with memoization.  A runner's cache
@@ -252,6 +302,21 @@ class SweepRunner {
   /// valid).
   void stream_models(const SweepGrid& grid, const StreamOptions& options,
                      const RowSink& sink);
+
+  /// Sink of one streamed NDJSON line, '\n'-terminated — the exact bytes
+  /// scenario_result_line(row) + "\n" would produce.  Same protocol as
+  /// RowSink: single emitter, strictly increasing shard-local rows, the
+  /// buffer is owned by the runner and valid only during the call.
+  using LineSink = std::function<void(std::size_t row, std::string_view line)>;
+
+  /// stream_models without the models: each row is evaluated straight to
+  /// its ModelSummary in per-worker scratch (core::compute_ceilings into
+  /// a reused arena, one label formatted per point) and serialized into a
+  /// reused row buffer.  Byte-identical to streaming
+  /// scenario_result_line over stream_models at any jobs/window/
+  /// shard/resume split — this is the campaign-scale `--stream` path.
+  void stream_lines(const SweepGrid& grid, const StreamOptions& options,
+                    const LineSink& sink);
 
   /// Snapshot of the cache statistics (thread-safe).
   SweepStats stats() const;

@@ -1,9 +1,11 @@
 #include "serve/app.hpp"
 
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/characterization.hpp"
+#include "exec/shard.hpp"
 #include "core/model.hpp"
 #include "core/system_spec.hpp"
 #include "dag/graph.hpp"
@@ -320,6 +322,21 @@ util::HttpResponse App::handle_sweep(const util::HttpRequest& request) {
                             : target->as_number();
   }
 
+  // Sharded requests ({"shard": {"count": N, "index": I, "mode": ...}})
+  // answer only shard I's rows, so N servers can split one campaign grid;
+  // the point cap then applies per shard, not to the whole grid
+  // (exec/shard.hpp has the row-assignment function).
+  exec::ShardSpec shard;
+  if (const util::Json* shard_json = body.as_object().find("shard")) {
+    util::require(shard_json->is_object(),
+                  "shard must be an object {count, index, mode?}");
+    shard.count = static_cast<int>(shard_json->at("count").as_int());
+    shard.index = static_cast<int>(shard_json->at("index").as_int());
+    if (const util::Json* mode = shard_json->as_object().find("mode"))
+      shard.mode = exec::parse_shard_mode(mode->as_string());
+    shard.validate();
+  }
+
   // Axes: {"params": {"nodes_per_task": [1, 2], "efficiency": [1, 0.8]}}
   // (axis order = member order; our JSON objects preserve it).
   const util::Json& params = body.at("params");
@@ -327,6 +344,11 @@ util::HttpResponse App::handle_sweep(const util::HttpRequest& request) {
                 "params must be a non-empty object of name -> [values]");
   std::vector<exec::ParamAxis> axes;
   std::size_t points = 1;
+  // With N shards the whole grid may hold N * cap points: each shard owns
+  // at most ceil(points / N) <= cap rows in both modes.  Checked per axis
+  // so the running product cannot overflow.
+  const std::size_t cap =
+      options_.max_sweep_points * static_cast<std::size_t>(shard.count);
   for (const auto& [name, values] : params.as_object().members()) {
     exec::ParamAxis axis;
     axis.name = name;
@@ -335,9 +357,14 @@ util::HttpResponse App::handle_sweep(const util::HttpRequest& request) {
     util::require(!axis.values.empty(),
                   "axis '" + name + "' must list at least one value");
     points *= axis.values.size();
-    util::require(points <= options_.max_sweep_points,
-                  "grid exceeds " + std::to_string(options_.max_sweep_points) +
-                      " points");
+    util::require(
+        points <= cap,
+        shard.sharded()
+            ? "grid exceeds " + std::to_string(options_.max_sweep_points) +
+                  " points per shard across " + std::to_string(shard.count) +
+                  " shards"
+            : "grid exceeds " + std::to_string(options_.max_sweep_points) +
+                  " points");
     axes.push_back(std::move(axis));
   }
 
@@ -349,32 +376,44 @@ util::HttpResponse App::handle_sweep(const util::HttpRequest& request) {
   util::require(format == "json" || format == "ndjson",
                 "format must be 'json' or 'ndjson'");
 
+  // Both formats stream the grid row by row: scenarios materialize lazily
+  // straight to NDJSON bytes (stream_lines), so resident state is the
+  // memo cache plus the reorder window — not the grid.  A sharded request
+  // emits only its shard's rows; re-interleaving the per-shard NDJSON
+  // responses (exec::merge_shard_outputs) re-assembles the unsharded
+  // stream byte-identically.
+  const exec::SweepGrid grid(system, base, axes);
+  exec::StreamOptions stream;
+  stream.shard = shard;
+
   util::HttpResponse response;
   if (format == "ndjson") {
-    // Stream the grid row by row: scenarios materialize lazily and each
-    // result is dropped once serialized, so resident state is the memo
-    // cache plus the reorder window — not the grid.
-    const exec::SweepGrid grid(system, base, axes);
     response.content_type = "application/x-ndjson";
-    runner_.stream_models(
-        grid, exec::StreamOptions{},
-        [&response](std::size_t, const exec::ScenarioResult& result) {
-          response.body += exec::scenario_result_line(result) + "\n";
-        });
+    runner_.stream_lines(grid, stream,
+                         [&response](std::size_t, std::string_view line) {
+                           response.body += line;
+                         });
     return response;
   }
-
-  const std::vector<exec::Scenario> scenarios =
-      exec::expand_grid(system, base, axes);
-  const std::vector<exec::ScenarioResult> results =
-      runner_.run_models(scenarios);
 
   util::JsonObject out;
   out.set("workflow", util::Json(base.name));
   out.set("system", util::Json(system.name));
+  if (shard.sharded()) {
+    util::JsonObject shard_obj;
+    shard_obj.set("count", util::Json(shard.count));
+    shard_obj.set("index", util::Json(shard.index));
+    shard_obj.set("mode", util::Json(exec::shard_mode_name(shard.mode)));
+    out.set("shard", util::Json(std::move(shard_obj)));
+  }
   util::JsonArray rows;
-  for (const exec::ScenarioResult& result : results)
-    rows.push_back(util::Json::parse(exec::scenario_result_line(result)));
+  runner_.stream_lines(grid, stream,
+                       [&rows](std::size_t, std::string_view line) {
+                         // Drop the trailing newline; each line is one row
+                         // object.
+                         rows.push_back(util::Json::parse(
+                             line.substr(0, line.size() - 1)));
+                       });
   out.set("points", util::Json(std::move(rows)));
   response.body = util::Json(std::move(out)).dump() + "\n";
   return response;

@@ -380,25 +380,7 @@ class Parser {
 };
 
 void write_escaped(std::string* out, const std::string& s) {
-  *out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\b': *out += "\\b"; break;
-      case '\f': *out += "\\f"; break;
-      case '\n': *out += "\\n"; break;
-      case '\r': *out += "\\r"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          *out += format("\\u%04x", c);
-        } else {
-          *out += c;
-        }
-    }
-  }
-  *out += '"';
+  json_append_escaped(*out, s);
 }
 
 void write_number(std::string* out, double d) {
@@ -408,6 +390,28 @@ void write_number(std::string* out, double d) {
 }
 
 }  // namespace
+
+void json_append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
 
 Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
 

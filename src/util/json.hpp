@@ -121,4 +121,9 @@ class Json {
   JsonObject object_;
 };
 
+/// Appends `s` to `out` as a JSON string literal (quotes included), using
+/// exactly the serializer's escaping rules.  For hot paths that build
+/// NDJSON rows into a reused buffer without materializing Json values.
+void json_append_escaped(std::string& out, std::string_view s);
+
 }  // namespace wfr::util

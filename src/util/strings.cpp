@@ -105,14 +105,30 @@ std::string format(const char* fmt, ...) {
   return out;
 }
 
-std::string format_double(double value) {
-  if (value == std::nearbyint(value) && std::fabs(value) < 1e15)
-    return format("%.0f", value);
-  for (int precision = 1; precision <= 17; ++precision) {
-    std::string text = format("%.*g", precision, value);
-    if (std::strtod(text.c_str(), nullptr) == value) return text;
+void append_double(std::string& out, double value) {
+  // Large enough for "%.0f" below 1e15 (16 digits + sign) and for
+  // "%.17g" (17 significand digits + point + "e+308" + sign).
+  char buf[40];
+  if (value == std::nearbyint(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    out += buf;
+    return;
   }
-  return format("%.17g", value);
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      out += buf;
+      return;
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+std::string format_double(double value) {
+  std::string out;
+  append_double(out, value);
+  return out;
 }
 
 std::string replace_all(std::string_view s, std::string_view from,

@@ -49,6 +49,10 @@ std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 /// serializes to the same bytes everywhere.
 std::string format_double(double value);
 
+/// format_double appended to `out` without a temporary string — the hot
+/// NDJSON row writers call this once per numeric field.
+void append_double(std::string& out, double value);
+
 /// Replaces every occurrence of `from` in `s` with `to`.
 std::string replace_all(std::string_view s, std::string_view from,
                         std::string_view to);

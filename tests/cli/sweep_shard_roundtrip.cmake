@@ -1,0 +1,131 @@
+# Asserts the multi-process sharded sweep end to end: a 3-way --spawn run
+# merges byte-identical to the single-process --stream output; a worker
+# crashed mid-run (WFR_SWEEP_TEST_FAIL_SHARD) is retried from its
+# per-shard checkpoint and the merged file is still byte-identical; a
+# manual --shard-id worker writes exactly its slice; and --shards without
+# an ownership flag is rejected loudly.
+# Usage: cmake -DWFR=<wfr-binary> -DDATA=<data-dir> -DOUT_DIR=<scratch> -P this-file
+foreach(variable WFR DATA OUT_DIR)
+  if(NOT DEFINED ${variable})
+    message(FATAL_ERROR "missing -D${variable}=...")
+  endif()
+endforeach()
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+set(common
+  sweep --system perlmutter-gpu
+  --characterization ${DATA}/characterizations/bgw_64.json
+  --param nodes_per_task=0.5,1,2,4 --param fs_gbs=100,200,500,700 --stream)
+
+# The reference: one process, one stream.
+execute_process(
+  COMMAND ${WFR} ${common} --jobs 2 --ndjson ${OUT_DIR}/single.ndjson
+  OUTPUT_QUIET RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "single-process sweep failed with ${status}")
+endif()
+
+# 3-way spawn, no failures: the merged output must match byte for byte.
+execute_process(
+  COMMAND ${WFR} ${common} --jobs 2 --shards 3 --spawn
+    --ndjson ${OUT_DIR}/spawned.ndjson
+  OUTPUT_QUIET RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "--spawn sweep failed with ${status}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${OUT_DIR}/single.ndjson ${OUT_DIR}/spawned.ndjson
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "merged --spawn NDJSON differs from single process")
+endif()
+
+# Kill shard 1 after 2 emitted rows.  With checkpointing every row, the
+# orchestrator must retry it from its per-shard checkpoint and the final
+# merge must still be byte-identical.  Part/checkpoint files are cleaned
+# up after the merge.
+set(ENV{WFR_SWEEP_TEST_FAIL_SHARD} "1:2")
+execute_process(
+  COMMAND ${WFR} ${common} --jobs 2 --shards 3 --spawn
+    --ndjson ${OUT_DIR}/crashed.ndjson
+    --checkpoint ${OUT_DIR}/ckpt.json --checkpoint-every 1
+  OUTPUT_VARIABLE retry_log ERROR_QUIET RESULT_VARIABLE status)
+unset(ENV{WFR_SWEEP_TEST_FAIL_SHARD})
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "--spawn with injected crash failed with ${status}:"
+    "\n${retry_log}")
+endif()
+if(NOT retry_log MATCHES "retrying from its checkpoint")
+  message(FATAL_ERROR "crashed shard was not retried from its checkpoint:"
+    "\n${retry_log}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${OUT_DIR}/single.ndjson ${OUT_DIR}/crashed.ndjson
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "merged NDJSON after a shard retry differs from the"
+    " single-process run")
+endif()
+if(EXISTS ${OUT_DIR}/crashed.ndjson.shard1 OR EXISTS ${OUT_DIR}/ckpt.json.shard1)
+  message(FATAL_ERROR "--spawn left per-shard part/checkpoint files behind")
+endif()
+
+# A crash without checkpointing retries the shard from scratch; the merge
+# must still re-assemble.
+set(ENV{WFR_SWEEP_TEST_FAIL_SHARD} "0")
+execute_process(
+  COMMAND ${WFR} ${common} --jobs 2 --shards 3 --spawn
+    --ndjson ${OUT_DIR}/fresh_retry.ndjson
+  OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE status)
+unset(ENV{WFR_SWEEP_TEST_FAIL_SHARD})
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "--spawn with a fresh-retry crash failed with ${status}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${OUT_DIR}/single.ndjson ${OUT_DIR}/fresh_retry.ndjson
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "merged NDJSON after a fresh retry differs from the"
+    " single-process run")
+endif()
+
+# Manual shard ownership: worker 1 of 3 (stride) owns global rows
+# g % 3 == 1 of the 16-point grid — exactly every third line of the
+# reference, starting at the second.
+execute_process(
+  COMMAND ${WFR} ${common} --jobs 1 --shards 3 --shard-id 1
+    --ndjson ${OUT_DIR}/shard1.ndjson
+  OUTPUT_QUIET RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "--shard-id worker failed with ${status}")
+endif()
+file(STRINGS ${OUT_DIR}/single.ndjson reference_lines)
+file(STRINGS ${OUT_DIR}/shard1.ndjson shard_lines)
+set(expected_lines)
+set(row 0)
+foreach(line IN LISTS reference_lines)
+  math(EXPR owner "${row} % 3")
+  if(owner EQUAL 1)
+    list(APPEND expected_lines "${line}")
+  endif()
+  math(EXPR row "${row} + 1")
+endforeach()
+if(NOT "${shard_lines}" STREQUAL "${expected_lines}")
+  message(FATAL_ERROR "--shard-id 1 did not emit exactly its stride slice")
+endif()
+
+# --shards needs an owner: either --spawn or an explicit --shard-id.
+execute_process(
+  COMMAND ${WFR} ${common} --shards 3 --ndjson ${OUT_DIR}/unowned.ndjson
+  OUTPUT_QUIET ERROR_VARIABLE unowned RESULT_VARIABLE status)
+if(status EQUAL 0)
+  message(FATAL_ERROR "--shards without --spawn/--shard-id unexpectedly passed")
+endif()
+if(NOT unowned MATCHES "needs --shard-id")
+  message(FATAL_ERROR "missing-owner rejection not reported:\n${unowned}")
+endif()
+message(STATUS "wfr sweep sharded spawn/merge round-trip verified")

@@ -3,11 +3,14 @@
 // run_models path at any job count / window / resume split, and error
 // propagation from both the evaluator and the sink.
 
+#include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "exec/shard.hpp"
 #include "exec/sweep.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
@@ -185,6 +188,142 @@ TEST(StreamModelsTest, RunnerIsReusableAfterAnError) {
                          ndjson += scenario_result_line(r) + "\n";
                        });
   EXPECT_EQ(ndjson, batch_ndjson(grid));
+}
+
+/// The flattened line-producing hot path, as one string.
+std::string stream_lines_ndjson(const SweepGrid& grid, int jobs,
+                                std::size_t window,
+                                const ShardSpec& shard = {},
+                                std::size_t start_row = 0) {
+  SweepOptions options;
+  options.jobs = jobs;
+  SweepRunner runner(options);
+  StreamOptions stream;
+  stream.reorder_window = window;
+  stream.start_row = start_row;
+  stream.shard = shard;
+  std::string ndjson;
+  runner.stream_lines(grid, stream,
+                      [&ndjson](std::size_t, std::string_view line) {
+                        ndjson += line;
+                      });
+  return ndjson;
+}
+
+// The fast path (stream_lines: arena-reused scenarios, direct struct
+// hashing, no per-point string churn) must emit exactly the bytes of the
+// full path (stream_models + scenario_result_line) at any job count and
+// window — it is an optimization, never a different serializer.
+TEST(StreamLinesTest, MatchesStreamModelsBytesAtAnyJobsAndWindow) {
+  const SweepGrid grid = test_grid();
+  const std::string reference = batch_ndjson(grid);
+  ASSERT_FALSE(reference.empty());
+  for (int jobs : {1, 2, 8})
+    for (std::size_t window : {std::size_t{1}, std::size_t{4},
+                               std::size_t{1024}})
+      EXPECT_EQ(reference, stream_lines_ndjson(grid, jobs, window))
+          << "jobs=" << jobs << " window=" << window;
+}
+
+TEST(StreamLinesTest, RowIndicesAreShardLocalAndDense) {
+  const SweepGrid grid = test_grid();
+  const ShardSpec shard{3, 1, ShardMode::kStride};
+  SweepRunner runner({2});
+  StreamOptions stream;
+  stream.shard = shard;
+  std::vector<std::size_t> rows;
+  runner.stream_lines(grid, stream,
+                      [&rows](std::size_t row, std::string_view) {
+                        rows.push_back(row);
+                      });
+  ASSERT_EQ(rows.size(), shard.rows(grid.size()));
+  for (std::size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(rows[i], i);
+}
+
+// The multi-process contract at the library level: stream each shard on
+// its own runner (fresh cache, its own jobs), re-interleave the lines by
+// global row, and the result must be byte-identical to the unsharded
+// stream — for both modes, shard counts that divide the grid and ones
+// that leave a ragged tail, and any per-shard job count.
+TEST(StreamLinesTest, ShardedStreamsReassembleByteIdentically) {
+  const SweepGrid grid = test_grid();  // 15 rows: ragged under 2 and 4
+  const std::string reference = batch_ndjson(grid);
+  for (const ShardMode mode : {ShardMode::kStride, ShardMode::kBlock}) {
+    for (const int count : {2, 3, 4}) {
+      for (const int jobs : {1, 4}) {
+        std::vector<std::string> per_row(grid.size());
+        for (int i = 0; i < count; ++i) {
+          const ShardSpec shard{count, i, mode};
+          SweepRunner runner({jobs});
+          StreamOptions stream;
+          stream.shard = shard;
+          stream.reorder_window = 4;
+          runner.stream_lines(
+              grid, stream,
+              [&per_row, &shard, &grid](std::size_t row,
+                                        std::string_view line) {
+                per_row[shard.global_row(row, grid.size())] =
+                    std::string(line);
+              });
+        }
+        std::string merged;
+        for (const std::string& line : per_row) merged += line;
+        EXPECT_EQ(merged, reference)
+            << shard_mode_name(mode) << " count=" << count
+            << " jobs=" << jobs;
+      }
+    }
+  }
+}
+
+// A shard resumed from a shard-local checkpoint (start_row in shard
+// coordinates, fresh runner) must append exactly the bytes the
+// uninterrupted shard stream would have produced.
+TEST(StreamLinesTest, ShardLocalResumeSplitsReassemble) {
+  const SweepGrid grid = test_grid();
+  const ShardSpec shard{3, 2, ShardMode::kStride};
+  const std::string whole = stream_lines_ndjson(grid, 1, 4, shard);
+  const std::size_t rows = shard.rows(grid.size());
+  ASSERT_GT(rows, 2u);
+  for (const std::size_t split : {std::size_t{1}, rows - 1}) {
+    std::string first;
+    {
+      SweepRunner runner({2});
+      StreamOptions stream;
+      stream.shard = shard;
+      try {
+        runner.stream_lines(grid, stream,
+                            [&](std::size_t row, std::string_view line) {
+                              first += line;
+                              if (row + 1 == split)
+                                throw util::Error("simulated kill");
+                            });
+        FAIL() << "sink abort did not propagate";
+      } catch (const util::Error&) {
+      }
+    }
+    const std::string rest = stream_lines_ndjson(grid, 4, 4, shard, split);
+    EXPECT_EQ(first + rest, whole) << "split=" << split;
+  }
+}
+
+TEST(StreamLinesTest, RejectsInvalidShard) {
+  const SweepGrid grid = test_grid();
+  SweepRunner runner({1});
+  StreamOptions bad;
+  bad.shard = {3, 3, ShardMode::kStride};  // index out of range
+  EXPECT_THROW(
+      runner.stream_lines(grid, bad, [](std::size_t, std::string_view) {}),
+      util::InvalidArgument);
+  // start_row is shard-local: one past the shard's own row count fails
+  // even though the grid is larger.
+  StreamOptions past_shard_end;
+  past_shard_end.shard = {3, 0, ShardMode::kStride};
+  past_shard_end.start_row =
+      past_shard_end.shard.rows(grid.size()) + 1;
+  EXPECT_THROW(runner.stream_lines(grid, past_shard_end,
+                                   [](std::size_t, std::string_view) {}),
+               util::InvalidArgument);
 }
 
 TEST(StreamModelsTest, RejectsBadOptions) {

@@ -6,6 +6,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -253,6 +257,75 @@ TEST(SweepGridTest, LazyAtMatchesExpandGrid) {
   EXPECT_THROW(grid.at(grid.size()), util::InvalidArgument);
 }
 
+TEST(SweepGridTest, RejectsDuplicateAxis) {
+  EXPECT_THROW(SweepGrid(test_system(), test_workflow(),
+                         {{"efficiency", {1.0}}, {"efficiency", {0.8}}}),
+               util::InvalidArgument);
+  // The axis in between does not hide the repeat.
+  EXPECT_THROW(SweepGrid(test_system(), test_workflow(),
+                         {{"fs_gbs", {1.0 * util::kGBs}},
+                          {"efficiency", {1.0}},
+                          {"fs_gbs", {2.0 * util::kGBs}}}),
+               util::InvalidArgument);
+  EXPECT_THROW(expand_grid(test_system(), test_workflow(),
+                           {{"efficiency", {1.0}}, {"efficiency", {0.8}}}),
+               util::InvalidArgument);
+}
+
+// Property test for the lazy grid: on randomized multi-axis grids,
+// at(flat) must decode the flat index row-major (first axis slowest)
+// into exactly the per-axis values whose indices re-compose to `flat` —
+// the round trip the sharded workers rely on when they materialize
+// arbitrary rows with no neighbor context.
+TEST(SweepGridTest, AtFlatRoundTripsOnRandomizedGrids) {
+  // Rate axes accept any positive double, so random values are safe
+  // (efficiency is excluded: it must lie in (0, 1]).
+  const std::vector<std::string> axis_pool = {
+      "fs_gbs", "external_gbs", "nic_gbs", "peak_flops"};
+  std::mt19937 rng(20260809);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t axis_count = 1 + rng() % axis_pool.size();
+    std::vector<ParamAxis> axes;
+    for (std::size_t a = 0; a < axis_count; ++a) {
+      ParamAxis axis{axis_pool[a], {}};
+      const std::size_t values = 1 + rng() % 4;
+      for (std::size_t v = 0; v < values; ++v)
+        axis.values.push_back(
+            0.25 + static_cast<double>(rng() % 1000) / 16.0 +
+            static_cast<double>(v) * 1e6);  // distinct within the axis
+      axes.push_back(std::move(axis));
+    }
+    const SweepGrid grid(test_system(), test_workflow(), axes);
+    std::size_t expected_size = 1;
+    for (const ParamAxis& axis : axes) expected_size *= axis.values.size();
+    ASSERT_EQ(grid.size(), expected_size);
+
+    for (std::size_t flat = 0; flat < grid.size(); ++flat) {
+      const Scenario scenario = grid.at(flat);
+      ASSERT_EQ(scenario.params.size(), axes.size());
+      // Decode row-major: the first axis varies slowest.
+      std::size_t stride = grid.size();
+      std::size_t remainder = flat;
+      std::size_t recomposed = 0;
+      for (std::size_t a = 0; a < axes.size(); ++a) {
+        stride /= axes[a].values.size();
+        const std::size_t index = remainder / stride;
+        remainder %= stride;
+        EXPECT_EQ(scenario.params[a].first, axes[a].name);
+        EXPECT_DOUBLE_EQ(scenario.params[a].second, axes[a].values[index])
+            << "trial=" << trial << " flat=" << flat << " axis=" << a;
+        recomposed = recomposed * axes[a].values.size() + index;
+      }
+      EXPECT_EQ(recomposed, flat);
+    }
+    // First and last rows pin the corners; one past the end fails loudly.
+    EXPECT_DOUBLE_EQ(grid.at(0).params[0].second, axes[0].values[0]);
+    EXPECT_DOUBLE_EQ(grid.at(grid.size() - 1).params[0].second,
+                     axes[0].values.back());
+    EXPECT_THROW(grid.at(grid.size()), util::InvalidArgument);
+  }
+}
+
 TEST(SweepGridTest, GridHashDistinguishesDefinitions) {
   const SweepGrid a(test_system(), test_workflow(),
                     {{"efficiency", {1.0, 0.8}}});
@@ -435,6 +508,60 @@ TEST(SweepRunnerTest, EvictionStatsReachTheRegistry) {
                    2.0);
   ASSERT_NE(registry.find_gauge("sweep.cache_entries"), nullptr);
   EXPECT_DOUBLE_EQ(registry.find_gauge("sweep.cache_entries")->value(), 1.0);
+}
+
+// Concurrency regression for the memo-cache accounting: a jobs=1 runner
+// executes run() inline on each calling thread, so eight external
+// threads hammer evaluate_cached / the LRU list directly.  At
+// quiescence the counters must balance exactly — every request is a hit
+// or a miss, every miss inserted an entry, every eviction removed one —
+// and the resident set must respect the cap.
+TEST(SweepRunnerTest, EightThreadLruAccountingStaysConsistent) {
+  SweepOptions options;
+  options.jobs = 1;
+  options.cache_capacity = 16;
+  SweepRunner runner(options);
+  std::vector<Scenario> keys;
+  for (int i = 0; i < 64; ++i) {
+    Scenario s;
+    s.system = test_system();
+    s.workflow = test_workflow();
+    s.workflow.total_tasks = 100 + i;
+    keys.push_back(s);
+  }
+  const std::function<int(const Scenario&)> eval =
+      [](const Scenario& s) { return s.workflow.total_tasks; };
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  constexpr std::size_t kBatch = 8;
+  std::atomic<int> wrong_values{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&runner, &keys, &eval, &wrong_values, t] {
+      std::mt19937 rng(1000 + t);  // per-thread stream, deterministic
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<Scenario> batch;
+        for (std::size_t k = 0; k < kBatch; ++k)
+          batch.push_back(keys[rng() % keys.size()]);
+        const std::vector<int> out = runner.run<int>(batch, eval);
+        for (std::size_t k = 0; k < kBatch; ++k)
+          if (out[k] != batch[k].workflow.total_tasks)
+            wrong_values.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(wrong_values.load(), 0);
+  const SweepStats stats = runner.stats();
+  EXPECT_EQ(stats.scenarios,
+            static_cast<std::uint64_t>(kThreads) * kRounds * kBatch);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.scenarios);
+  EXPECT_LE(stats.cache_entries, 16u);
+  EXPECT_EQ(stats.cache_misses - stats.cache_evictions, stats.cache_entries);
+  // 64 distinct keys against a 16-entry cap must have evicted.
+  EXPECT_GT(stats.cache_evictions, 0u);
 }
 
 TEST(ScenarioResultLineTest, StableFieldOrderWithParams) {

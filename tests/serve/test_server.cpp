@@ -161,6 +161,92 @@ TEST(ServeTest, SweepReturnsOnePointPerGridCell) {
   EXPECT_EQ(lines, 4u);
 }
 
+// Builds a kSweepBody variant asking for shard index/count (stride mode).
+std::string sharded_sweep_body(int count, int index) {
+  std::string body(kSweepBody);
+  const auto brace = body.rfind('}');
+  body.insert(brace, ",\n  \"shard\": {\"count\": " + std::to_string(count) +
+                         ", \"index\": " + std::to_string(index) + "}");
+  return body;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i)
+    if (text[i] == '\n') {
+      lines.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  return lines;
+}
+
+TEST(ServeTest, ShardedSweepsReassembleTheUnshardedStream) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const ClientResponse whole =
+      client.request("POST", "/v1/sweep", kSweepBody);
+  ASSERT_EQ(whole.status, 200);
+  const std::vector<std::string> rows = split_lines(whole.body);
+  ASSERT_EQ(rows.size(), 4u);
+
+  std::vector<std::vector<std::string>> parts;
+  for (int index = 0; index < 2; ++index) {
+    const ClientResponse part = client.request(
+        "POST", "/v1/sweep", sharded_sweep_body(/*count=*/2, index));
+    ASSERT_EQ(part.status, 200);
+    parts.push_back(split_lines(part.body));
+  }
+  // Stride mode: shard i owns global rows congruent to i (mod 2), and
+  // re-interleaving the part streams reproduces the unsharded bytes.
+  ASSERT_EQ(parts[0].size(), 2u);
+  ASSERT_EQ(parts[1].size(), 2u);
+  for (std::size_t global = 0; global < rows.size(); ++global)
+    EXPECT_EQ(parts[global % 2][global / 2], rows[global]) << global;
+}
+
+TEST(ServeTest, SweepPointCapAppliesPerShard) {
+  AppOptions app_options;
+  app_options.max_sweep_points = 2;
+  AppServer server(AppServer::ephemeral(), app_options);
+  LoopbackClient client(server.port());
+  // The 2x2 grid exceeds an unsharded 2-point cap...
+  const ClientResponse whole =
+      client.request("POST", "/v1/sweep", kSweepBody);
+  EXPECT_EQ(whole.status, 400);
+  EXPECT_NE(whole.body.find("grid exceeds 2 points"), std::string::npos);
+  // ...but each half of a 2-way split fits.
+  const ClientResponse part = client.request(
+      "POST", "/v1/sweep", sharded_sweep_body(/*count=*/2, /*index=*/0));
+  EXPECT_EQ(part.status, 200);
+}
+
+TEST(ServeTest, SweepRejectsInvalidShard) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  const ClientResponse response = client.request(
+      "POST", "/v1/sweep", sharded_sweep_body(/*count=*/2, /*index=*/2));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("shard index"), std::string::npos);
+}
+
+TEST(ServeTest, SweepJsonFormatEchoesTheShard) {
+  AppServer server;
+  LoopbackClient client(server.port());
+  std::string body = sharded_sweep_body(/*count=*/2, /*index=*/1);
+  const auto format = body.find("\"ndjson\"");
+  ASSERT_NE(format, std::string::npos);
+  body.replace(format, 8, "\"json\"");
+  const ClientResponse response =
+      client.request("POST", "/v1/sweep", body);
+  ASSERT_EQ(response.status, 200);
+  const util::Json out = util::Json::parse(response.body);
+  EXPECT_EQ(out.at("shard").at("count").as_int(), 2);
+  EXPECT_EQ(out.at("shard").at("index").as_int(), 1);
+  EXPECT_EQ(out.at("shard").at("mode").as_string(), "stride");
+  EXPECT_EQ(out.at("points").as_array().size(), 2u);
+}
+
 TEST(ServeTest, PipelinedKeepAliveRequestsAnswerInOrder) {
   AppServer server;
   LoopbackClient client(server.port());
